@@ -1,0 +1,64 @@
+// E1 — Edge additions: baseline restart vs anytime anywhere (the companion
+// paper [9]'s evaluation design, which the title paper builds on).
+//
+// Sweeps the number of edges added at RC0/RC4/RC8 and compares the
+// incremental edge-addition algorithm against full restart; also contrasts
+// the seeded and the paper-faithful eager relaxation modes (Figure 3).
+//
+// Expected shape: anytime ≪ restart everywhere; eager does strictly more
+// relaxation work per edge than seeded at identical results.
+#include "bench_util.hpp"
+
+namespace {
+
+aacc::EventSchedule edge_add_schedule(const aacc::Graph& g, std::size_t count,
+                                      std::size_t at_step, aacc::Rng& rng) {
+  using namespace aacc;
+  EventSchedule sched;
+  EventBatch batch;
+  batch.at_step = at_step;
+  Graph probe = g;
+  while (batch.events.size() < count) {
+    const auto u = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    const auto v = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    if (u == v || probe.has_edge(u, v)) continue;
+    probe.add_edge(u, v, 1);
+    batch.events.emplace_back(EdgeAddEvent{u, v, 1});
+  }
+  sched.push_back(std::move(batch));
+  return sched;
+}
+
+}  // namespace
+
+int main() {
+  using namespace aacc;
+  using namespace aacc::bench;
+  const Scale s = read_scale(/*default_n=*/2000);
+  const Graph g = base_graph(s);
+  std::printf("e1: n=%u m=%zu P=%d, edge additions at RC0/RC4/RC8\n", s.n,
+              g.num_edges(), s.p);
+
+  Table table("e1_edge_additions", "edges_added");
+  for (const std::size_t count :
+       {scaled(32, s), scaled(128, s), scaled(512, s)}) {
+    for (const std::size_t rc : {0u, 4u, 8u}) {
+      Rng rng(s.seed + count * 31 + rc);
+      const auto sched = edge_add_schedule(g, count, rc, rng);
+
+      EngineConfig cfg = make_cfg(s, AssignStrategy::kRoundRobin);
+      const std::string suffix = "@rc" + std::to_string(rc);
+      table.add(measure("seeded" + suffix, static_cast<double>(count), g,
+                        sched, cfg));
+      cfg.add_mode = EdgeAddMode::kEager;
+      table.add(measure("eager" + suffix, static_cast<double>(count), g, sched,
+                        cfg));
+      if (rc == 0) {
+        table.add(measure_baseline("restart", static_cast<double>(count), g,
+                                   sched, cfg));
+      }
+    }
+  }
+  table.print_and_save();
+  return 0;
+}

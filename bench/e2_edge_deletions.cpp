@@ -1,0 +1,49 @@
+// E2 — Edge deletions (the title paper's own dynamic change): baseline
+// restart vs the anytime anywhere route-poisoning algorithm, swept over the
+// batch size and the injection step.
+//
+// Expected shape: anytime ≪ restart; deletions cost more than additions at
+// equal batch size (suspect invalidation + re-derivation), visible in the
+// poisons column.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace aacc;
+  using namespace aacc::bench;
+  const Scale s = read_scale(/*default_n=*/2000);
+  const Graph g = base_graph(s, /*edges_per_vertex=*/3);  // denser: survives deletions
+  std::printf("e2: n=%u m=%zu P=%d, edge deletions at RC0/RC4/RC8\n", s.n,
+              g.num_edges(), s.p);
+
+  Table table("e2_edge_deletions", "edges_deleted", "poisons");
+  for (const std::size_t count :
+       {scaled(32, s), scaled(128, s), scaled(512, s)}) {
+    for (const std::size_t rc : {0u, 4u, 8u}) {
+      Rng rng(s.seed + count * 37 + rc);
+      EventSchedule sched;
+      EventBatch batch;
+      batch.at_step = rc;
+      Graph probe = g;
+      while (batch.events.size() < count) {
+        const auto edges = probe.edges();
+        const auto& [u, v, w] = edges[rng.next_below(edges.size())];
+        (void)w;
+        probe.remove_edge(u, v);
+        batch.events.emplace_back(EdgeDeleteEvent{u, v});
+      }
+      sched.push_back(std::move(batch));
+
+      const EngineConfig cfg = make_cfg(s, AssignStrategy::kRoundRobin);
+      Row anytime = measure("anytime@rc" + std::to_string(rc),
+                            static_cast<double>(count), g, sched, cfg);
+      anytime.extra = anytime.poisons;
+      table.add(anytime);
+      if (rc == 0) {
+        table.add(measure_baseline("restart", static_cast<double>(count), g,
+                                   sched, cfg));
+      }
+    }
+  }
+  table.print_and_save();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 6 — "Vertex Additions at RC8": the Figure-5 sweep injected late in
+// the analysis (recombination step 8) instead of at step 0.
+//
+// Expected shape: same ordering as Figure 5 — the assignment strategies win
+// for small batches, Repartition-S for large ones; late injection makes the
+// anytime engines pay for refinements already performed.
+// Like Figure 5, the PS strategies default to the paper's eager Figure-3
+// relaxation (AACC_EAGER=0 selects the optimized seeded mode).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace aacc;
+  using namespace aacc::bench;
+  const Scale s = read_scale(/*default_n=*/1200);
+  const Graph g = base_graph(s);
+  const EdgeAddMode mode = read_add_mode(/*paper_default_eager=*/true);
+  std::printf("fig6: n=%u m=%zu P=%d add_mode=%s (paper: 50k vertices, P=16)\n",
+              s.n, g.num_edges(), s.p,
+              mode == EdgeAddMode::kEager ? "eager" : "seeded");
+
+  Table table("fig6_strategies_rc8", "vertices_added", "new_cut_edges");
+  for (const std::size_t paper_batch : {500u, 1500u, 3000u, 4500u, 6000u}) {
+    const auto batch = static_cast<VertexId>(std::max<std::size_t>(
+        8, scaled(paper_batch * s.n / 50000, s)));
+    Rng rng(s.seed + paper_batch);
+    EventSchedule sched;
+    sched.push_back({8, community_vertex_batch(g, batch, 8, rng)});
+
+    for (const auto& [name, strat] :
+         std::initializer_list<std::pair<const char*, AssignStrategy>>{
+             {"repartition-s", AssignStrategy::kRepartition},
+             {"cutedge-ps", AssignStrategy::kCutEdge},
+             {"roundrobin-ps", AssignStrategy::kRoundRobin}}) {
+      EngineConfig cfg = make_cfg(s, strat);
+      cfg.add_mode = mode;
+      table.add(measure(name, static_cast<double>(batch), g, sched, cfg));
+    }
+  }
+  table.print_and_save();
+  return 0;
+}

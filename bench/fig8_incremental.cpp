@@ -1,0 +1,56 @@
+// Figure 8 — "Incremental Vertex Additions".
+//
+// Paper setup: instead of one bulk change, vertices arrive continuously —
+// the same cumulative batch spread over 10 recombination steps (e.g. the
+// 5611-vertex experiment adds ~561 per step). Series: baseline restart
+// (restarts per step!), Repartition-S, RoundRobin-PS, CutEdge-PS.
+//
+// Expected shape: baseline ≫ everything; RoundRobin/CutEdge cheapest at low
+// rates; Repartition-S catches up at the highest rate.
+// The PS strategies default to the paper's eager Figure-3 relaxation
+// (AACC_EAGER=0 selects the optimized seeded mode).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace aacc;
+  using namespace aacc::bench;
+  const Scale s = read_scale(/*default_n=*/1200);
+  const Graph g = base_graph(s);
+  const EdgeAddMode mode = read_add_mode(/*paper_default_eager=*/true);
+  std::printf("fig8: n=%u m=%zu P=%d add_mode=%s, additions spread over 10 RC steps\n",
+              s.n, g.num_edges(), s.p,
+              mode == EdgeAddMode::kEager ? "eager" : "seeded");
+
+  Table table("fig8_incremental", "added_per_step");
+  for (const std::size_t paper_rate : {51u, 187u, 383u, 561u}) {
+    const auto per_step = static_cast<VertexId>(std::max<std::size_t>(
+        2, scaled(paper_rate * s.n / 50000, s)));
+
+    // Build the 10-step schedule once per rate; identical for all series.
+    Rng rng(s.seed + paper_rate);
+    EventSchedule sched;
+    Graph cursor = g;
+    for (std::size_t step = 0; step < 10; ++step) {
+      EventBatch batch;
+      batch.at_step = step;
+      batch.events = community_vertex_batch(cursor, per_step, 4, rng);
+      for (const Event& e : batch.events) apply_event(cursor, e);
+      sched.push_back(std::move(batch));
+    }
+
+    table.add(measure_baseline("baseline-restart",
+                               static_cast<double>(per_step), g, sched,
+                               make_cfg(s, AssignStrategy::kRoundRobin)));
+    for (const auto& [name, strat] :
+         std::initializer_list<std::pair<const char*, AssignStrategy>>{
+             {"repartition-s", AssignStrategy::kRepartition},
+             {"roundrobin-ps", AssignStrategy::kRoundRobin},
+             {"cutedge-ps", AssignStrategy::kCutEdge}}) {
+      EngineConfig cfg = make_cfg(s, strat);
+      cfg.add_mode = mode;
+      table.add(measure(name, static_cast<double>(per_step), g, sched, cfg));
+    }
+  }
+  table.print_and_save();
+  return 0;
+}

@@ -1,0 +1,141 @@
+// M2 — google-benchmark micro benchmarks for the engine's dynamic kernels:
+// the per-event cost of additions (seeded vs eager), deletions (poison +
+// repair), and vertex additions under each strategy, measured end-to-end
+// as full engine runs minus a static baseline would be noisy — instead we
+// time small fixed scenarios directly.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace aacc;
+
+Graph fixture(VertexId n) {
+  static std::map<VertexId, Graph> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    Rng rng(1);
+    it = cache.emplace(n, barabasi_albert(n, 2, rng)).first;
+  }
+  return it->second;
+}
+
+EngineConfig cfg_for(Rank p) {
+  EngineConfig cfg;
+  cfg.num_ranks = p;
+  return cfg;
+}
+
+void BM_StaticRun(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  const Graph g = fixture(n);
+  for (auto _ : state) {
+    AnytimeEngine engine(g, cfg_for(8));
+    benchmark::DoNotOptimize(engine.run());
+  }
+}
+BENCHMARK(BM_StaticRun)->Arg(300)->Arg(600)->Unit(benchmark::kMillisecond);
+
+void BM_EdgeAdditionBatch(benchmark::State& state) {
+  const auto mode = static_cast<EdgeAddMode>(state.range(0));
+  const Graph g = fixture(500);
+  Rng rng(3);
+  EventSchedule sched;
+  EventBatch batch;
+  batch.at_step = 2;
+  Graph probe = g;
+  while (batch.events.size() < 16) {
+    const auto u = static_cast<VertexId>(rng.next_below(500));
+    const auto v = static_cast<VertexId>(rng.next_below(500));
+    if (u == v || probe.has_edge(u, v)) continue;
+    probe.add_edge(u, v, 1);
+    batch.events.emplace_back(EdgeAddEvent{u, v, 1});
+  }
+  sched.push_back(std::move(batch));
+  for (auto _ : state) {
+    EngineConfig cfg = cfg_for(8);
+    cfg.add_mode = mode;
+    AnytimeEngine engine(g, cfg);
+    benchmark::DoNotOptimize(engine.run(sched));
+  }
+}
+BENCHMARK(BM_EdgeAdditionBatch)
+    ->Arg(static_cast<int>(EdgeAddMode::kSeeded))
+    ->Arg(static_cast<int>(EdgeAddMode::kEager))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EdgeDeletionBatch(benchmark::State& state) {
+  Rng grng(5);
+  const Graph g = barabasi_albert(500, 3, grng);
+  Rng rng(4);
+  EventSchedule sched;
+  EventBatch batch;
+  batch.at_step = 2;
+  Graph probe = g;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    const auto edges = probe.edges();
+    const auto& [u, v, w] = edges[rng.next_below(edges.size())];
+    (void)w;
+    probe.remove_edge(u, v);
+    batch.events.emplace_back(EdgeDeleteEvent{u, v});
+  }
+  sched.push_back(std::move(batch));
+  for (auto _ : state) {
+    AnytimeEngine engine(g, cfg_for(8));
+    benchmark::DoNotOptimize(engine.run(sched));
+  }
+}
+BENCHMARK(BM_EdgeDeletionBatch)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_VertexAdditionStrategy(benchmark::State& state) {
+  const auto strat = static_cast<AssignStrategy>(state.range(0));
+  const Graph g = fixture(500);
+  Rng rng(6);
+  EventSchedule sched;
+  EventBatch batch;
+  batch.at_step = 2;
+  std::vector<VertexId> pool;
+  for (const auto& [u, v, w] : g.edges()) {
+    (void)w;
+    pool.push_back(u);
+    pool.push_back(v);
+  }
+  for (VertexId i = 0; i < 24; ++i) {
+    VertexAddEvent ev;
+    ev.id = 500 + i;
+    if (i > 0) ev.edges.emplace_back(500 + i - 1, 1);
+    ev.edges.emplace_back(pool[rng.next_below(pool.size())], 1);
+    batch.events.emplace_back(std::move(ev));
+  }
+  sched.push_back(std::move(batch));
+  for (auto _ : state) {
+    EngineConfig cfg = cfg_for(8);
+    cfg.assign = strat;
+    AnytimeEngine engine(g, cfg);
+    benchmark::DoNotOptimize(engine.run(sched));
+  }
+}
+BENCHMARK(BM_VertexAdditionStrategy)
+    ->Arg(static_cast<int>(AssignStrategy::kRoundRobin))
+    ->Arg(static_cast<int>(AssignStrategy::kCutEdge))
+    ->Arg(static_cast<int>(AssignStrategy::kRepartition))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointSerialize(benchmark::State& state) {
+  const Graph g = fixture(600);
+  EngineConfig cfg = cfg_for(8);
+  cfg.checkpoint_at_step = 1;
+  for (auto _ : state) {
+    AnytimeEngine engine(g, cfg);
+    const RunResult r = engine.run();
+    benchmark::DoNotOptimize(r.checkpoint.bytes());
+  }
+}
+BENCHMARK(BM_CheckpointSerialize)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// S1 — scaling study (the paper family's standard evaluation companion):
+// fixed problem, sweep the processor count; and fixed P, sweep the graph
+// size. Reports wall time, LogGP-modeled cluster makespan (the number a
+// real cluster would see — per-step slowest-rank CPU + network), traffic,
+// and RC steps.
+//
+// Expected shape: per-rank work shrinks with P (sum_cpu roughly constant,
+// max-per-step shrinking) while the serialized-schedule network time grows
+// with P — the communication/computation trade-off the paper's LogP
+// analysis in §IV.C formalizes.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace aacc;
+  using namespace aacc::bench;
+  const Scale s = read_scale(/*default_n=*/2000);
+
+  Table table("s1_scaling", "ranks_or_kn");
+  for (const Rank p : {2, 4, 8, 16, 32}) {
+    const Graph g = base_graph(s);
+    EngineConfig cfg = make_cfg(s, AssignStrategy::kRoundRobin);
+    cfg.num_ranks = p;
+    table.add(measure("P-sweep", p, g, {}, cfg));
+  }
+  for (const VertexId n : {500u, 1000u, 2000u, 4000u}) {
+    Scale sn = s;
+    sn.n = n;
+    const Graph g = base_graph(sn);
+    table.add(measure("N-sweep(kn)", n / 1000.0, g, {}, make_cfg(sn, AssignStrategy::kRoundRobin)));
+  }
+  table.print_and_save();
+  return 0;
+}

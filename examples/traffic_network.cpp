@@ -1,0 +1,88 @@
+// Weighted dynamic scenario: a road network (grid + highway shortcuts)
+// where edge weights are travel times. Rush-hour jams raise weights,
+// incidents close roads, road works finish and reopen them — and the
+// engine keeps depot-placement scores (closeness = inverse total travel
+// time) current throughout. Exercises WeightChangeEvent both directions.
+//
+//   ./traffic_network [side] [ranks]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/closeness.hpp"
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aacc;
+  const auto side = static_cast<VertexId>(argc > 1 ? std::atoi(argv[1]) : 22);
+  const auto ranks = static_cast<Rank>(argc > 2 ? std::atoi(argv[2]) : 8);
+
+  // City grid with travel times 2..5, plus a few fast highways.
+  Rng rng(31);
+  Graph g = grid2d(side, side, rng, WeightRange{2, 5});
+  const VertexId n = g.num_vertices();
+  for (int h = 0; h < 6; ++h) {
+    const auto a = static_cast<VertexId>(rng.next_below(n));
+    const auto b = static_cast<VertexId>(rng.next_below(n));
+    if (a != b && !g.has_edge(a, b)) g.add_edge(a, b, 1);  // highway
+  }
+  std::printf("road network: %ux%u grid + highways, %zu segments, %d ranks\n",
+              side, side, g.num_edges(), ranks);
+
+  // Rush hour at step 2: jams on 10% of segments (weights triple).
+  // Incident at step 5: two road closures near the centre.
+  // Step 8: jams clear back to baseline.
+  EventSchedule schedule;
+  std::vector<std::tuple<VertexId, VertexId, Weight>> jammed;
+  {
+    EventBatch rush;
+    rush.at_step = 2;
+    const auto edges = g.edges();
+    for (std::size_t i = 0; i < edges.size(); i += 10) {
+      const auto& [u, v, w] = edges[i];
+      jammed.emplace_back(u, v, w);
+      rush.events.emplace_back(WeightChangeEvent{u, v, static_cast<Weight>(3 * w)});
+    }
+    schedule.push_back(std::move(rush));
+
+    EventBatch incident;
+    incident.at_step = 5;
+    const VertexId centre = (side / 2) * side + side / 2;
+    const auto nbrs = g.neighbors(centre);
+    for (std::size_t i = 0; i < std::min<std::size_t>(2, nbrs.size()); ++i) {
+      incident.events.emplace_back(EdgeDeleteEvent{centre, nbrs[i].to});
+    }
+    schedule.push_back(std::move(incident));
+
+    EventBatch clear;
+    clear.at_step = 8;
+    for (const auto& [u, v, w] : jammed) {
+      clear.events.emplace_back(WeightChangeEvent{u, v, w});
+    }
+    schedule.push_back(std::move(clear));
+  }
+  std::printf("events: %zu jams @rc2, 2 closures @rc5, all-clear @rc8\n",
+              schedule[0].events.size());
+
+  EngineConfig cfg;
+  cfg.num_ranks = ranks;
+  cfg.record_step_quality = true;
+  AnytimeEngine engine(g, cfg);
+  const RunResult r = engine.run(schedule);
+
+  std::uint64_t total_poisons = 0;
+  for (const auto& s : r.stats.steps) total_poisons += s.poisons;
+  std::printf("\nconverged in %zu RC steps; %llu travel-time entries "
+              "invalidated and re-derived across the jam/closure/clear cycle\n",
+              r.stats.rc_steps,
+              static_cast<unsigned long long>(total_poisons));
+
+  const auto depots = top_k(r.closeness, 3);
+  std::printf("\nbest depot locations (post all-clear):\n");
+  for (const VertexId v : depots) {
+    std::printf("  cell (%u,%u): closeness %.6g\n", v / side, v % side,
+                r.closeness[v]);
+  }
+  return 0;
+}

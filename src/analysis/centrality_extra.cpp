@@ -1,0 +1,114 @@
+#include "analysis/centrality_extra.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stack>
+
+#include "common/check.hpp"
+#include "graph/csr.hpp"
+
+namespace aacc {
+
+std::vector<double> betweenness_exact(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  const CsrGraph csr(g);
+  std::vector<double> bc(n, 0.0);
+
+  // Brandes: one Dijkstra per source with shortest-path counting, then a
+  // reverse accumulation of pair dependencies.
+  std::vector<Dist> dist(n);
+  std::vector<double> sigma(n);
+  std::vector<double> delta(n);
+  std::vector<std::vector<VertexId>> preds(n);
+
+  struct QItem {
+    Dist d;
+    VertexId v;
+    bool operator>(const QItem& o) const { return d > o.d; }
+  };
+
+  for (VertexId s = 0; s < n; ++s) {
+    if (!g.is_alive(s)) continue;
+    std::fill(dist.begin(), dist.end(), kInfDist);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    for (auto& p : preds) p.clear();
+
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+    std::vector<VertexId> order;  // vertices in settle order
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    pq.push({0, s});
+    std::vector<char> settled(n, 0);
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (settled[u] != 0 || d != dist[u]) continue;
+      settled[u] = 1;
+      order.push_back(u);
+      for (std::size_t i = csr.begin(u); i < csr.end(u); ++i) {
+        const VertexId v = csr.target(i);
+        const Dist nd = dist_add(d, csr.weight(i));
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          sigma[v] = sigma[u];
+          preds[v].assign(1, u);
+          pq.push({nd, v});
+        } else if (nd == dist[v] && nd != kInfDist) {
+          sigma[v] += sigma[u];
+          preds[v].push_back(u);
+        }
+      }
+    }
+    // Reverse accumulation.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const VertexId w = *it;
+      for (const VertexId p : preds[w]) {
+        delta[p] += sigma[p] / sigma[w] * (1.0 + delta[w]);
+      }
+      if (w != s) bc[w] += delta[w];
+    }
+  }
+  // Each unordered pair was counted from both endpoints.
+  for (double& b : bc) b /= 2.0;
+  return bc;
+}
+
+std::vector<double> eigenvector_centrality(const Graph& g,
+                                           std::size_t max_iters, double tol) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> x(n, 0.0);
+  if (g.num_edges() == 0) return x;  // convention: no structure, no scores
+  for (VertexId v = 0; v < n; ++v) {
+    if (g.is_alive(v)) x[v] = 1.0;
+  }
+  std::vector<double> next(n, 0.0);
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (VertexId v = 0; v < n; ++v) {
+      if (!g.is_alive(v)) continue;
+      // Iterate (A + I)x: the identity shift keeps the dominant eigenvalue
+      // strictly largest in magnitude on bipartite graphs (whose ±λ pair
+      // would otherwise make plain power iteration oscillate), without
+      // changing the eigenvectors.
+      next[v] += x[v];
+      for (const Edge& e : g.neighbors(v)) {
+        next[e.to] += static_cast<double>(e.w) * x[v];
+      }
+    }
+    double max_entry = 0.0;
+    for (const double val : next) max_entry = std::max(max_entry, val);
+    if (max_entry == 0.0) return next;  // no edges at all
+    double diff = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      next[v] /= max_entry;
+      diff += std::abs(next[v] - x[v]);
+    }
+    x.swap(next);
+    if (diff < tol) break;
+  }
+  return x;
+}
+
+}  // namespace aacc

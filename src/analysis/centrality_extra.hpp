@@ -1,0 +1,27 @@
+// Companion centrality measures (§IV of the paper lists degree, closeness,
+// betweenness and eigenvector centrality as the key SNA metrics; the
+// anytime anywhere series covers several of them). These are exact
+// sequential implementations used for cross-measure studies and as ground
+// truth in tests.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace aacc {
+
+/// Exact betweenness centrality via Brandes' algorithm (weighted variant,
+/// Dijkstra-based). Scores are the classic unnormalized pair-dependency
+/// sums over undirected paths (each unordered pair counted once).
+std::vector<double> betweenness_exact(const Graph& g);
+
+/// Eigenvector centrality by power iteration on the (weighted) adjacency
+/// matrix, normalized to unit max entry. Returns zeros for isolated
+/// vertices; convergence within `max_iters` iterations or `tol` L1 change.
+std::vector<double> eigenvector_centrality(const Graph& g,
+                                           std::size_t max_iters = 200,
+                                           double tol = 1e-10);
+
+}  // namespace aacc

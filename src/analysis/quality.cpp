@@ -1,0 +1,93 @@
+#include "analysis/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "analysis/closeness.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace aacc {
+
+double mean_relative_error(const std::vector<double>& exact,
+                           const std::vector<double>& estimate) {
+  AACC_CHECK(exact.size() == estimate.size());
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    if (exact[i] <= 0.0) continue;
+    sum += std::abs(estimate[i] - exact[i]) / exact[i];
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double max_abs_error(const std::vector<double>& exact,
+                     const std::vector<double>& estimate) {
+  AACC_CHECK(exact.size() == estimate.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    m = std::max(m, std::abs(estimate[i] - exact[i]));
+  }
+  return m;
+}
+
+double top_k_overlap(const std::vector<double>& exact,
+                     const std::vector<double>& estimate, std::size_t k) {
+  AACC_CHECK(exact.size() == estimate.size());
+  if (k == 0) return 1.0;
+  const auto te = top_k(exact, k);
+  const auto ts = top_k(estimate, k);
+  const std::unordered_set<VertexId> set(te.begin(), te.end());
+  std::size_t hits = 0;
+  for (VertexId v : ts) hits += set.count(v);
+  return static_cast<double>(hits) / static_cast<double>(std::min(k, exact.size()));
+}
+
+double kendall_tau(const std::vector<double>& a, const std::vector<double>& b,
+                   std::size_t max_pairs) {
+  AACC_CHECK(a.size() == b.size());
+  const std::size_t n = a.size();
+  if (n < 2) return 1.0;
+  const std::size_t all_pairs = n * (n - 1) / 2;
+
+  std::int64_t concordant = 0;
+  std::int64_t discordant = 0;
+  std::int64_t tied = 0;
+  auto consider = [&](std::size_t i, std::size_t j) {
+    const double da = a[i] - a[j];
+    const double db = b[i] - b[j];
+    if (da == 0.0 || db == 0.0) {
+      ++tied;
+    } else if ((da > 0) == (db > 0)) {
+      ++concordant;
+    } else {
+      ++discordant;
+    }
+  };
+
+  if (all_pairs <= max_pairs) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) consider(i, j);
+    }
+  } else {
+    // Uniform pair sampling with a fixed seed keeps the estimate
+    // deterministic run-to-run.
+    Rng rng(0x6b656e64616c6cULL);
+    for (std::size_t s = 0; s < max_pairs; ++s) {
+      const std::size_t i = rng.next_below(n);
+      std::size_t j = rng.next_below(n - 1);
+      if (j >= i) ++j;
+      consider(i, j);
+    }
+  }
+  const std::int64_t total = concordant + discordant + tied;
+  if (total == 0) return 1.0;
+  const std::int64_t effective = concordant + discordant;
+  if (effective == 0) return 1.0;
+  return static_cast<double>(concordant - discordant) /
+         static_cast<double>(effective);
+}
+
+}  // namespace aacc

@@ -1,0 +1,32 @@
+// Solution-quality metrics for anytime snapshots (experiment E3).
+//
+// An interrupted anytime run yields distance upper bounds; these metrics
+// quantify how far derived centrality scores are from the exact values and
+// whether the *ranking* (which is what analysts consume) has stabilized.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace aacc {
+
+/// Mean |est - exact| / exact over entries with exact > 0.
+double mean_relative_error(const std::vector<double>& exact,
+                           const std::vector<double>& estimate);
+
+/// max |est - exact|.
+double max_abs_error(const std::vector<double>& exact,
+                     const std::vector<double>& estimate);
+
+/// |topk(exact) ∩ topk(estimate)| / k — the "did we find the right
+/// influencers" metric.
+double top_k_overlap(const std::vector<double>& exact,
+                     const std::vector<double>& estimate, std::size_t k);
+
+/// Kendall rank-correlation tau-b between two score vectors, computed over
+/// sampled pairs when n is large (exact below the sample threshold).
+double kendall_tau(const std::vector<double>& a, const std::vector<double>& b,
+                   std::size_t max_pairs = 2'000'000);
+
+}  // namespace aacc

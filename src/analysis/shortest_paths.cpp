@@ -1,0 +1,89 @@
+#include "analysis/shortest_paths.hpp"
+
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace aacc {
+
+namespace {
+
+struct QItem {
+  Dist d;
+  VertexId v;
+  friend bool operator>(const QItem& a, const QItem& b) { return a.d > b.d; }
+};
+
+using MinQueue = std::priority_queue<QItem, std::vector<QItem>, std::greater<>>;
+
+}  // namespace
+
+std::vector<Dist> dijkstra(const CsrGraph& g, VertexId src) {
+  AACC_CHECK(src < g.num_vertices());
+  std::vector<Dist> dist(g.num_vertices(), kInfDist);
+  MinQueue pq;
+  dist[src] = 0;
+  pq.push({0, src});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;  // stale entry
+    for (std::size_t i = g.begin(u); i < g.end(u); ++i) {
+      const VertexId v = g.target(i);
+      const Dist nd = dist_add(d, g.weight(i));
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        pq.push({nd, v});
+      }
+    }
+  }
+  return dist;
+}
+
+SsspResult dijkstra_with_first_hop(const CsrGraph& g, VertexId src) {
+  AACC_CHECK(src < g.num_vertices());
+  SsspResult res;
+  res.dist.assign(g.num_vertices(), kInfDist);
+  res.first_hop.assign(g.num_vertices(), kNoVertex);
+  MinQueue pq;
+  res.dist[src] = 0;
+  pq.push({0, src});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != res.dist[u]) continue;
+    for (std::size_t i = g.begin(u); i < g.end(u); ++i) {
+      const VertexId v = g.target(i);
+      const Dist nd = dist_add(d, g.weight(i));
+      if (nd < res.dist[v]) {
+        res.dist[v] = nd;
+        // First hop: direct neighbours of src start their own chain.
+        res.first_hop[v] = (u == src) ? v : res.first_hop[u];
+        pq.push({nd, v});
+      }
+    }
+  }
+  return res;
+}
+
+std::vector<std::vector<Dist>> apsp_reference(const Graph& g) {
+  const CsrGraph csr(g);
+  const VertexId n = g.num_vertices();
+  std::vector<std::vector<Dist>> all(n);
+#pragma omp parallel for schedule(dynamic, 16)
+  for (VertexId v = 0; v < n; ++v) {
+    if (g.is_alive(v)) {
+      all[v] = dijkstra(csr, v);
+    } else {
+      all[v].assign(n, kInfDist);
+    }
+  }
+  // Tombstoned columns must read as unreachable.
+  for (VertexId v = 0; v < n; ++v) {
+    if (g.is_alive(v)) continue;
+    for (VertexId u = 0; u < n; ++u) all[u][v] = kInfDist;
+  }
+  return all;
+}
+
+}  // namespace aacc

@@ -1,0 +1,31 @@
+// Sequential reference shortest-path kernels.
+//
+// These are the ground truth every distributed result is checked against:
+// binary-heap Dijkstra per source (positive integer weights), full APSP,
+// and next-hop extraction for path reconstruction tests.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/csr.hpp"
+#include "graph/graph.hpp"
+
+namespace aacc {
+
+/// Distances from src to every vertex (kInfDist if unreachable).
+std::vector<Dist> dijkstra(const CsrGraph& g, VertexId src);
+
+/// Distances plus the *first hop* of one shortest path per target
+/// (kNoVertex for unreachable targets and for src itself).
+struct SsspResult {
+  std::vector<Dist> dist;
+  std::vector<VertexId> first_hop;
+};
+SsspResult dijkstra_with_first_hop(const CsrGraph& g, VertexId src);
+
+/// Reference APSP: row v = distances from v. O(n * m log n); intended for
+/// validation and small/medium reference runs, not production scale.
+std::vector<std::vector<Dist>> apsp_reference(const Graph& g);
+
+}  // namespace aacc

@@ -1,0 +1,48 @@
+// Checked assertions that stay on in release builds.
+//
+// Graph algorithms fail in ways that silently corrupt results; the cost of a
+// predictable branch per invariant is negligible next to the cost of
+// debugging a wrong centrality score. AACC_CHECK is used for invariants and
+// precondition validation on public APIs; AACC_DCHECK compiles out in
+// release builds and is for hot inner loops only.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aacc::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "AACC_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace aacc::detail
+
+#define AACC_CHECK(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) [[unlikely]]                                           \
+      ::aacc::detail::check_failed(#expr, __FILE__, __LINE__, {});      \
+  } while (false)
+
+#define AACC_CHECK_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) [[unlikely]] {                                         \
+      std::ostringstream aacc_os_;                                      \
+      aacc_os_ << msg;                                                  \
+      ::aacc::detail::check_failed(#expr, __FILE__, __LINE__,           \
+                                   aacc_os_.str());                     \
+    }                                                                   \
+  } while (false)
+
+#ifdef NDEBUG
+#define AACC_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define AACC_DCHECK(expr) AACC_CHECK(expr)
+#endif

@@ -1,0 +1,32 @@
+// Environment-variable configuration knobs for benchmarks and examples.
+//
+// The paper's experiments fix (n = 50,000, P = 16) on a 32-node cluster.
+// This repository defaults to sizes that run the full figure sweeps in
+// minutes on one core; AACC_N / AACC_P / AACC_SEED / AACC_SCALE rescale any
+// bench without recompilation.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace aacc {
+
+inline std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoll(v, nullptr, 10);
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtod(v, nullptr);
+}
+
+inline std::string env_str(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
+}  // namespace aacc

@@ -1,0 +1,45 @@
+// Core scalar types shared by every aacc module.
+//
+// Vertices are dense 0-based ids that remain stable for the lifetime of a
+// run: dynamic vertex additions append new ids, deletions tombstone old ones.
+// Distances are exact integer path lengths (edge weights are >= 1), so all
+// shortest-path invariants can be asserted bit-exactly in tests.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace aacc {
+
+/// Dense vertex identifier. Stable across dynamic updates within a run.
+using VertexId = std::uint32_t;
+
+/// Edge weight. Must be >= 1; strictly positive weights make next-hop
+/// chains strictly distance-decreasing (hence acyclic), which the dynamic
+/// deletion machinery relies on.
+using Weight = std::uint32_t;
+
+/// Shortest-path distance (a sum of Weights).
+using Dist = std::uint32_t;
+
+/// Logical processor (rank) index inside a runtime::World.
+using Rank = std::int32_t;
+
+/// Sentinel: no such vertex (unset next-hop, invalid id).
+inline constexpr VertexId kNoVertex = std::numeric_limits<VertexId>::max();
+
+/// Sentinel: unreachable / unknown distance. All finite distances compare
+/// strictly less than kInfDist; arithmetic must never be performed on it
+/// without checking first (see dist_add).
+inline constexpr Dist kInfDist = std::numeric_limits<Dist>::max();
+
+/// Saturating distance addition: inf + x == inf, and finite sums that would
+/// overflow saturate to kInfDist (they are by definition "worse than any
+/// real path" for the graph sizes this library targets).
+[[nodiscard]] constexpr Dist dist_add(Dist a, Dist b) noexcept {
+  if (a == kInfDist || b == kInfDist) return kInfDist;
+  const std::uint64_t s = std::uint64_t{a} + std::uint64_t{b};
+  return s >= kInfDist ? kInfDist : static_cast<Dist>(s);
+}
+
+}  // namespace aacc

@@ -1,0 +1,51 @@
+// Checkpoint/restore of a running analysis (extension: the paper lists
+// "fault tolerance in the cloud" as future work).
+//
+// A Checkpoint captures, per rank, everything the RC loop needs to resume:
+// the rank's local topology view, its DV rows (distances + next hops +
+// dirty flags — pending un-sent updates survive the restart), portal
+// caches, and the loop cursors (step, schedule position, round-robin
+// cursor). Checkpoints are taken at an RC step boundary after the local
+// queues have drained, so worklists are empty by construction.
+//
+//   EngineConfig cfg;
+//   cfg.checkpoint_at_step = 5;
+//   AnytimeEngine engine(g, cfg);
+//   RunResult first = engine.run(schedule);        // stops after step 5
+//   // ... the cluster "crashes"; later:
+//   AnytimeEngine resumed(first.checkpoint, cfg);
+//   RunResult final = resumed.run(schedule);       // continues to quiescence
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace aacc {
+
+struct Checkpoint {
+  /// One opaque serialized state blob per rank.
+  std::vector<std::vector<std::byte>> rank_blobs;
+  /// RC step after which the checkpoint was taken.
+  std::size_t step = 0;
+  /// Index of the next unconsumed schedule batch.
+  std::size_t next_batch = 0;
+  /// World size the blobs were produced for.
+  Rank num_ranks = 0;
+
+  [[nodiscard]] bool valid() const {
+    return num_ranks > 0 &&
+           rank_blobs.size() == static_cast<std::size_t>(num_ranks);
+  }
+
+  /// Total serialized size (what a real system would write to stable
+  /// storage).
+  [[nodiscard]] std::size_t bytes() const {
+    std::size_t total = 0;
+    for (const auto& blob : rank_blobs) total += blob.size();
+    return total;
+  }
+};
+
+}  // namespace aacc

@@ -1,0 +1,76 @@
+// Shared configuration enums for the anytime anywhere engine.
+#pragma once
+
+#include "common/types.hpp"
+#include "partition/partition.hpp"
+#include "runtime/logp.hpp"
+
+namespace aacc {
+
+/// Sentinel for EngineConfig::checkpoint_at_step: checkpointing disabled.
+inline constexpr std::size_t kNoCheckpointStep = static_cast<std::size_t>(-1);
+
+/// Processor-assignment strategy for dynamically added vertices (§IV.C.a).
+enum class AssignStrategy {
+  /// RoundRobin-PS: circular assignment; O(v') overhead, ignores the
+  /// relationships among the new vertices.
+  kRoundRobin,
+  /// CutEdge-PS: partition the batch (new vertices + edges among them) with
+  /// the multilevel partitioner and map parts onto the least-loaded ranks.
+  kCutEdge,
+  /// Repartition-S: repartition the whole updated graph and migrate DV rows
+  /// (reusing partial results — the anytime property).
+  kRepartition,
+};
+
+/// How edge additions update existing DV rows (§IV.C.a / Figure 3).
+enum class EdgeAddMode {
+  /// Relax only the endpoint rows through the new edge and let the normal
+  /// worklist/RC propagation carry the improvement. Same fixpoint as eager,
+  /// work proportional to the number of entries that actually improve.
+  kSeeded,
+  /// The paper's Figure-3 loop: broadcast both endpoint rows and relax every
+  /// local row against them immediately (O(n_p * n) per edge).
+  kEager,
+};
+
+/// Local refinement inside an RC step (ablation A3).
+enum class RefineMode {
+  /// Per-target label-correcting worklist (default).
+  kLabelCorrecting,
+  /// Additionally run the paper's boundary Floyd–Warshall pass each step:
+  /// D[x][t] = min(D[x][t], D[x][b] + D[b][t]) over local boundary b.
+  kBoundaryFloydWarshall,
+};
+
+struct EngineConfig {
+  Rank num_ranks = 8;
+  PartitionerKind dd_partitioner = PartitionerKind::kMultilevel;
+  AssignStrategy assign = AssignStrategy::kRoundRobin;
+  EdgeAddMode add_mode = EdgeAddMode::kSeeded;
+  RefineMode refine = RefineMode::kLabelCorrecting;
+  std::uint64_t seed = 1;
+  rt::LogGPParams logp;
+  /// Record per-step closeness snapshots (E3 quality curves). Adds one
+  /// gather per RC step.
+  bool record_step_quality = false;
+  /// Gather the full APSP matrix into RunResult (tests; O(n^2) memory).
+  bool gather_apsp = false;
+  /// Safety cap on RC steps (0 = no cap). A converged static run needs at
+  /// most num_ranks - 1; dynamic runs need (last event step + num_ranks).
+  std::size_t max_rc_steps = 0;
+  /// Debug: run RankEngine::check_invariants after each RC step and print
+  /// violations to stderr (slow; tests and bug hunts only).
+  bool validate_each_step = false;
+  /// Extension (fault tolerance): stop after this RC step and emit a
+  /// Checkpoint in the RunResult (see checkpoint.hpp). kNoCheckpointStep
+  /// disables.
+  std::size_t checkpoint_at_step = static_cast<std::size_t>(-1);
+  /// Extension (the paper's stated future work): automatic rebalancing.
+  /// After ingesting a change batch, if max_rank_load / ideal_load exceeds
+  /// this threshold the engine repartitions the whole graph and migrates
+  /// DV rows (same machinery as Repartition-S). 0 disables.
+  double rebalance_threshold = 0.0;
+};
+
+}  // namespace aacc

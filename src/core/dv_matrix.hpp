@@ -1,0 +1,136 @@
+// Per-rank distance-vector storage.
+//
+// A DvRow is the distance vector of one locally-owned vertex: upper-bound
+// distances to every vertex in the (growing) global id space, plus the
+// *next hop* of the witness path per entry — the DVR routing-table column
+// that makes sound deletion (route poisoning) possible at any RC step.
+//
+// Each row maintains its running Σ(finite non-self distances) and finite
+// count so that an anytime closeness snapshot costs O(local rows), not
+// O(local rows × n).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace aacc {
+
+class DvRow {
+ public:
+  DvRow(VertexId self, VertexId n) : self_(self) {
+    d_.assign(n, kInfDist);
+    nh_.assign(n, kNoVertex);
+    flags_.assign(n, 0);
+    d_[self] = 0;
+  }
+
+  /// Reconstructs a migrated row from wire data.
+  DvRow(VertexId self, std::vector<Dist> d, std::vector<VertexId> nh)
+      : self_(self), d_(std::move(d)), nh_(std::move(nh)) {
+    AACC_CHECK(d_.size() == nh_.size());
+    flags_.assign(d_.size(), 0);
+    recompute_aggregates();
+  }
+
+  [[nodiscard]] VertexId self() const { return self_; }
+  [[nodiscard]] VertexId size() const { return static_cast<VertexId>(d_.size()); }
+  [[nodiscard]] Dist dist(VertexId t) const { return d_[t]; }
+  [[nodiscard]] VertexId next_hop(VertexId t) const { return nh_[t]; }
+  [[nodiscard]] const std::vector<Dist>& dists() const { return d_; }
+  [[nodiscard]] const std::vector<VertexId>& next_hops() const { return nh_; }
+
+  /// Running aggregates over finite non-self entries.
+  [[nodiscard]] std::uint64_t finite_sum() const { return sum_; }
+  [[nodiscard]] VertexId finite_count() const { return finite_; }
+
+  /// Anytime closeness estimate from the current upper bounds (0 when no
+  /// other vertex is known reachable yet).
+  [[nodiscard]] double closeness() const {
+    return sum_ == 0 ? 0.0 : 1.0 / static_cast<double>(sum_);
+  }
+
+  /// Overwrites entry t. Maintains aggregates; does not touch flags.
+  void set(VertexId t, Dist nd, VertexId nh) {
+    AACC_DCHECK(t != self_ || nd == 0);
+    const Dist old = d_[t];
+    if (t != self_) {
+      if (old != kInfDist) {
+        sum_ -= old;
+        --finite_;
+      }
+      if (nd != kInfDist) {
+        sum_ += nd;
+        ++finite_;
+      }
+    }
+    d_[t] = nd;
+    nh_[t] = nh;
+  }
+
+  /// Appends `count` new (unreachable) columns.
+  void grow(VertexId count) {
+    d_.insert(d_.end(), count, kInfDist);
+    nh_.insert(nh_.end(), count, kNoVertex);
+    flags_.insert(flags_.end(), count, 0);
+  }
+
+  // Entry flags used by the rank engine.
+  static constexpr std::uint8_t kDirty = 1;    ///< changed since last send
+  static constexpr std::uint8_t kQueued = 2;   ///< in the relaxation worklist
+
+  [[nodiscard]] bool test_flag(VertexId t, std::uint8_t bit) const {
+    return (flags_[t] & bit) != 0;
+  }
+  void set_flag(VertexId t, std::uint8_t bit) { flags_[t] |= bit; }
+  void clear_flag(VertexId t, std::uint8_t bit) {
+    flags_[t] &= static_cast<std::uint8_t>(~bit);
+  }
+
+  /// Marks entry t as changed-since-last-send. Returns true if it was clean.
+  bool mark_dirty(VertexId t) {
+    if ((flags_[t] & kDirty) != 0) return false;
+    flags_[t] |= kDirty;
+    ++dirty_count_;
+    return true;
+  }
+  /// Clears the dirty bit. Returns true if it was set.
+  bool clear_dirty(VertexId t) {
+    if ((flags_[t] & kDirty) == 0) return false;
+    flags_[t] &= static_cast<std::uint8_t>(~kDirty);
+    --dirty_count_;
+    return true;
+  }
+  [[nodiscard]] VertexId dirty_count() const { return dirty_count_; }
+
+  /// Clears every flag (dirty + queued). Used when a row survives a
+  /// repartition in place: the new ownership invalidates all bookkeeping.
+  void reset_flags() {
+    std::fill(flags_.begin(), flags_.end(), std::uint8_t{0});
+    dirty_count_ = 0;
+  }
+
+ private:
+  void recompute_aggregates() {
+    sum_ = 0;
+    finite_ = 0;
+    for (VertexId t = 0; t < d_.size(); ++t) {
+      if (t != self_ && d_[t] != kInfDist) {
+        sum_ += d_[t];
+        ++finite_;
+      }
+    }
+  }
+
+  VertexId self_;
+  std::vector<Dist> d_;
+  std::vector<VertexId> nh_;
+  std::vector<std::uint8_t> flags_;
+  std::uint64_t sum_ = 0;
+  VertexId finite_ = 0;
+  VertexId dirty_count_ = 0;
+};
+
+}  // namespace aacc

@@ -1,0 +1,281 @@
+#include "core/engine.hpp"
+
+#include <memory>
+
+#include "analysis/closeness.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/rank_engine.hpp"
+#include "runtime/comm.hpp"
+
+namespace aacc {
+
+void RunStats::accumulate(const RunStats& other) {
+  wall_seconds += other.wall_seconds;
+  dd_seconds += other.dd_seconds;
+  total_cpu_seconds += other.total_cpu_seconds;
+  max_rank_cpu_seconds += other.max_rank_cpu_seconds;
+  modeled_makespan_seconds += other.modeled_makespan_seconds;
+  for (const auto& [phase, secs] : other.cpu_by_phase) cpu_by_phase[phase] += secs;
+  total_bytes += other.total_bytes;
+  total_messages += other.total_messages;
+  modeled_network_seconds_serialized += other.modeled_network_seconds_serialized;
+  modeled_network_seconds_shifted += other.modeled_network_seconds_shifted;
+  modeled_network_seconds_flood += other.modeled_network_seconds_flood;
+  rc_steps += other.rc_steps;
+  cut_edges_initial = other.cut_edges_initial;  // latest run's view
+  cut_edges_final = other.cut_edges_final;
+  imbalance_final = other.imbalance_final;
+}
+
+AnytimeEngine::AnytimeEngine(Graph g, EngineConfig cfg)
+    : graph_(std::move(g)), cfg_(cfg) {
+  AACC_CHECK(cfg_.num_ranks >= 1);
+}
+
+AnytimeEngine::AnytimeEngine(Graph g, Checkpoint checkpoint, EngineConfig cfg)
+    : graph_(std::move(g)), cfg_(cfg), resume_(std::move(checkpoint)),
+      resuming_(true) {
+  AACC_CHECK_MSG(resume_.valid(), "invalid checkpoint");
+  AACC_CHECK_MSG(resume_.num_ranks == cfg_.num_ranks,
+                 "checkpoint was taken with a different world size");
+  // Don't immediately re-checkpoint at the same step on resume.
+  if (cfg_.checkpoint_at_step <= resume_.step) {
+    cfg_.checkpoint_at_step = kNoCheckpointStep;
+  }
+}
+
+RunResult AnytimeEngine::run(const EventSchedule& schedule) {
+  AACC_CHECK_MSG(!ran_, "AnytimeEngine::run may be called once per instance");
+  ran_ = true;
+
+  // Validate schedule ordering and refine-mode soundness.
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    AACC_CHECK_MSG(schedule[i - 1].at_step <= schedule[i].at_step,
+                   "EventSchedule must be sorted by at_step");
+  }
+  if (cfg_.refine == RefineMode::kBoundaryFloydWarshall) {
+    for (const EventBatch& b : schedule) {
+      for (const Event& e : b.events) {
+        AACC_CHECK_MSG(!std::holds_alternative<EdgeDeleteEvent>(e) &&
+                           !std::holds_alternative<WeightChangeEvent>(e) &&
+                           !std::holds_alternative<VertexDeleteEvent>(e),
+                       "boundary-FW refinement is additive-only (see config.hpp)");
+      }
+    }
+  }
+
+  RunResult out;
+  Timer wall;
+
+  // ---- DD phase (driver side, like mpiexec distributing partitions).
+  // A resumed run skips it: the data distribution lives in the blobs. ----
+  Partition part;
+  if (!resuming_) {
+    Timer dd_timer;
+    Rng rng(cfg_.seed);
+    part = partition_graph(graph_, cfg_.num_ranks, cfg_.dd_partitioner, rng);
+    out.stats.dd_seconds = dd_timer.seconds();
+    out.stats.cut_edges_initial = evaluate_partition(graph_, part).cut_edges;
+  }
+
+  const auto edges = graph_.edges();
+
+  // Checkpoint slots (one blob per rank) when a checkpoint is requested.
+  const bool want_checkpoint = cfg_.checkpoint_at_step != kNoCheckpointStep;
+  std::vector<std::vector<std::byte>> slots(
+      static_cast<std::size_t>(cfg_.num_ranks));
+
+  // ---- IA + RC on the rank world ----
+  rt::World world(cfg_.num_ranks, cfg_.logp);
+  std::vector<std::unique_ptr<RankEngine>> engines(
+      static_cast<std::size_t>(cfg_.num_ranks));
+  std::vector<std::size_t> rc_steps(static_cast<std::size_t>(cfg_.num_ranks), 0);
+
+  world.run([&](rt::Comm& comm) {
+    RankEngine::Init init;
+    init.me = comm.rank();
+    init.world = cfg_.num_ranks;
+    init.schedule = &schedule;
+    init.cfg = cfg_;
+    init.checkpoint_slot = &slots[static_cast<std::size_t>(comm.rank())];
+    if (resuming_) {
+      init.restore_blob = &resume_.rank_blobs[static_cast<std::size_t>(comm.rank())];
+      init.start_step = resume_.step + 1;
+      init.start_batch = resume_.next_batch;
+    } else {
+      init.owner = part.assignment;
+      init.edges = &edges;
+    }
+    auto engine = std::make_unique<RankEngine>(init, comm);
+    if (!resuming_) {
+      engine->run_ia();
+      comm.barrier();  // IA/RC phase boundary
+    }
+    rc_steps[static_cast<std::size_t>(comm.rank())] = engine->run_rc();
+    engines[static_cast<std::size_t>(comm.rank())] = std::move(engine);
+  });
+
+  if (want_checkpoint && !slots[0].empty()) {
+    out.checkpoint.rank_blobs = std::move(slots);
+    out.checkpoint.step = cfg_.checkpoint_at_step;
+    out.checkpoint.num_ranks = cfg_.num_ranks;
+    out.checkpoint.next_batch = 0;
+    for (const EventBatch& b : schedule) {
+      if (b.at_step <= cfg_.checkpoint_at_step) ++out.checkpoint.next_batch;
+    }
+  }
+
+  // ---- driver-side ground truth and result assembly ----
+  if (out.checkpoint.valid()) {
+    // The run stopped at the checkpoint: only the consumed batches are in
+    // the distributed state.
+    for (std::size_t b = 0; b < out.checkpoint.next_batch; ++b) {
+      for (const Event& e : schedule[b].events) apply_event(graph_, e);
+    }
+  } else {
+    apply_schedule(graph_, schedule);
+  }
+  const VertexId n = graph_.num_vertices();
+
+  out.closeness.assign(n, 0.0);
+  out.harmonic.assign(n, 0.0);
+  if (cfg_.gather_apsp) {
+    out.apsp.assign(n, std::vector<Dist>(n, kInfDist));
+    out.first_hop.assign(n, std::vector<VertexId>(n, kNoVertex));
+  }
+  for (const auto& engine : engines) {
+    for (const DvRow& row : engine->rows()) {
+      AACC_CHECK(row.size() == n);
+      out.closeness[row.self()] = row.closeness();
+      out.harmonic[row.self()] = harmonic_from_row(row.dists(), row.self());
+      if (cfg_.gather_apsp) {
+        out.apsp[row.self()] = row.dists();
+        out.first_hop[row.self()] = row.next_hops();
+      }
+    }
+  }
+  if (cfg_.gather_apsp) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (graph_.is_alive(v)) out.apsp[v][v] = 0;
+    }
+  }
+
+  // Final distribution metrics (Fig. 7's "new cut-edges" comes from
+  // cut_edges_final - cut_edges_initial).
+  out.final_owner = engines[0]->local_graph().owner_map();
+  {
+    Partition final_part;
+    final_part.num_parts = cfg_.num_ranks;
+    final_part.assignment = out.final_owner;
+    const auto m = evaluate_partition(graph_, final_part);
+    out.stats.cut_edges_final = m.cut_edges;
+    out.stats.imbalance_final = m.imbalance;
+  }
+
+  for (const auto& engine : engines) {
+    out.stats.invariant_violations += engine->invariant_violations();
+  }
+
+  // Per-step aggregates (rank logs hold cumulative counters). On a resumed
+  // run the log covers only the steps executed here; `step` fields stay
+  // absolute.
+  out.stats.rc_steps = rc_steps[0];
+  const std::size_t steps = engines[0]->step_log().size();
+  out.stats.steps.resize(steps);
+  for (const auto& engine : engines) {
+    const auto& log = engine->step_log();
+    AACC_CHECK(log.size() == steps);
+    StepLocal prev{};
+    for (std::size_t s = 0; s < steps; ++s) {
+      StepStats& agg = out.stats.steps[s];
+      agg.step = log[s].step;
+      agg.bytes += log[s].bytes_sent - prev.bytes_sent;
+      agg.relaxations += log[s].relaxations - prev.relaxations;
+      agg.poisons += log[s].poisons - prev.poisons;
+      agg.repairs += log[s].repairs - prev.repairs;
+      const double cpu = log[s].cpu_seconds - prev.cpu_seconds;
+      agg.sum_cpu_seconds += cpu;
+      agg.max_cpu_seconds = std::max(agg.max_cpu_seconds, cpu);
+      prev = log[s];
+    }
+  }
+
+  // Anytime quality snapshots.
+  if (cfg_.record_step_quality) {
+    out.step_harmonic.assign(steps, std::vector<double>(n, 0.0));
+    for (const auto& engine : engines) {
+      const auto& snaps = engine->step_quality();
+      for (std::size_t s = 0; s < snaps.size() && s < steps; ++s) {
+        for (const auto& [v, c] : snaps[s]) {
+          out.step_harmonic[s][v] = c;
+        }
+      }
+    }
+  }
+
+  // World-level accounting.
+  out.stats.total_cpu_seconds = world.total_cpu_seconds();
+  out.stats.max_rank_cpu_seconds = world.max_rank_cpu_seconds();
+  out.stats.total_bytes = world.total_bytes();
+  out.stats.total_messages = world.total_messages();
+  for (const auto& ledger : world.ledgers()) {
+    for (const auto& [phase, secs] : ledger.cpu_seconds) {
+      out.stats.cpu_by_phase[phase] += secs;
+    }
+  }
+  out.stats.modeled_network_seconds_serialized =
+      world.modeled_network_seconds(rt::SchedulePolicy::kSerialized);
+  out.stats.modeled_network_seconds_shifted =
+      world.modeled_network_seconds(rt::SchedulePolicy::kShifted);
+  out.stats.modeled_network_seconds_flood =
+      world.modeled_network_seconds(rt::SchedulePolicy::kFlood);
+  double makespan = 0.0;
+  for (const StepStats& s : out.stats.steps) makespan += s.max_cpu_seconds;
+  out.stats.modeled_makespan_seconds =
+      makespan + out.stats.modeled_network_seconds_serialized;
+
+  out.stats.wall_seconds = wall.seconds();
+  return out;
+}
+
+std::vector<VertexId> reconstruct_path(const RunResult& result, VertexId u,
+                                       VertexId v) {
+  AACC_CHECK_MSG(!result.first_hop.empty(),
+                 "reconstruct_path requires cfg.gather_apsp");
+  AACC_CHECK(u < result.first_hop.size() && v < result.first_hop.size());
+  std::vector<VertexId> path{u};
+  if (u == v) return path;
+  if (result.apsp[u][v] == kInfDist) return {};
+  VertexId cur = u;
+  // Next-hop chains strictly decrease in distance, so this terminates.
+  while (cur != v) {
+    const VertexId next = result.first_hop[cur][v];
+    AACC_CHECK_MSG(next != kNoVertex, "broken next-hop chain at " << cur);
+    path.push_back(next);
+    cur = next;
+  }
+  return path;
+}
+
+RunResult run_baseline_restart(Graph g, const EventSchedule& schedule,
+                               const EngineConfig& cfg) {
+  // The analysis in progress when changes arrive, plus one full rerun per
+  // change batch. Only costs carry over; no partial results are reused.
+  RunResult result;
+  {
+    AnytimeEngine initial(g, cfg);
+    result = initial.run();
+  }
+  RunStats total = result.stats;
+  for (const EventBatch& batch : schedule) {
+    for (const Event& e : batch.events) apply_event(g, e);
+    AnytimeEngine rerun(g, cfg);
+    result = rerun.run();
+    total.accumulate(result.stats);
+  }
+  result.stats = total;
+  return result;
+}
+
+}  // namespace aacc

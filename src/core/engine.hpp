@@ -1,0 +1,131 @@
+// AnytimeEngine: the public entry point of the library.
+//
+// Wraps the full anytime anywhere pipeline: domain decomposition (DD) with
+// a pluggable partitioner, initial approximation (IA), and the
+// recombination (RC) loop with dynamic-change ingestion, running on a
+// rt::World of logical processors. Also provides the paper's comparison
+// baseline (restart from scratch on every change batch).
+//
+//   Graph g = barabasi_albert(5000, 3, rng);
+//   EngineConfig cfg;
+//   cfg.num_ranks = 16;
+//   AnytimeEngine engine(g, cfg);
+//   RunResult r = engine.run(schedule);
+//   r.closeness[v];             // final exact closeness of v
+//   r.stats.rc_steps;           // refinement steps to quiescence
+//   r.stats.modeled_network_seconds_serialized;
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/config.hpp"
+#include "core/events.hpp"
+#include "graph/graph.hpp"
+
+namespace aacc {
+
+/// Per-RC-step aggregates across ranks.
+struct StepStats {
+  std::size_t step = 0;
+  std::uint64_t bytes = 0;        ///< payload bytes sent by all ranks
+  double max_cpu_seconds = 0.0;   ///< slowest rank's CPU this step
+  double sum_cpu_seconds = 0.0;
+  std::uint64_t relaxations = 0;
+  std::uint64_t poisons = 0;
+  std::uint64_t repairs = 0;
+};
+
+struct RunStats {
+  double wall_seconds = 0.0;      ///< driver wall time, end to end
+  double dd_seconds = 0.0;        ///< partitioning time (driver)
+  double total_cpu_seconds = 0.0; ///< Σ over ranks, all phases
+  double max_rank_cpu_seconds = 0.0;
+  /// Modeled "cluster makespan": Σ over RC steps of the slowest rank's CPU,
+  /// plus the modeled network time. This is the wall time a real
+  /// 1-process-per-node cluster would approximately observe.
+  double modeled_makespan_seconds = 0.0;
+  std::map<std::string, double> cpu_by_phase;  ///< Σ over ranks per phase
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_messages = 0;
+  double modeled_network_seconds_serialized = 0.0;  ///< the paper's schedule
+  double modeled_network_seconds_shifted = 0.0;
+  double modeled_network_seconds_flood = 0.0;
+  std::size_t rc_steps = 0;
+  /// Σ DVR-invariant violations across ranks and steps (counted only when
+  /// EngineConfig::validate_each_step; must be zero).
+  std::size_t invariant_violations = 0;
+  std::size_t cut_edges_initial = 0;
+  std::size_t cut_edges_final = 0;
+  double imbalance_final = 0.0;
+  std::vector<StepStats> steps;
+
+  /// Accumulates another run's costs (baseline restart sums whole reruns).
+  void accumulate(const RunStats& other);
+};
+
+struct RunResult {
+  /// Final closeness per vertex id (0 for tombstoned vertices).
+  std::vector<double> closeness;
+  /// Final harmonic centrality per vertex id.
+  std::vector<double> harmonic;
+  /// Full APSP matrix (only when EngineConfig::gather_apsp).
+  std::vector<std::vector<Dist>> apsp;
+  /// First hop of one shortest path per (source, target); kNoVertex when
+  /// target is unreachable or equals the source. Only when gather_apsp.
+  std::vector<std::vector<VertexId>> first_hop;
+  /// Per-step anytime *harmonic centrality* estimates (only when
+  /// EngineConfig::record_step_quality): step -> per-vertex estimate.
+  /// Harmonic is the anytime-safe metric: with distance upper bounds it is
+  /// a monotone lower bound of the exact value at every step.
+  std::vector<std::vector<double>> step_harmonic;
+  /// Owner rank per vertex after the run (the final data distribution).
+  std::vector<Rank> final_owner;
+  /// Filled when EngineConfig::checkpoint_at_step fired: the run stopped
+  /// there and this snapshot resumes it (see checkpoint.hpp).
+  Checkpoint checkpoint;
+  RunStats stats;
+};
+
+class AnytimeEngine {
+ public:
+  /// Takes the initial graph by value; the engine's copy tracks every
+  /// applied event and can be inspected via graph().
+  AnytimeEngine(Graph g, EngineConfig cfg);
+
+  /// Resume constructor (fault-tolerance extension): continues a run from
+  /// a Checkpoint produced by EngineConfig::checkpoint_at_step. `g` must be
+  /// the same *initial* graph the checkpointed run started from, and run()
+  /// must receive the same schedule (already-consumed batches are skipped).
+  AnytimeEngine(Graph g, Checkpoint checkpoint, EngineConfig cfg);
+
+  /// Runs DD + IA + RC with the given dynamic-change schedule. May be
+  /// called once per engine instance.
+  RunResult run(const EventSchedule& schedule = {});
+
+  /// Ground-truth graph (after run(): with all events applied).
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+
+ private:
+  Graph graph_;
+  EngineConfig cfg_;
+  Checkpoint resume_;
+  bool resuming_ = false;
+  bool ran_ = false;
+};
+
+/// The paper's baseline: restart the whole static analysis from scratch for
+/// the initial graph and again after every change batch. Costs accumulate
+/// across restarts; the returned centrality values are from the last rerun.
+RunResult run_baseline_restart(Graph g, const EventSchedule& schedule,
+                               const EngineConfig& cfg);
+
+/// Reconstructs one shortest path from u to v by following the gathered
+/// first hops (requires EngineConfig::gather_apsp). Returns the vertex
+/// sequence u..v, or an empty vector when v is unreachable from u.
+std::vector<VertexId> reconstruct_path(const RunResult& result, VertexId u,
+                                       VertexId v);
+
+}  // namespace aacc

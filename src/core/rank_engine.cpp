@@ -1,0 +1,1173 @@
+#include "core/rank_engine.hpp"
+
+#include <algorithm>
+#include <ctime>
+#include <queue>
+#include <sstream>
+
+#include "analysis/closeness.hpp"
+#include "core/strategies.hpp"
+#include "partition/multilevel.hpp"
+#include "runtime/serialize.hpp"
+
+namespace aacc {
+
+namespace {
+
+double thread_cpu_now() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+struct HeapItem {
+  Dist d;
+  VertexId v;
+  friend bool operator>(const HeapItem& a, const HeapItem& b) { return a.d > b.d; }
+};
+
+}  // namespace
+
+namespace {
+const std::vector<std::tuple<VertexId, VertexId, Weight>> kNoEdges;
+}
+
+RankEngine::RankEngine(const Init& init, rt::Comm& comm)
+    : comm_(comm),
+      cfg_(init.cfg),
+      schedule_(init.schedule),
+      start_step_(init.start_step),
+      start_batch_(init.start_batch),
+      checkpoint_slot_(init.checkpoint_slot),
+      lg_(init.me, init.restore_blob != nullptr ? std::vector<Rank>{} : init.owner,
+          init.restore_blob != nullptr ? kNoEdges : *init.edges) {
+  if (init.restore_blob != nullptr) {
+    rt::ByteReader r(*init.restore_blob);
+    restore_state(r);
+    return;
+  }
+  rows_.reserve(lg_.num_local());
+  for (std::size_t r = 0; r < lg_.num_local(); ++r) {
+    rows_.emplace_back(lg_.vertex_of(r), lg_.n());
+  }
+}
+
+// ------------------------------------------------------ checkpoint/restore
+
+void RankEngine::serialize_state(rt::ByteWriter& w) const {
+  // Topology view: owner map + this rank's locally incident edges (each
+  // edge once from this rank's perspective; the LocalGraph constructor
+  // rebuilds both half-edges and the portal index).
+  w.write_vec(lg_.owner_map());
+  std::vector<std::tuple<VertexId, VertexId, Weight>> edges;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const VertexId u = lg_.vertex_of(r);
+    for (const Edge& e : lg_.adj(r)) {
+      if (!lg_.is_local(e.to) || u < e.to) edges.emplace_back(u, e.to, e.w);
+    }
+  }
+  w.write(static_cast<std::uint64_t>(edges.size()));
+  for (const auto& [u, v, wt] : edges) {
+    w.write(u);
+    w.write(v);
+    w.write(wt);
+  }
+  // DV rows, including un-sent dirty targets (they must survive a restart
+  // or subscribers would permanently miss the pending updates/poisons).
+  w.write(static_cast<std::uint64_t>(rows_.size()));
+  std::vector<VertexId> dirty;
+  for (const DvRow& row : rows_) {
+    w.write(row.self());
+    w.write_vec(row.dists());
+    w.write_vec(row.next_hops());
+    dirty.clear();
+    for (VertexId t = 0; t < row.size() && dirty.size() < row.dirty_count(); ++t) {
+      if (row.test_flag(t, DvRow::kDirty)) dirty.push_back(t);
+    }
+    w.write_vec(dirty);
+  }
+  // Portal caches.
+  w.write(static_cast<std::uint64_t>(caches_.size()));
+  for (const auto& [portal, cache] : caches_) {
+    w.write(portal);
+    w.write_vec(cache);
+  }
+  w.write(vertices_added_);
+}
+
+void RankEngine::restore_state(rt::ByteReader& r) {
+  auto owner = r.read_vec<Rank>();
+  const auto edge_count = r.read<std::uint64_t>();
+  std::vector<std::tuple<VertexId, VertexId, Weight>> edges;
+  edges.reserve(edge_count);
+  for (std::uint64_t i = 0; i < edge_count; ++i) {
+    const auto u = r.read<VertexId>();
+    const auto v = r.read<VertexId>();
+    const auto wt = r.read<Weight>();
+    edges.emplace_back(u, v, wt);
+  }
+  lg_ = LocalGraph(comm_.rank(), std::move(owner), edges);
+
+  const auto row_count = r.read<std::uint64_t>();
+  AACC_CHECK(row_count == lg_.num_local());
+  rows_.clear();
+  rows_.reserve(row_count);
+  std::vector<DvRow> unordered;
+  unordered.reserve(row_count);
+  for (std::uint64_t i = 0; i < row_count; ++i) {
+    const auto vid = r.read<VertexId>();
+    auto d = r.read_vec<Dist>();
+    auto nh = r.read_vec<VertexId>();
+    DvRow row(vid, std::move(d), std::move(nh));
+    for (const VertexId t : r.read_vec<VertexId>()) {
+      if (row.mark_dirty(t)) ++dirty_entries_;
+    }
+    unordered.push_back(std::move(row));
+  }
+  // Rows must sit at their LocalGraph row index.
+  for (std::size_t i = 0; i < unordered.size(); ++i) {
+    rows_.emplace_back(0, 1);  // placeholder, overwritten below
+  }
+  for (DvRow& row : unordered) {
+    const std::int32_t ri = lg_.row_of(row.self());
+    AACC_CHECK(ri >= 0);
+    rows_[static_cast<std::size_t>(ri)] = std::move(row);
+  }
+
+  const auto cache_count = r.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < cache_count; ++i) {
+    const auto portal = r.read<VertexId>();
+    caches_[portal] = r.read_vec<Dist>();
+  }
+  vertices_added_ = r.read<std::uint64_t>();
+  AACC_CHECK_MSG(r.done(), "trailing bytes in checkpoint blob");
+}
+
+// --------------------------------------------------------------------- IA
+
+void RankEngine::run_ia() {
+  comm_.set_phase("ia");
+  const VertexId n = lg_.n();
+
+  // The paper runs a multithreaded Dijkstra here (OpenMP over sources,
+  // O(n_p * m_p log n_p / T)); rows are disjoint so sources parallelize
+  // freely with per-thread scratch. Dirty counting is serialized afterwards.
+  std::vector<std::uint64_t> dirty_added(rows_.size(), 0);
+#pragma omp parallel
+  {
+    // Scratch buffers reused across this thread's sources; `touched` resets
+    // only what a source actually visited.
+    std::vector<Dist> dist(n, kInfDist);
+    std::vector<VertexId> hop(n, kNoVertex);
+    std::vector<VertexId> touched;
+    touched.reserve(n);
+
+#pragma omp for schedule(dynamic, 8)
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      const VertexId src = lg_.vertex_of(r);
+      std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> pq;
+      dist[src] = 0;
+      touched.push_back(src);
+      pq.push({0, src});
+      while (!pq.empty()) {
+        const auto [d, u] = pq.top();
+        pq.pop();
+        if (d != dist[u]) continue;
+        // Portals are reachable leaves: they get a distance but are not
+        // expanded (paths *through* an external boundary vertex are
+        // resolved during recombination, which keeps next-hop chains
+        // locally sound — see DESIGN.md).
+        const std::int32_t urow = lg_.row_of(u);
+        if (urow < 0) continue;
+        for (const Edge& e : lg_.adj(static_cast<std::size_t>(urow))) {
+          const Dist nd = dist_add(d, e.w);
+          if (nd < dist[e.to]) {
+            if (dist[e.to] == kInfDist) touched.push_back(e.to);
+            dist[e.to] = nd;
+            hop[e.to] = (u == src) ? e.to : hop[u];
+            pq.push({nd, e.to});
+          }
+        }
+      }
+      DvRow& row = rows_[r];
+      for (const VertexId t : touched) {
+        if (t != src) {
+          row.set(t, dist[t], hop[t]);
+          if (row.mark_dirty(t)) ++dirty_added[r];
+        }
+        dist[t] = kInfDist;
+        hop[t] = kNoVertex;
+      }
+      touched.clear();
+    }
+  }
+  for (const std::uint64_t d : dirty_added) dirty_entries_ += d;
+}
+
+// ------------------------------------------------------ relaxation kernel
+
+#ifdef AACC_WATCH
+static void watch(const char* what, Rank rank, VertexId x, VertexId t, Dist d,
+                  VertexId nh) {
+  static const long wx = std::getenv("WX") ? std::atol(std::getenv("WX")) : -1;
+  static const long wt = std::getenv("WT") ? std::atol(std::getenv("WT")) : -1;
+  if (static_cast<long>(x) == wx && static_cast<long>(t) == wt) {
+    std::fprintf(stderr, "[watch r%d] %s (%u,%u) d=%d nh=%d\n", rank, what, x,
+                 t, d == kInfDist ? -1 : static_cast<int>(d),
+                 nh == kNoVertex ? -1 : static_cast<int>(nh));
+  }
+}
+#define AACC_WATCH_HIT(what, x, t, d, nh) watch(what, comm_.rank(), x, t, d, nh)
+#else
+#define AACC_WATCH_HIT(what, x, t, d, nh)
+#endif
+
+void RankEngine::relax(VertexId x, VertexId t, Dist nd, VertexId nh) {
+  if (nd == kInfDist || !lg_.is_alive(t)) return;
+  const std::int32_t ri = lg_.row_of(x);
+  AACC_DCHECK(ri >= 0);
+  DvRow& row = rows_[static_cast<std::size_t>(ri)];
+  if (row.dist(t) == kInfDist && row.test_flag(t, DvRow::kDirty)) {
+    // Undelivered poison marker: subscribers have not yet been told this
+    // entry died. Overwriting it now (e.g. from a stale portal cache while
+    // ingesting a later event of the same batch) would silently revoke the
+    // invalidation and leave remote dependents holding stale-low values.
+    // Defer: repairs run only after the poison barrier has drained.
+    repairs_.emplace_back(x, t);
+    return;
+  }
+  if (nd < row.dist(t)) {
+    AACC_WATCH_HIT("relax", x, t, nd, nh);
+    row.set(t, nd, nh);
+    if (row.mark_dirty(t)) ++dirty_entries_;
+    ++relaxations_;
+    if (!row.test_flag(t, DvRow::kQueued)) {
+      row.set_flag(t, DvRow::kQueued);
+      worklist_.emplace_back(x, t);
+    }
+  }
+}
+
+void RankEngine::propagate(VertexId x, VertexId t) {
+  const std::int32_t ri = lg_.row_of(x);
+  if (ri < 0) return;  // migrated or deleted since queueing
+  DvRow& row = rows_[static_cast<std::size_t>(ri)];
+  row.clear_flag(t, DvRow::kQueued);
+  const Dist base = row.dist(t);
+  if (base == kInfDist) return;  // poisoned since queueing
+  for (const Edge& e : lg_.adj(static_cast<std::size_t>(ri))) {
+    if (lg_.is_local(e.to)) {
+      relax(e.to, t, dist_add(base, e.w), x);
+    }
+  }
+}
+
+void RankEngine::repair(VertexId x, VertexId t) {
+  ++repair_count_;
+  const std::int32_t ri = lg_.row_of(x);
+  if (ri < 0 || !lg_.is_alive(t) || x == t) return;
+  Dist best = kInfDist;
+  VertexId best_hop = kNoVertex;
+  for (const Edge& e : lg_.adj(static_cast<std::size_t>(ri))) {
+    Dist dz;
+    if (e.to == t) {
+      dz = 0;
+    } else if (lg_.is_local(e.to)) {
+      dz = rows_[static_cast<std::size_t>(lg_.row_of(e.to))].dist(t);
+    } else {
+      const auto it = caches_.find(e.to);
+      dz = it == caches_.end() ? kInfDist : it->second[t];
+    }
+    const Dist cand = dist_add(dz, e.w);
+    if (cand < best) {
+      best = cand;
+      best_hop = e.to;
+    }
+  }
+  relax(x, t, best, best_hop);
+}
+
+void RankEngine::drain() {
+  // Repairs first: they re-derive poisoned entries, whose improvements then
+  // flow through the worklist.
+  while (!repairs_.empty() || !worklist_.empty()) {
+    if (!repairs_.empty()) {
+      const auto [x, t] = repairs_.front();
+      repairs_.pop_front();
+      repair(x, t);
+    } else {
+      const auto [x, t] = worklist_.front();
+      worklist_.pop_front();
+      propagate(x, t);
+    }
+  }
+}
+
+// ------------------------------------------------------------- poisoning
+
+void RankEngine::poison_entry(std::size_t row_idx, VertexId t,
+                              std::deque<std::pair<VertexId, VertexId>>& queue) {
+  DvRow& row = rows_[row_idx];
+  AACC_WATCH_HIT("poison", row.self(), t, kInfDist, kNoVertex);
+  row.set(t, kInfDist, kNoVertex);
+  if (row.mark_dirty(t)) ++dirty_entries_;
+  ++poisons_;
+  poison_pending_ = true;
+  repairs_.emplace_back(row.self(), t);
+  queue.emplace_back(row.self(), t);
+}
+
+void RankEngine::poison_cascade(std::deque<std::pair<VertexId, VertexId>> seeds) {
+  while (!seeds.empty()) {
+    const auto [z, t] = seeds.front();
+    seeds.pop_front();
+    // Every local entry whose witness chain starts through z is invalid.
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (rows_[r].next_hop(t) == z && rows_[r].dist(t) != kInfDist) {
+        poison_entry(r, t, seeds);
+      }
+    }
+  }
+}
+
+void RankEngine::poison_first_hops(
+    VertexId u, VertexId v, std::deque<std::pair<VertexId, VertexId>>& seeds) {
+  const auto scan = [&](VertexId a, VertexId b) {
+    const std::int32_t ri = lg_.row_of(a);
+    if (ri < 0) return;
+    DvRow& row = rows_[static_cast<std::size_t>(ri)];
+    for (VertexId t = 0; t < row.size(); ++t) {
+      if (row.next_hop(t) == b && row.dist(t) != kInfDist) {
+        poison_entry(static_cast<std::size_t>(ri), t, seeds);
+      }
+    }
+  };
+  scan(u, v);
+  scan(v, u);
+}
+
+// ----------------------------------------------------------- portal cache
+
+std::vector<Dist>& RankEngine::cache_of(VertexId portal) {
+  auto [it, inserted] = caches_.try_emplace(portal);
+  if (inserted) it->second.assign(lg_.n(), kInfDist);
+  return it->second;
+}
+
+void RankEngine::apply_portal_value(VertexId b, VertexId t, Dist d) {
+  std::vector<Dist>& cache = cache_of(b);
+  const Dist cur = cache[t];
+  if (d == cur && d != kInfDist) return;
+  cache[t] = d;
+  if (d > cur || d == kInfDist) {
+    // The owner's value increased (a deletion upstream), or this is an
+    // explicit poison marker: every local chain through b for this target
+    // is stale. The marker must cascade even when the cache already reads
+    // infinity — a cache rebuilt after repartitioning starts blank, yet
+    // dependents derived in an earlier co-location/subscription era may
+    // still hold finite values routed through b.
+    std::deque<std::pair<VertexId, VertexId>> seeds;
+    seeds.emplace_back(b, t);
+    poison_cascade(std::move(seeds));
+  }
+  if (d != kInfDist && lg_.is_alive(t)) {
+    for (const auto& [x, w] : lg_.portal_neighbors(b)) {
+      relax(x, t, dist_add(d, w), b);
+    }
+  }
+}
+
+// --------------------------------------------------------------- exchange
+
+void RankEngine::exchange() {
+  const Rank P = comm_.size();
+  std::vector<rt::ByteWriter> writers(static_cast<std::size_t>(P));
+  std::vector<Rank> subs;
+  std::vector<std::pair<VertexId, Dist>> entries;
+
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    DvRow& row = rows_[r];
+    if (row.dirty_count() == 0) continue;
+    subs.clear();
+    lg_.subscribers(r, subs);
+    if (!subs.empty()) {
+      entries.clear();
+      for (VertexId t = 0; t < row.size() && entries.size() < row.dirty_count();
+           ++t) {
+        if (row.test_flag(t, DvRow::kDirty)) entries.emplace_back(t, row.dist(t));
+      }
+      for (const Rank q : subs) {
+        auto& w = writers[static_cast<std::size_t>(q)];
+        w.write(row.self());
+        w.write(static_cast<std::uint32_t>(entries.size()));
+        for (const auto& [t, d] : entries) {
+          w.write(t);
+          w.write(d);
+        }
+      }
+    }
+    for (VertexId t = 0; t < row.size() && row.dirty_count() > 0; ++t) {
+      if (row.clear_dirty(t)) --dirty_entries_;
+    }
+  }
+
+  std::vector<std::vector<std::byte>> out;
+  out.reserve(static_cast<std::size_t>(P));
+  for (auto& w : writers) out.push_back(w.take());
+  auto in = comm_.all_to_all(std::move(out));
+  apply_incoming(in);
+}
+
+void RankEngine::apply_incoming(const std::vector<std::vector<std::byte>>& in) {
+  for (Rank q = 0; q < comm_.size(); ++q) {
+    if (q == comm_.rank() || in[static_cast<std::size_t>(q)].empty()) continue;
+    rt::ByteReader rd(in[static_cast<std::size_t>(q)]);
+    while (!rd.done()) {
+      const auto b = rd.read<VertexId>();
+      const auto count = rd.read<std::uint32_t>();
+      const bool portal = lg_.is_portal(b);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const auto t = rd.read<VertexId>();
+        const auto d = rd.read<Dist>();
+        if (portal) apply_portal_value(b, t, d);
+      }
+      if (!portal) caches_.erase(b);  // stale sender view; drop leftovers
+    }
+  }
+}
+
+bool RankEngine::poison_sync_round() {
+  const Rank P = comm_.size();
+  std::vector<rt::ByteWriter> writers(static_cast<std::size_t>(P));
+  std::vector<Rank> subs;
+  std::vector<VertexId> dead;
+
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    DvRow& row = rows_[r];
+    if (row.dirty_count() == 0) continue;
+    subs.clear();
+    lg_.subscribers(r, subs);
+    dead.clear();
+    for (VertexId t = 0; t < row.size(); ++t) {
+      if (row.test_flag(t, DvRow::kDirty) && row.dist(t) == kInfDist) {
+        dead.push_back(t);
+      }
+    }
+    if (subs.empty()) {
+      // Nobody depends on this row; retire the markers so the deferred
+      // repairs (see relax()) become runnable again.
+      for (const VertexId t : dead) {
+        if (row.clear_dirty(t)) --dirty_entries_;
+      }
+      continue;
+    }
+    if (dead.empty()) continue;
+    for (const Rank q : subs) {
+      auto& w = writers[static_cast<std::size_t>(q)];
+      w.write(row.self());
+      w.write(static_cast<std::uint32_t>(dead.size()));
+      for (const VertexId t : dead) {
+        w.write(t);
+        w.write(kInfDist);
+      }
+    }
+    for (const VertexId t : dead) {
+      if (row.clear_dirty(t)) --dirty_entries_;
+    }
+  }
+
+  std::vector<std::vector<std::byte>> out;
+  out.reserve(static_cast<std::size_t>(P));
+  for (auto& w : writers) out.push_back(w.take());
+  auto in = comm_.all_to_all(std::move(out));
+  apply_incoming(in);
+
+  const bool mine = poison_pending_;
+  poison_pending_ = false;
+  return mine;
+}
+
+// ----------------------------------------------------------- dirty helper
+
+void RankEngine::mark_finite_dirty(std::size_t row_idx) {
+  DvRow& row = rows_[row_idx];
+  for (VertexId t = 0; t < row.size(); ++t) {
+    if (t != row.self() && row.dist(t) != kInfDist && row.mark_dirty(t)) {
+      ++dirty_entries_;
+    }
+  }
+}
+
+// ------------------------------------------------------------- edge events
+
+void RankEngine::seed_through_edge(VertexId x, VertexId z, Weight w) {
+  // x, z local; relax x's whole row through its neighbour z.
+  const DvRow& zrow = rows_[static_cast<std::size_t>(lg_.row_of(z))];
+  for (VertexId t = 0; t < zrow.size(); ++t) {
+    if (t == x) continue;
+    relax(x, t, dist_add(zrow.dist(t), w), z);
+  }
+}
+
+void RankEngine::apply_edge_add(const EdgeAddEvent& e) {
+  lg_.add_edge(e.u, e.v, e.w);
+  const bool lu = lg_.is_local(e.u);
+  const bool lv = lg_.is_local(e.v);
+
+  if (cfg_.add_mode == EdgeAddMode::kEager) {
+    eager_edge_relax(e);  // collective: every rank participates
+  }
+
+  if (lu && lv) {
+    if (cfg_.add_mode == EdgeAddMode::kSeeded) {
+      seed_through_edge(e.u, e.v, e.w);
+      seed_through_edge(e.v, e.u, e.w);
+    }
+    return;
+  }
+  if (lu) {
+    // The owner of v just became (or already is) a subscriber of u's row.
+    mark_finite_dirty(static_cast<std::size_t>(lg_.row_of(e.u)));
+    const auto it = caches_.find(e.v);
+    if (it != caches_.end()) {
+      const std::vector<Dist>& cache = it->second;
+      for (VertexId t = 0; t < cache.size(); ++t) {
+        if (t != e.u) relax(e.u, t, dist_add(cache[t], e.w), e.v);
+      }
+    }
+    relax(e.u, e.v, e.w, e.v);  // the new edge itself
+  } else if (lv) {
+    mark_finite_dirty(static_cast<std::size_t>(lg_.row_of(e.v)));
+    const auto it = caches_.find(e.u);
+    if (it != caches_.end()) {
+      const std::vector<Dist>& cache = it->second;
+      for (VertexId t = 0; t < cache.size(); ++t) {
+        if (t != e.v) relax(e.v, t, dist_add(cache[t], e.w), e.u);
+      }
+    }
+    relax(e.v, e.u, e.w, e.u);
+  }
+}
+
+void RankEngine::eager_edge_relax(const EdgeAddEvent& e) {
+  // Figure-3 of the paper: owners broadcast both endpoint rows; every rank
+  // relaxes every local row against them.
+  const auto fetch_row = [&](VertexId v) {
+    rt::ByteWriter w;
+    if (lg_.is_local(v)) {
+      w.write_vec(rows_[static_cast<std::size_t>(lg_.row_of(v))].dists());
+    }
+    auto buf = comm_.broadcast(w.take(), lg_.owner(v));
+    rt::ByteReader r(buf);
+    return r.read_vec<Dist>();
+  };
+  const std::vector<Dist> row_u = fetch_row(e.u);
+  const std::vector<Dist> row_v = fetch_row(e.v);
+
+  // Fold the broadcast rows into the portal caches first, *through the
+  // regular delivery path* (apply_portal_value), exactly as if the owner's
+  // row had arrived in an exchange: decreases relax the portal's
+  // neighbours, increases/poisons cascade. (Silently assigning the cache
+  // would make the owner's next dirty-send look like a no-change and
+  // suppress the relaxation it is meant to trigger — an early bug.)
+  const auto absorb = [&](VertexId vtx, const std::vector<Dist>& row) {
+    if (!lg_.is_portal(vtx)) return;
+    for (VertexId t = 0; t < row.size(); ++t) {
+      apply_portal_value(vtx, t, row[t]);
+    }
+  };
+  absorb(e.u, row_u);
+  absorb(e.v, row_v);
+
+  const auto relax_against = [&](VertexId via, const std::vector<Dist>& far_row,
+                                 VertexId far) {
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      DvRow& row = rows_[r];
+      const VertexId x = row.self();
+      const Dist dxv = row.dist(via);
+      if (dxv == kInfDist && x != via) continue;
+      const VertexId nh = (x == via) ? far : row.next_hop(via);
+      // The DVR chain relation d[x][t] >= w(x,nh) + d[nh][t] must hold at
+      // commit time against nh's *current* value (local row or portal
+      // cache): a deferred/poisoned entry on nh may have been repaired to
+      // something larger than the snapshot this relaxation is derived
+      // from, and committing below the chain would detach the entry from
+      // the poison-cascade bookkeeping. Skipped writes are safe — the
+      // ordinary propagation converges to the same fixpoint.
+      Weight wxh = 0;
+      for (const Edge& edge : lg_.adj(r)) {
+        if (edge.to == nh) {
+          wxh = edge.w;
+          break;
+        }
+      }
+      if (wxh == 0) continue;  // nh is not currently a neighbour: skip row
+      const DvRow* ref_row = nullptr;
+      const std::vector<Dist>* ref_cache = nullptr;
+      if (lg_.is_local(nh)) {
+        ref_row = &rows_[static_cast<std::size_t>(lg_.row_of(nh))];
+      } else {
+        const auto it = caches_.find(nh);
+        if (it == caches_.end()) continue;  // no reference available
+        ref_cache = &it->second;
+      }
+      for (VertexId t = 0; t < far_row.size(); ++t) {
+        if (t == x) continue;
+        const Dist cand = dist_add(dxv, dist_add(e.w, far_row[t]));
+        if (cand >= row.dist(t)) continue;
+        const Dist ref = (nh == t) ? 0
+                         : (ref_row != nullptr ? ref_row->dist(t)
+                                               : (*ref_cache)[t]);
+        if (cand < dist_add(wxh, ref)) continue;  // chain would break: skip
+        relax(x, t, cand, nh);
+      }
+    }
+  };
+  relax_against(e.u, row_v, e.v);
+  relax_against(e.v, row_u, e.u);
+}
+
+void RankEngine::apply_edge_delete(const EdgeDeleteEvent& e) {
+  std::deque<std::pair<VertexId, VertexId>> seeds;
+  poison_first_hops(e.u, e.v, seeds);
+  lg_.remove_edge(e.u, e.v);
+  if (!lg_.is_portal(e.u)) caches_.erase(e.u);
+  if (!lg_.is_portal(e.v)) caches_.erase(e.v);
+  poison_cascade(std::move(seeds));
+}
+
+void RankEngine::apply_weight_change(const WeightChangeEvent& e) {
+  const bool lu = lg_.is_local(e.u);
+  const bool lv = lg_.is_local(e.v);
+  if (!lu && !lv) return;
+  const Weight old = lg_.edge_weight(e.u, e.v);
+  lg_.set_weight(e.u, e.v, e.w_new);
+  if (e.w_new < old) {
+    // Behaves like an addition: relax the endpoint rows through the edge.
+    if (lu && lv) {
+      seed_through_edge(e.u, e.v, e.w_new);
+      seed_through_edge(e.v, e.u, e.w_new);
+    } else if (lu) {
+      const auto it = caches_.find(e.v);
+      if (it != caches_.end()) {
+        for (VertexId t = 0; t < it->second.size(); ++t) {
+          if (t != e.u) relax(e.u, t, dist_add(it->second[t], e.w_new), e.v);
+        }
+      }
+      relax(e.u, e.v, e.w_new, e.v);
+    } else {
+      const auto it = caches_.find(e.u);
+      if (it != caches_.end()) {
+        for (VertexId t = 0; t < it->second.size(); ++t) {
+          if (t != e.v) relax(e.v, t, dist_add(it->second[t], e.w_new), e.u);
+        }
+      }
+      relax(e.v, e.u, e.w_new, e.u);
+    }
+  } else if (e.w_new > old) {
+    // Behaves like a deletion: witnesses crossing the edge are stale; the
+    // repairs re-derive them with the new weight.
+    std::deque<std::pair<VertexId, VertexId>> seeds;
+    poison_first_hops(e.u, e.v, seeds);
+    poison_cascade(std::move(seeds));
+  }
+}
+
+// ------------------------------------------------------------ vertex events
+
+void RankEngine::grow_columns(VertexId count) {
+  for (DvRow& row : rows_) row.grow(count);
+  for (auto& [b, cache] : caches_) {
+    cache.insert(cache.end(), count, kInfDist);
+  }
+}
+
+void RankEngine::add_local_row(VertexId v) {
+  AACC_CHECK(static_cast<std::size_t>(lg_.row_of(v)) == rows_.size());
+  rows_.emplace_back(v, lg_.n());
+}
+
+void RankEngine::remove_local_row(std::int32_t row) {
+  const auto r = static_cast<std::size_t>(row);
+  const std::size_t last = rows_.size() - 1;
+  if (r != last) rows_[r] = std::move(rows_[last]);
+  rows_.pop_back();
+}
+
+void RankEngine::apply_vertex_batch(const std::vector<VertexAddEvent>& batch) {
+  if (cfg_.assign == AssignStrategy::kRepartition) {
+    // No drain here: repairing a poisoned entry back to a finite value
+    // before the poison barrier inside apply_repartition has broadcast its
+    // infinity marker would hide the invalidation from remote dependents.
+    // Stale worklist/repair entries survive the migration harmlessly —
+    // they resolve by global vertex id and skip rows that moved away.
+    apply_repartition(batch);
+    return;
+  }
+  std::vector<Rank> assign;
+  if (cfg_.assign == AssignStrategy::kRoundRobin) {
+    assign = assign_round_robin(batch.size(), vertices_added_, comm_.size());
+  } else {
+    assign = assign_cut_edge(batch, batch.front().id, lg_.owner_map(),
+                             comm_.size(), cfg_.seed);
+  }
+  vertices_added_ += batch.size();
+
+  grow_columns(static_cast<VertexId>(batch.size()));
+  // Register the whole batch before creating any row: rows are sized to
+  // lg_.n(), which must already cover every new column.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const VertexId id = lg_.add_vertex(assign[i]);
+    AACC_CHECK_MSG(id == batch[i].id, "vertex id mismatch in batch");
+  }
+  for (const VertexAddEvent& ev : batch) {
+    if (lg_.is_local(ev.id)) add_local_row(ev.id);
+  }
+  for (const VertexAddEvent& ev : batch) {
+    for (const auto& [to, w] : ev.edges) {
+      apply_edge_add(EdgeAddEvent{ev.id, to, w});
+    }
+  }
+}
+
+void RankEngine::apply_vertex_delete(const VertexDeleteEvent& e) {
+  const VertexId v = e.v;
+  std::deque<std::pair<VertexId, VertexId>> seeds;
+  // Any witness whose first hop is v dies with it; deeper chains through v
+  // are reached by the cascade.
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    DvRow& row = rows_[r];
+    if (row.self() == v) continue;
+    for (VertexId t = 0; t < row.size(); ++t) {
+      if (row.next_hop(t) == v && row.dist(t) != kInfDist) {
+        poison_entry(r, t, seeds);
+      }
+    }
+  }
+  // Tombstone the target column everywhere (no repair: the target is gone;
+  // every rank applies the same event so no message is needed).
+  for (DvRow& row : rows_) {
+    if (row.self() != v && row.dist(v) != kInfDist) {
+      row.set(v, kInfDist, kNoVertex);
+      if (row.clear_dirty(v)) --dirty_entries_;
+    }
+  }
+  const std::int32_t removed = lg_.remove_vertex(v);
+  if (removed >= 0) {
+    // Keep the global dirty counter consistent with the dropped row.
+    dirty_entries_ -= rows_[static_cast<std::size_t>(removed)].dirty_count();
+    remove_local_row(removed);
+  }
+  caches_.erase(v);
+  poison_cascade(std::move(seeds));
+}
+
+// ------------------------------------------------------------- repartition
+
+void RankEngine::apply_repartition(const std::vector<VertexAddEvent>& batch) {
+  const Rank P = comm_.size();
+  const Rank me = comm_.rank();
+  const VertexId n_old = lg_.n();
+  const VertexId n_new = n_old + static_cast<VertexId>(batch.size());
+  vertices_added_ += batch.size();
+
+  // Settle all outstanding invalidations globally before redistributing
+  // rows: the rebuild below resets dirty flags, so a pending poison that
+  // has not reached its cross-rank dependents yet would otherwise be lost
+  // and a stale (too small) value would survive.
+  {
+    bool mine = poison_pending_;
+    poison_pending_ = false;
+    while (comm_.all_reduce_or(mine)) {
+      mine = poison_sync_round();
+    }
+  }
+
+  // 1. Gather the current edge list at rank 0 (the paper runs ParMETIS here;
+  //    the gather+partition+broadcast is our accounted substitute).
+  {
+    rt::ByteWriter w;
+    const auto local_edges = lg_.local_edges_for_gather();
+    w.write(static_cast<std::uint64_t>(local_edges.size()));
+    for (const auto& [u, v, wt] : local_edges) {
+      w.write(u);
+      w.write(v);
+      w.write(wt);
+    }
+    std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(P));
+    out[0] = w.take();
+    auto in = comm_.all_to_all(std::move(out));
+
+    rt::ByteWriter plan;  // new owners + full edge list, produced by rank 0
+    if (me == 0) {
+      Graph g(n_new);
+      std::vector<std::tuple<VertexId, VertexId, Weight>> edges;
+      for (Rank q = 0; q < P; ++q) {
+        rt::ByteReader rd(in[static_cast<std::size_t>(q)]);
+        if (rd.done()) continue;
+        const auto cnt = rd.read<std::uint64_t>();
+        for (std::uint64_t i = 0; i < cnt; ++i) {
+          const auto u = rd.read<VertexId>();
+          const auto v = rd.read<VertexId>();
+          const auto wt = rd.read<Weight>();
+          edges.emplace_back(u, v, wt);
+        }
+      }
+      for (const VertexAddEvent& ev : batch) {
+        for (const auto& [to, wt] : ev.edges) {
+          edges.emplace_back(ev.id, to, wt);
+        }
+      }
+      for (const auto& [u, v, wt] : edges) g.add_edge(u, v, wt);
+      // Tombstoned ids must stay unassigned.
+      for (VertexId v = 0; v < n_old; ++v) {
+        if (!lg_.is_alive(v)) g.remove_vertex(v);
+      }
+      Rng rng(cfg_.seed ^ (0xda7a5eedULL + n_new));
+      const MultilevelPartitioner ml;
+      const Partition part = ml.partition(g, P, rng);
+      plan.write_vec(part.assignment);
+      plan.write(static_cast<std::uint64_t>(edges.size()));
+      for (const auto& [u, v, wt] : edges) {
+        plan.write(u);
+        plan.write(v);
+        plan.write(wt);
+      }
+    }
+    auto buf = comm_.broadcast(plan.take(), 0);
+    rt::ByteReader rd(buf);
+    const auto new_owner = rd.read_vec<Rank>();
+    const auto edge_count = rd.read<std::uint64_t>();
+    std::vector<std::tuple<VertexId, VertexId, Weight>> edges;
+    edges.reserve(edge_count);
+    for (std::uint64_t i = 0; i < edge_count; ++i) {
+      const auto u = rd.read<VertexId>();
+      const auto v = rd.read<VertexId>();
+      const auto wt = rd.read<Weight>();
+      edges.emplace_back(u, v, wt);
+    }
+
+    // 2. Migrate DV rows whose owner changed (partial results are reused —
+    //    the anytime property). Rows of new vertices start fresh.
+    grow_columns(static_cast<VertexId>(batch.size()));
+    std::vector<rt::ByteWriter> writers(static_cast<std::size_t>(P));
+    std::vector<DvRow> kept;
+    for (DvRow& row : rows_) {
+      const Rank owner = new_owner[row.self()];
+      if (owner == me) {
+        kept.push_back(std::move(row));
+      } else {
+        auto& w = writers[static_cast<std::size_t>(owner)];
+        w.write(row.self());
+        w.write_vec(row.dists());
+        w.write_vec(row.next_hops());
+      }
+    }
+    std::vector<std::vector<std::byte>> mig(static_cast<std::size_t>(P));
+    for (Rank q = 0; q < P; ++q) {
+      mig[static_cast<std::size_t>(q)] = writers[static_cast<std::size_t>(q)].take();
+    }
+    auto arrived = comm_.all_to_all(std::move(mig));
+
+    // 3. Rebuild the local view under the new ownership.
+    lg_ = LocalGraph(me, new_owner, edges);
+    caches_.clear();
+    dirty_entries_ = 0;
+    rows_.clear();
+    rows_.reserve(lg_.num_local());
+    for (std::size_t r = 0; r < lg_.num_local(); ++r) {
+      rows_.emplace_back(lg_.vertex_of(r), lg_.n());
+    }
+    const auto place = [&](DvRow&& row) {
+      const std::int32_t ri = lg_.row_of(row.self());
+      AACC_CHECK(ri >= 0);
+      rows_[static_cast<std::size_t>(ri)] = std::move(row);
+    };
+    for (DvRow& row : kept) {
+      row.grow(static_cast<VertexId>(n_new - row.size()));
+      row.reset_flags();  // dirty/queued bits predate the new ownership
+      place(std::move(row));
+    }
+    for (Rank q = 0; q < P; ++q) {
+      if (q == me) continue;
+      rt::ByteReader mr(arrived[static_cast<std::size_t>(q)]);
+      while (!mr.done()) {
+        const auto vid = mr.read<VertexId>();
+        auto d = mr.read_vec<Dist>();
+        auto nh = mr.read_vec<VertexId>();
+        d.resize(n_new, kInfDist);
+        nh.resize(n_new, kNoVertex);
+        place(DvRow(vid, std::move(d), std::move(nh)));
+      }
+    }
+
+    // 4. Every boundary row must reach its (fresh) subscribers; seed new
+    //    rows through their local edges. Existing rows are deliberately not
+    //    updated against the new vertices here — that happens over the next
+    //    RC steps (the paper's stated trade-off for Repartition-S).
+    std::vector<Rank> subs;
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      subs.clear();
+      lg_.subscribers(r, subs);
+      if (!subs.empty()) mark_finite_dirty(r);
+    }
+    for (const VertexAddEvent& ev : batch) {
+      if (!lg_.is_local(ev.id)) continue;
+      const auto ri = static_cast<std::size_t>(lg_.row_of(ev.id));
+      for (const Edge& e : lg_.adj(ri)) {
+        if (lg_.is_local(e.to)) {
+          seed_through_edge(ev.id, e.to, e.w);
+        }
+      }
+    }
+    // Direct-edge relaxation for every local row: fresh rows (and rows that
+    // gained cut edges through migration) must know their one-hop distances
+    // even though the portal caches start empty.
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      const VertexId u = lg_.vertex_of(r);
+      for (const Edge& e : lg_.adj(r)) {
+        relax(u, e.to, e.w, e.to);
+      }
+    }
+    // Re-enqueue every finite entry for local propagation. Migration
+    // co-locates rows that were last reconciled through (now discarded)
+    // portal caches, and the reset dirty flags dropped any in-flight
+    // improvements; only a full re-relaxation pass restores the local
+    // fixpoint constraints d[x][t] <= w(x,z) + d[z][t]. This is exactly
+    // the "additional RC steps" cost the paper attributes to Repartition-S.
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      DvRow& row = rows_[r];
+      const VertexId u = lg_.vertex_of(r);
+      for (VertexId t = 0; t < row.size(); ++t) {
+        if (row.dist(t) != kInfDist && !row.test_flag(t, DvRow::kQueued)) {
+          row.set_flag(t, DvRow::kQueued);
+          worklist_.emplace_back(u, t);
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ RC main loop
+
+void RankEngine::ingest_batch(const std::vector<Event>& events) {
+  std::size_t i = 0;
+  while (i < events.size()) {
+    if (std::holds_alternative<VertexAddEvent>(events[i])) {
+      std::vector<VertexAddEvent> run;
+      while (i < events.size() &&
+             std::holds_alternative<VertexAddEvent>(events[i])) {
+        run.push_back(std::get<VertexAddEvent>(events[i]));
+        ++i;
+      }
+      apply_vertex_batch(run);
+      continue;
+    }
+    std::visit(
+        [this](const auto& ev) {
+          using T = std::decay_t<decltype(ev)>;
+          if constexpr (std::is_same_v<T, EdgeAddEvent>) {
+            apply_edge_add(ev);
+          } else if constexpr (std::is_same_v<T, EdgeDeleteEvent>) {
+            apply_edge_delete(ev);
+          } else if constexpr (std::is_same_v<T, WeightChangeEvent>) {
+            apply_weight_change(ev);
+          } else if constexpr (std::is_same_v<T, VertexDeleteEvent>) {
+            apply_vertex_delete(ev);
+          }
+        },
+        events[i]);
+    ++i;
+  }
+}
+
+void RankEngine::boundary_fw_pass() {
+  // The paper's alternative local refinement: one Floyd–Warshall-style pass
+  // composing own distance-to-portal with the portal's cached row. Sound
+  // only for additive workloads (see config.hpp); the driver enforces that.
+  for (const auto& [b, cache] : caches_) {
+    if (!lg_.is_portal(b)) continue;
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      DvRow& row = rows_[r];
+      const Dist dxb = row.dist(b);
+      if (dxb == kInfDist) continue;
+      const VertexId nh = row.next_hop(b);
+      for (VertexId t = 0; t < cache.size(); ++t) {
+        if (t == row.self()) continue;
+        relax(row.self(), t, dist_add(dxb, cache[t]), nh);
+      }
+    }
+  }
+}
+
+std::vector<std::string> RankEngine::check_invariants() const {
+  std::vector<std::string> out;
+  const auto report = [&out](VertexId x, VertexId t, const auto&... rest) {
+    std::ostringstream os;
+    os << '(' << x << ',' << t << ") ";
+    (os << ... << rest);
+    out.push_back(os.str());
+  };
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const DvRow& row = rows_[r];
+    const VertexId x = lg_.vertex_of(r);
+    for (VertexId t = 0; t < row.size(); ++t) {
+      if (t == x || row.dist(t) == kInfDist) continue;
+      const VertexId nh = row.next_hop(t);
+      if (nh == kNoVertex) {
+        report(x, t, "finite without next hop");
+        continue;
+      }
+      // nh must be a current neighbour.
+      Weight w = 0;
+      bool neighbour = false;
+      for (const Edge& e : lg_.adj(r)) {
+        if (e.to == nh) {
+          neighbour = true;
+          w = e.w;
+          break;
+        }
+      }
+      if (!neighbour) {
+        report(x, t, "next hop ", nh, " is not a neighbour");
+        continue;
+      }
+      Dist ref = kInfDist;
+      if (nh == t) {
+        ref = 0;
+      } else if (lg_.is_local(nh)) {
+        ref = rows_[static_cast<std::size_t>(lg_.row_of(nh))].dist(t);
+      } else {
+        const auto it = caches_.find(nh);
+        if (it == caches_.end()) continue;  // owner value unknown here
+        ref = it->second[t];
+      }
+      if (ref == kInfDist) continue;  // reference unknown / poisoned
+      if (row.dist(t) < dist_add(w, ref)) {
+        report(x, t, "d=", row.dist(t), " < w(", w, ") + ref(", ref, ") via ",
+               nh);
+      }
+    }
+  }
+  return out;
+}
+
+void RankEngine::record_step(std::size_t step) {
+  // All counters are recorded cumulatively; the driver computes per-step
+  // deltas when assembling RunStats.
+  StepLocal rec;
+  rec.step = step;
+  rec.bytes_sent = comm_.ledger().bytes_sent;
+  rec.relaxations = relaxations_;
+  rec.poisons = poisons_;
+  rec.repairs = repair_count_;
+  rec.cpu_seconds = thread_cpu_now();
+  step_log_.push_back(rec);
+}
+
+std::size_t RankEngine::run_rc() {
+  comm_.set_phase("rc");
+  std::size_t step = start_step_;
+  std::size_t next_batch = start_batch_;
+  const std::size_t num_batches = schedule_ != nullptr ? schedule_->size() : 0;
+
+  for (;;) {
+    exchange();
+
+    bool ingested = false;
+    while (next_batch < num_batches &&
+           (*schedule_)[next_batch].at_step <= step) {
+      // Rank 0 broadcasts the batch contents (accounted change feed).
+      rt::ByteWriter w;
+      if (comm_.rank() == 0) {
+        serialize_events((*schedule_)[next_batch].events, w);
+      }
+      auto buf = comm_.broadcast(w.take(), 0);
+      rt::ByteReader rd(buf);
+      const auto events = deserialize_events(rd);
+      ingest_batch(events);
+      ingested = true;
+      ++next_batch;
+    }
+
+    // Extension: automatic rebalancing when dynamic changes (typically
+    // deletions) have skewed the load beyond the configured threshold.
+    // The decision is a deterministic function of the shared owner map, so
+    // every rank takes the same branch without communication.
+    if (ingested && cfg_.rebalance_threshold > 0.0) {
+      const auto loads = rank_loads(lg_.owner_map(), comm_.size());
+      std::size_t alive = 0;
+      std::size_t max_load = 0;
+      for (const std::size_t l : loads) {
+        alive += l;
+        max_load = std::max(max_load, l);
+      }
+      const double ideal =
+          static_cast<double>(alive) / static_cast<double>(comm_.size());
+      if (ideal > 0.0 &&
+          static_cast<double>(max_load) / ideal > cfg_.rebalance_threshold) {
+        apply_repartition({});
+      }
+    }
+
+    // Poison-synchronization barrier: all invalidations must settle on
+    // every rank before any repair runs, otherwise two ranks can re-derive
+    // distances from each other's stale entries and count to infinity.
+    {
+      bool mine = poison_pending_;
+      poison_pending_ = false;
+      while (comm_.all_reduce_or(mine)) {
+        mine = poison_sync_round();
+      }
+    }
+
+    drain();
+    if (cfg_.refine == RefineMode::kBoundaryFloydWarshall) {
+      boundary_fw_pass();
+      drain();
+    }
+
+    if (cfg_.validate_each_step) {
+      const auto violations = check_invariants();
+      invariant_violations_ += violations.size();
+      for (const std::string& v : violations) {
+        std::fprintf(stderr, "[rank %d step %zu] INVARIANT: %s\n",
+                     comm_.rank(), step, v.c_str());
+      }
+    }
+
+    if (cfg_.record_step_quality) {
+      // Harmonic centrality is the anytime-safe quality metric: distance
+      // upper bounds make it a monotone lower bound of the exact value,
+      // whereas 1/Σ(known distances) overshoots while coverage is partial.
+      std::vector<std::pair<VertexId, double>> snap;
+      snap.reserve(rows_.size());
+      for (const DvRow& row : rows_) {
+        snap.emplace_back(row.self(), harmonic_from_row(row.dists(), row.self()));
+      }
+      step_quality_.push_back(std::move(snap));
+    }
+    record_step(step);
+
+    if (step == cfg_.checkpoint_at_step) {
+      // Fault-tolerance drill: persist and stop. All ranks share `step`,
+      // so the exit is collective without extra messages.
+      AACC_CHECK_MSG(checkpoint_slot_ != nullptr,
+                     "checkpoint_at_step set without a checkpoint slot");
+      rt::ByteWriter w;
+      serialize_state(w);
+      *checkpoint_slot_ = w.take();
+      ++step;
+      break;
+    }
+
+    const bool pending = dirty_entries_ > 0 || next_batch < num_batches;
+    const bool any_pending = comm_.all_reduce_or(pending);
+    ++step;
+    if (!any_pending) break;
+    if (cfg_.max_rc_steps != 0 && step >= cfg_.max_rc_steps) break;
+  }
+  return step;
+}
+
+}  // namespace aacc

@@ -1,0 +1,182 @@
+// Per-rank engine of the anytime anywhere closeness-centrality algorithm.
+//
+// One RankEngine instance runs on each logical processor inside a
+// rt::World. It owns:
+//   * a LocalGraph (its sub-graph, portal adjacency, owner map),
+//   * one DvRow per local vertex (distances + next hops to all vertices),
+//   * portal caches: the latest received distance rows of external boundary
+//     vertices,
+//   * the relaxation worklist and the poison/repair queues.
+//
+// Protocol invariant (what makes dynamic deletions sound at any RC step):
+// every finite entry satisfies  d[x][t] >= w(x, nh) + d[nh][t]  where nh is
+// a *current neighbour* of x and d[nh][t] is either a local row entry or a
+// portal cache entry. Values only decrease, except via explicit poisoning
+// (set to infinity + cascade to dependents + queued repair). Edge weights
+// are >= 1, so next-hop chains strictly decrease in distance and terminate.
+//
+// See DESIGN.md §"Deletions via DVR route poisoning".
+#pragma once
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/dv_matrix.hpp"
+#include "core/events.hpp"
+#include "core/local_graph.hpp"
+#include "runtime/comm.hpp"
+
+namespace aacc {
+
+/// Per-RC-step counters recorded by each rank (assembled by the driver).
+struct StepLocal {
+  std::size_t step = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t relaxations = 0;  ///< successful distance decreases
+  std::uint64_t poisons = 0;      ///< entries invalidated
+  std::uint64_t repairs = 0;      ///< repair attempts processed
+  double cpu_seconds = 0.0;
+};
+
+class RankEngine {
+ public:
+  struct Init {
+    Rank me = 0;
+    Rank world = 1;
+    /// Owner per vertex id (identical on all ranks).
+    std::vector<Rank> owner;
+    /// Full edge list; the engine keeps only locally incident edges.
+    const std::vector<std::tuple<VertexId, VertexId, Weight>>* edges = nullptr;
+    /// The event schedule (all ranks hold the step indices; batch contents
+    /// are broadcast from rank 0 at ingestion time for honest accounting).
+    const EventSchedule* schedule = nullptr;
+    EngineConfig cfg;
+    /// Resume path: when set, all state comes from this serialized blob
+    /// (owner/edges above are ignored) and the RC loop continues at
+    /// start_step / start_batch.
+    const std::vector<std::byte>* restore_blob = nullptr;
+    std::size_t start_step = 0;
+    std::size_t start_batch = 0;
+    /// Checkpoint path: when the RC loop reaches cfg.checkpoint_at_step it
+    /// serializes into this slot and stops.
+    std::vector<std::byte>* checkpoint_slot = nullptr;
+  };
+
+  RankEngine(const Init& init, rt::Comm& comm);
+
+  /// Serializes the full resumable state (topology view, DV rows with
+  /// pending-send flags, portal caches, cursors).
+  void serialize_state(rt::ByteWriter& w) const;
+
+  /// Phase 2: local APSP over the rank's sub-graph (portals are reachable
+  /// leaves but are not expanded — see header comment).
+  void run_ia();
+
+  /// Phase 3: recombination loop until global quiescence. Returns the
+  /// number of RC steps executed.
+  std::size_t run_rc();
+
+  /// Debug/test hook: checks the DVR protocol invariant on every finite
+  /// entry — the next hop is a current neighbour and
+  /// d[x][t] >= w(x,nh) + d[nh][t] where the reference value comes from a
+  /// local row or the portal cache (entries referencing an empty cache slot
+  /// are reported with reference infinity and are allowed: the owner's
+  /// value is simply unknown here). Returns human-readable violation
+  /// descriptions (empty = consistent).
+  [[nodiscard]] std::vector<std::string> check_invariants() const;
+
+  // ---- post-run extraction (driver side; no communication) ----
+  [[nodiscard]] const LocalGraph& local_graph() const { return lg_; }
+  [[nodiscard]] const std::vector<DvRow>& rows() const { return rows_; }
+  [[nodiscard]] const std::vector<StepLocal>& step_log() const { return step_log_; }
+  /// Total invariant violations observed (only counted when
+  /// cfg.validate_each_step; must be zero on a healthy run).
+  [[nodiscard]] std::size_t invariant_violations() const {
+    return invariant_violations_;
+  }
+  /// Per-step (vertex, harmonic centrality) snapshots; filled when
+  /// cfg.record_step_quality is set.
+  [[nodiscard]] const std::vector<std::vector<std::pair<VertexId, double>>>&
+  step_quality() const {
+    return step_quality_;
+  }
+
+ private:
+  // ---- relaxation machinery ----
+  void relax(VertexId x, VertexId t, Dist nd, VertexId nh);
+  void drain();
+  void propagate(VertexId x, VertexId t);
+  void repair(VertexId x, VertexId t);
+  /// Transitively invalidates every local entry whose next-hop chain passes
+  /// through a seed; seeds are (vertex, target) pairs already known bad.
+  void poison_cascade(std::deque<std::pair<VertexId, VertexId>> seeds);
+  void poison_entry(std::size_t row, VertexId t,
+                    std::deque<std::pair<VertexId, VertexId>>& queue);
+
+  // ---- portal cache ----
+  std::vector<Dist>& cache_of(VertexId portal);
+  void apply_portal_value(VertexId b, VertexId t, Dist d);
+
+  // ---- RC step pieces ----
+  void exchange();
+  void apply_incoming(const std::vector<std::vector<std::byte>>& in);
+  /// One round of the poison-synchronization barrier: sends only the
+  /// newly-invalidated (infinite) boundary entries, applies received
+  /// poisons, cascades. Returns whether this rank generated new poisons.
+  /// Repairs are deferred until the barrier drains globally — this is what
+  /// prevents the classic distance-vector count-to-infinity: no repair may
+  /// read a value whose witness chain is already known to be dead
+  /// elsewhere.
+  bool poison_sync_round();
+  void ingest_batch(const std::vector<Event>& events);
+  void record_step(std::size_t step);
+
+  // ---- event application ----
+  void apply_edge_add(const EdgeAddEvent& e);
+  void apply_edge_delete(const EdgeDeleteEvent& e);
+  void apply_weight_change(const WeightChangeEvent& e);
+  void apply_vertex_delete(const VertexDeleteEvent& e);
+  /// Contiguous run of vertex additions, assigned by cfg.assign.
+  void apply_vertex_batch(const std::vector<VertexAddEvent>& batch);
+  void apply_repartition(const std::vector<VertexAddEvent>& batch);
+
+  void eager_edge_relax(const EdgeAddEvent& e);
+  void seed_through_edge(VertexId x, VertexId z, Weight w);
+  void poison_first_hops(VertexId u, VertexId v,
+                         std::deque<std::pair<VertexId, VertexId>>& seeds);
+  void grow_columns(VertexId count);
+  void add_local_row(VertexId v);
+  void remove_local_row(std::int32_t row);
+  void mark_finite_dirty(std::size_t row);
+  void boundary_fw_pass();
+
+  void restore_state(rt::ByteReader& r);
+
+  rt::Comm& comm_;
+  EngineConfig cfg_;
+  const EventSchedule* schedule_;
+  std::size_t start_step_ = 0;
+  std::size_t start_batch_ = 0;
+  std::vector<std::byte>* checkpoint_slot_ = nullptr;
+  LocalGraph lg_;
+  std::vector<DvRow> rows_;
+  std::unordered_map<VertexId, std::vector<Dist>> caches_;
+  std::deque<std::pair<VertexId, VertexId>> worklist_;  // (vertex, target)
+  std::deque<std::pair<VertexId, VertexId>> repairs_;
+  std::uint64_t dirty_entries_ = 0;   // pending un-sent changes
+  std::uint64_t vertices_added_ = 0;  // round-robin cursor (globally consistent)
+  bool poison_pending_ = false;       // new poisons since the last sync round
+
+  // step accounting
+  std::size_t invariant_violations_ = 0;
+  std::uint64_t relaxations_ = 0;
+  std::uint64_t poisons_ = 0;
+  std::uint64_t repair_count_ = 0;
+  std::vector<StepLocal> step_log_;
+  std::vector<std::vector<std::pair<VertexId, double>>> step_quality_;
+};
+
+}  // namespace aacc

@@ -1,0 +1,58 @@
+// Immutable compressed-sparse-row view of a Graph.
+//
+// The mutable Graph is pointer-chasing-friendly for updates; the shortest
+// path kernels (IA Dijkstra, reference APSP) want the compact, predictable
+// layout the Core Guidelines call for (Per.16/Per.19). Build once per phase,
+// run many sources against it.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace aacc {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  explicit CsrGraph(const Graph& g) {
+    const VertexId n = g.num_vertices();
+    offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      offsets_[v + 1] = offsets_[v] + g.degree(v);
+    }
+    targets_.resize(offsets_[n]);
+    weights_.resize(offsets_[n]);
+    for (VertexId v = 0; v < n; ++v) {
+      std::size_t at = offsets_[v];
+      for (const Edge& e : g.neighbors(v)) {
+        targets_[at] = e.to;
+        weights_[at] = e.w;
+        ++at;
+      }
+    }
+  }
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  [[nodiscard]] std::size_t num_directed_edges() const { return targets_.size(); }
+
+  [[nodiscard]] std::size_t begin(VertexId v) const { return offsets_[v]; }
+  [[nodiscard]] std::size_t end(VertexId v) const { return offsets_[v + 1]; }
+  [[nodiscard]] VertexId target(std::size_t i) const { return targets_[i]; }
+  [[nodiscard]] Weight weight(std::size_t i) const { return weights_[i]; }
+  [[nodiscard]] std::size_t degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;
+  std::vector<VertexId> targets_;
+  std::vector<Weight> weights_;
+};
+
+}  // namespace aacc

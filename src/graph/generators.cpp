@@ -1,0 +1,184 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace aacc {
+
+namespace {
+
+Weight draw_weight(Rng& rng, WeightRange wr) {
+  AACC_CHECK(wr.lo >= 1 && wr.lo <= wr.hi);
+  if (wr.lo == wr.hi) return wr.lo;
+  return static_cast<Weight>(rng.next_in(wr.lo, wr.hi));
+}
+
+}  // namespace
+
+Graph barabasi_albert(VertexId n, unsigned edges_per_vertex, Rng& rng,
+                      WeightRange wr) {
+  AACC_CHECK(edges_per_vertex >= 1);
+  const VertexId seed_size = std::max<VertexId>(edges_per_vertex + 1, 3);
+  AACC_CHECK_MSG(n >= seed_size, "n too small for seed clique");
+  Graph g(n);
+
+  // `endpoints` holds one entry per half-edge, so uniform draws from it are
+  // degree-proportional — the standard BA repeated-endpoint construction.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2 * static_cast<std::size_t>(n) * edges_per_vertex);
+
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      g.add_edge(u, v, draw_weight(rng, wr));
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::vector<VertexId> chosen;
+  for (VertexId v = seed_size; v < n; ++v) {
+    chosen.clear();
+    // Rejection-sample distinct targets; degree ties are broken by the RNG.
+    while (chosen.size() < edges_per_vertex) {
+      const VertexId t = endpoints[rng.next_below(endpoints.size())];
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+      }
+    }
+    for (VertexId t : chosen) {
+      g.add_edge(v, t, draw_weight(rng, wr));
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph erdos_renyi(VertexId n, std::size_t m, Rng& rng, WeightRange wr) {
+  const std::size_t max_edges = static_cast<std::size_t>(n) * (n - 1) / 2;
+  AACC_CHECK_MSG(m <= max_edges, "too many edges requested");
+  Graph g(n);
+  std::size_t added = 0;
+  while (added < m) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v || g.has_edge(u, v)) continue;
+    g.add_edge(u, v, draw_weight(rng, wr));
+    ++added;
+  }
+  return g;
+}
+
+Graph watts_strogatz(VertexId n, unsigned k, double beta, Rng& rng,
+                     WeightRange wr) {
+  AACC_CHECK(k >= 1 && 2 * k < n);
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (unsigned j = 1; j <= k; ++j) {
+      VertexId v = (u + j) % n;
+      // Rewire with probability beta; also rewire if an earlier rewiring
+      // already claimed the lattice slot, so the edge count stays n*k.
+      if (rng.next_bool(beta) || g.has_edge(u, v)) {
+        do {
+          v = static_cast<VertexId>(rng.next_below(n));
+        } while (v == u || g.has_edge(u, v));
+      }
+      g.add_edge(u, v, draw_weight(rng, wr));
+    }
+  }
+  return g;
+}
+
+Graph planted_partition(VertexId n, unsigned communities, double p_in,
+                        double p_out, Rng& rng, WeightRange wr) {
+  AACC_CHECK(communities >= 1);
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      const double p = (u % communities == v % communities) ? p_in : p_out;
+      if (rng.next_bool(p)) g.add_edge(u, v, draw_weight(rng, wr));
+    }
+  }
+  return g;
+}
+
+Graph rmat(unsigned scale, std::size_t m, double a, double b, double c,
+           Rng& rng, WeightRange wr) {
+  AACC_CHECK(scale >= 2 && scale < 31);
+  const double d = 1.0 - a - b - c;
+  AACC_CHECK_MSG(a > 0 && b >= 0 && c >= 0 && d >= 0,
+                 "R-MAT probabilities must be non-negative and a > 0");
+  const VertexId n = VertexId{1} << scale;
+  Graph g(n);
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = m * 64;
+  while (added < m && ++attempts < max_attempts) {
+    VertexId u = 0;
+    VertexId v = 0;
+    for (unsigned level = 0; level < scale; ++level) {
+      const double p = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (p < a) {
+        // top-left quadrant: no bits set
+      } else if (p < a + b) {
+        v |= 1;
+      } else if (p < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v || g.has_edge(u, v)) continue;
+    g.add_edge(u, v, draw_weight(rng, wr));
+    ++added;
+  }
+  AACC_CHECK_MSG(added == m, "R-MAT could not place " << m << " distinct edges");
+  return g;
+}
+
+Graph grid2d(VertexId rows, VertexId cols, Rng& rng, WeightRange wr) {
+  AACC_CHECK(rows >= 1 && cols >= 1);
+  Graph g(rows * cols);
+  const auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1), draw_weight(rng, wr));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c), draw_weight(rng, wr));
+    }
+  }
+  return g;
+}
+
+void connect_components(Graph& g, Rng& rng, WeightRange wr) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> comp(n, kNoVertex);
+  std::vector<VertexId> roots;
+  std::queue<VertexId> q;
+  for (VertexId s = 0; s < n; ++s) {
+    if (comp[s] != kNoVertex || !g.is_alive(s)) continue;
+    roots.push_back(s);
+    comp[s] = s;
+    q.push(s);
+    while (!q.empty()) {
+      const VertexId u = q.front();
+      q.pop();
+      for (const Edge& e : g.neighbors(u)) {
+        if (comp[e.to] == kNoVertex) {
+          comp[e.to] = s;
+          q.push(e.to);
+        }
+      }
+    }
+  }
+  // Chain the components together with random representative pairs.
+  for (std::size_t i = 1; i < roots.size(); ++i) {
+    g.add_edge(roots[i - 1], roots[i], draw_weight(rng, wr));
+  }
+}
+
+}  // namespace aacc

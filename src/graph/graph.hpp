@@ -1,0 +1,182 @@
+// Mutable, undirected, positively-weighted graph.
+//
+// This is the "driver-side" representation: generators build it, partitioners
+// read it, the distributed engine decomposes it into rank-local subgraphs,
+// and dynamic-event schedules mutate it so that reference recomputation (the
+// paper's "baseline restart") always has the ground-truth topology at hand.
+//
+// Vertex ids are dense and stable: add_vertex() appends, remove_vertex()
+// tombstones (the id is never reused within a run). This mirrors how the
+// distributed DV matrices evolve — columns are appended on vertex addition
+// and tombstoned on deletion — so driver and ranks always agree on ids.
+#pragma once
+
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace aacc {
+
+/// One endpoint of an undirected edge as seen from the other endpoint.
+struct Edge {
+  VertexId to;
+  Weight w;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates n isolated, alive vertices (ids 0..n-1).
+  explicit Graph(VertexId n) : adj_(n), alive_(n, true), num_alive_(n) {}
+
+  /// Total id space, including tombstoned vertices.
+  [[nodiscard]] VertexId num_vertices() const {
+    return static_cast<VertexId>(adj_.size());
+  }
+
+  /// Number of vertices that are currently alive.
+  [[nodiscard]] VertexId num_alive() const { return num_alive_; }
+
+  /// Number of undirected edges.
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+
+  [[nodiscard]] bool is_alive(VertexId v) const {
+    AACC_DCHECK(v < num_vertices());
+    return alive_[v];
+  }
+
+  /// Appends a new alive vertex and returns its id.
+  VertexId add_vertex() {
+    adj_.emplace_back();
+    alive_.push_back(true);
+    ++num_alive_;
+    return static_cast<VertexId>(adj_.size() - 1);
+  }
+
+  /// Adds undirected edge (u, v) with weight w (w >= 1). Preconditions:
+  /// both endpoints alive, u != v, and the edge must not already exist.
+  void add_edge(VertexId u, VertexId v, Weight w = 1) {
+    AACC_CHECK_MSG(u != v, "self-loop at vertex " << u);
+    AACC_CHECK(w >= 1);
+    AACC_CHECK(u < num_vertices() && v < num_vertices());
+    AACC_CHECK_MSG(alive_[u] && alive_[v],
+                   "edge touches a deleted vertex (" << u << ',' << v << ')');
+    AACC_CHECK_MSG(!has_edge(u, v), "duplicate edge (" << u << ',' << v << ')');
+    adj_[u].push_back({v, w});
+    adj_[v].push_back({u, w});
+    ++num_edges_;
+  }
+
+  /// Removes undirected edge (u, v). Precondition: the edge exists.
+  void remove_edge(VertexId u, VertexId v) {
+    const bool a = erase_half_edge(u, v);
+    const bool b = erase_half_edge(v, u);
+    AACC_CHECK_MSG(a && b, "remove_edge on missing edge (" << u << ',' << v << ')');
+    --num_edges_;
+  }
+
+  /// Replaces the weight of existing edge (u, v). Returns the old weight.
+  Weight set_weight(VertexId u, VertexId v, Weight w) {
+    AACC_CHECK(w >= 1);
+    Weight old = 0;
+    for (auto& e : adj_[u]) {
+      if (e.to == v) {
+        old = e.w;
+        e.w = w;
+      }
+    }
+    for (auto& e : adj_[v]) {
+      if (e.to == u) e.w = w;
+    }
+    AACC_CHECK_MSG(old != 0, "set_weight on missing edge (" << u << ',' << v << ')');
+    return old;
+  }
+
+  /// Tombstones vertex v and removes all incident edges.
+  void remove_vertex(VertexId v) {
+    AACC_CHECK(v < num_vertices());
+    AACC_CHECK_MSG(alive_[v], "double delete of vertex " << v);
+    for (const Edge& e : adj_[v]) {
+      erase_half_edge(e.to, v);
+      --num_edges_;
+    }
+    adj_[v].clear();
+    alive_[v] = false;
+    --num_alive_;
+  }
+
+  [[nodiscard]] std::span<const Edge> neighbors(VertexId v) const {
+    AACC_DCHECK(v < num_vertices());
+    return adj_[v];
+  }
+
+  [[nodiscard]] std::size_t degree(VertexId v) const { return adj_[v].size(); }
+
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const {
+    // Scan the smaller endpoint list: social-network degree distributions
+    // are heavy-tailed and this keeps hub lookups cheap.
+    const VertexId a = degree(u) <= degree(v) ? u : v;
+    const VertexId b = a == u ? v : u;
+    for (const Edge& e : adj_[a]) {
+      if (e.to == b) return true;
+    }
+    return false;
+  }
+
+  /// Weight of existing edge (u, v); kInfDist-free: precondition has_edge.
+  [[nodiscard]] Weight edge_weight(VertexId u, VertexId v) const {
+    for (const Edge& e : adj_[u]) {
+      if (e.to == v) return e.w;
+    }
+    AACC_CHECK_MSG(false, "edge_weight on missing edge (" << u << ',' << v << ')');
+    return 0;  // unreachable
+  }
+
+  /// All undirected edges as (u, v, w) with u < v, in adjacency order.
+  [[nodiscard]] std::vector<std::tuple<VertexId, VertexId, Weight>> edges() const {
+    std::vector<std::tuple<VertexId, VertexId, Weight>> out;
+    out.reserve(num_edges_);
+    for (VertexId u = 0; u < num_vertices(); ++u) {
+      for (const Edge& e : adj_[u]) {
+        if (u < e.to) out.emplace_back(u, e.to, e.w);
+      }
+    }
+    return out;
+  }
+
+  /// Ids of all alive vertices, ascending.
+  [[nodiscard]] std::vector<VertexId> alive_vertices() const {
+    std::vector<VertexId> out;
+    out.reserve(num_alive_);
+    for (VertexId v = 0; v < num_vertices(); ++v) {
+      if (alive_[v]) out.push_back(v);
+    }
+    return out;
+  }
+
+ private:
+  bool erase_half_edge(VertexId from, VertexId to) {
+    auto& list = adj_[from];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i].to == to) {
+        list[i] = list.back();
+        list.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<char> alive_;
+  VertexId num_alive_ = 0;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace aacc

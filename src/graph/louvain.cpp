@@ -1,0 +1,198 @@
+#include "graph/louvain.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace aacc {
+
+namespace {
+
+/// Weighted graph in adjacency form used across aggregation levels.
+struct LevelGraph {
+  // adj[u] = (v, w); self-loops allowed (aggregated intra-community mass),
+  // stored once with their full weight.
+  std::vector<std::vector<std::pair<VertexId, double>>> adj;
+  std::vector<double> strength;  // weighted degree incl. 2*self-loop
+  double total_weight = 0.0;     // sum of edge weights (self-loops once)
+
+  [[nodiscard]] VertexId size() const {
+    return static_cast<VertexId>(adj.size());
+  }
+};
+
+LevelGraph from_graph(const Graph& g) {
+  LevelGraph lg;
+  lg.adj.resize(g.num_vertices());
+  lg.strength.assign(g.num_vertices(), 0.0);
+  for (const auto& [u, v, w] : g.edges()) {
+    const auto wd = static_cast<double>(w);
+    lg.adj[u].emplace_back(v, wd);
+    lg.adj[v].emplace_back(u, wd);
+    lg.strength[u] += wd;
+    lg.strength[v] += wd;
+    lg.total_weight += wd;
+  }
+  return lg;
+}
+
+/// One full Louvain local-move phase. Returns modularity gain achieved.
+double local_move(const LevelGraph& lg, std::vector<VertexId>& comm, Rng& rng,
+                  double min_gain) {
+  const VertexId n = lg.size();
+  const double m2 = 2.0 * lg.total_weight;
+  if (m2 == 0.0) return 0.0;
+
+  std::vector<double> comm_strength(n, 0.0);
+  for (VertexId v = 0; v < n; ++v) comm_strength[comm[v]] += lg.strength[v];
+
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  for (VertexId i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+
+  double total_gain = 0.0;
+  bool improved = true;
+  std::unordered_map<VertexId, double> links;  // community -> edge mass to it
+  while (improved) {
+    improved = false;
+    double pass_gain = 0.0;
+    for (VertexId v : order) {
+      const VertexId old_c = comm[v];
+      links.clear();
+      double self_loops = 0.0;
+      for (const auto& [to, w] : lg.adj[v]) {
+        if (to == v) {
+          self_loops += w;
+        } else {
+          links[comm[to]] += w;
+        }
+      }
+      comm_strength[old_c] -= lg.strength[v];
+      // Gain of joining community c: k_{v,in}(c) - strength(v)*Σ_c / 2m.
+      double best_gain = links.count(old_c) != 0U
+                             ? links[old_c] - lg.strength[v] * comm_strength[old_c] / m2
+                             : -lg.strength[v] * comm_strength[old_c] / m2;
+      VertexId best_c = old_c;
+      for (const auto& [c, k_in] : links) {
+        if (c == old_c) continue;
+        const double gain = k_in - lg.strength[v] * comm_strength[c] / m2;
+        if (gain > best_gain + 1e-12) {
+          best_gain = gain;
+          best_c = c;
+        }
+      }
+      comm[v] = best_c;
+      comm_strength[best_c] += lg.strength[v];
+      if (best_c != old_c) {
+        improved = true;
+        const double old_in = links.count(old_c) != 0U ? links[old_c] : 0.0;
+        pass_gain += (best_gain -
+                      (old_in - lg.strength[v] * comm_strength[old_c] / m2)) /
+                     lg.total_weight;
+      }
+      (void)self_loops;
+    }
+    total_gain += pass_gain;
+    if (pass_gain < min_gain) break;
+  }
+  return total_gain;
+}
+
+/// Renumber communities densely; returns count.
+VertexId compact(std::vector<VertexId>& comm) {
+  std::unordered_map<VertexId, VertexId> remap;
+  for (VertexId& c : comm) {
+    auto [it, inserted] = remap.emplace(c, static_cast<VertexId>(remap.size()));
+    c = it->second;
+  }
+  return static_cast<VertexId>(remap.size());
+}
+
+LevelGraph aggregate(const LevelGraph& lg, const std::vector<VertexId>& comm,
+                     VertexId num_comm) {
+  LevelGraph out;
+  out.adj.resize(num_comm);
+  out.strength.assign(num_comm, 0.0);
+  out.total_weight = lg.total_weight;
+  std::vector<std::unordered_map<VertexId, double>> acc(num_comm);
+  for (VertexId u = 0; u < lg.size(); ++u) {
+    for (const auto& [v, w] : lg.adj[u]) {
+      const VertexId cu = comm[u];
+      const VertexId cv = comm[v];
+      if (u == v) {
+        acc[cu][cu] += w;  // self-loop stored once
+      } else if (u < v) {
+        if (cu == cv) {
+          acc[cu][cu] += w;
+        } else {
+          acc[cu][cv] += w;
+          acc[cv][cu] += w;
+        }
+      }
+    }
+  }
+  for (VertexId c = 0; c < num_comm; ++c) {
+    for (const auto& [to, w] : acc[c]) {
+      out.adj[c].emplace_back(to, w);
+      out.strength[c] += (to == c) ? 2.0 * w : w;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double modularity(const Graph& g, const std::vector<VertexId>& community) {
+  AACC_CHECK(community.size() == g.num_vertices());
+  double m = 0.0;
+  std::unordered_map<VertexId, double> comm_strength;
+  std::unordered_map<VertexId, double> comm_internal;
+  for (const auto& [u, v, w] : g.edges()) {
+    const auto wd = static_cast<double>(w);
+    m += wd;
+    comm_strength[community[u]] += wd;
+    comm_strength[community[v]] += wd;
+    if (community[u] == community[v]) comm_internal[community[u]] += wd;
+  }
+  if (m == 0.0) return 0.0;
+  double q = 0.0;
+  for (const auto& [c, s] : comm_strength) {
+    const double in = comm_internal.count(c) != 0U ? comm_internal[c] : 0.0;
+    q += in / m - (s / (2.0 * m)) * (s / (2.0 * m));
+  }
+  return q;
+}
+
+LouvainResult louvain(const Graph& g, Rng& rng, LouvainOptions opts) {
+  LouvainResult res;
+  res.community.resize(g.num_vertices());
+  std::iota(res.community.begin(), res.community.end(), VertexId{0});
+
+  LevelGraph lg = from_graph(g);
+  // mapping[v] = community of v in terms of the current level's nodes.
+  std::vector<VertexId> mapping = res.community;
+
+  for (unsigned level = 0; level < opts.max_levels; ++level) {
+    std::vector<VertexId> comm(lg.size());
+    std::iota(comm.begin(), comm.end(), VertexId{0});
+    const double gain = local_move(lg, comm, rng, opts.min_gain);
+    const VertexId num_comm = compact(comm);
+    // Project this level's assignment onto original vertices.
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      mapping[v] = comm[mapping[v]];
+    }
+    if (num_comm == lg.size() || gain < opts.min_gain) break;
+    lg = aggregate(lg, comm, num_comm);
+  }
+
+  res.community = mapping;
+  res.num_communities = compact(res.community);
+  res.modularity = modularity(g, res.community);
+  return res;
+}
+
+}  // namespace aacc

@@ -1,0 +1,42 @@
+// Louvain community detection (modularity optimization).
+//
+// The paper builds its CutEdge-PS workloads by extracting community
+// structured vertex batches with Pajek's Louvain plugin; this is the same
+// algorithm, implemented directly: repeated local-move passes followed by
+// community aggregation until modularity stops improving.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace aacc {
+
+struct LouvainResult {
+  /// Community id per vertex (dense, 0-based).
+  std::vector<VertexId> community;
+  /// Number of communities.
+  VertexId num_communities = 0;
+  /// Final modularity of the partition.
+  double modularity = 0.0;
+};
+
+struct LouvainOptions {
+  /// Stop a local-move sweep once the modularity gain over a full pass
+  /// drops below this threshold.
+  double min_gain = 1e-7;
+  /// Safety cap on aggregation levels.
+  unsigned max_levels = 32;
+};
+
+/// Runs Louvain on g (edge weights participate in modularity). Vertex visit
+/// order inside local-move passes is shuffled by rng, which is the only
+/// source of nondeterminism — pass a seeded Rng for reproducible output.
+LouvainResult louvain(const Graph& g, Rng& rng, LouvainOptions opts = {});
+
+/// Modularity of an arbitrary assignment (exposed for tests).
+double modularity(const Graph& g, const std::vector<VertexId>& community);
+
+}  // namespace aacc

@@ -1,0 +1,327 @@
+#include "partition/multilevel.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace aacc {
+
+namespace {
+
+/// Weighted working graph for one level of the multilevel hierarchy.
+struct WGraph {
+  std::vector<std::vector<std::pair<VertexId, std::uint64_t>>> adj;  // no self-loops
+  std::vector<std::uint64_t> vweight;
+
+  [[nodiscard]] VertexId size() const { return static_cast<VertexId>(adj.size()); }
+
+  [[nodiscard]] std::uint64_t total_vweight() const {
+    return std::accumulate(vweight.begin(), vweight.end(), std::uint64_t{0});
+  }
+};
+
+struct Level {
+  WGraph graph;
+  std::vector<VertexId> coarse_of;  // fine vertex -> coarse vertex at next level
+};
+
+WGraph from_input(const Graph& g, std::vector<VertexId>& dense_of,
+                  std::vector<VertexId>& vertex_of) {
+  // Compact alive vertices into dense ids so the hierarchy never sees
+  // tombstones.
+  dense_of.assign(g.num_vertices(), kNoVertex);
+  vertex_of.clear();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.is_alive(v)) {
+      dense_of[v] = static_cast<VertexId>(vertex_of.size());
+      vertex_of.push_back(v);
+    }
+  }
+  WGraph w;
+  w.adj.resize(vertex_of.size());
+  w.vweight.assign(vertex_of.size(), 1);
+  for (const auto& [u, v, ew] : g.edges()) {
+    const VertexId du = dense_of[u];
+    const VertexId dv = dense_of[v];
+    w.adj[du].emplace_back(dv, ew);
+    w.adj[dv].emplace_back(du, ew);
+  }
+  return w;
+}
+
+/// Heavy-edge matching; returns (coarse graph, fine->coarse map).
+Level coarsen(const WGraph& g, Rng& rng) {
+  const VertexId n = g.size();
+  std::vector<VertexId> match(n, kNoVertex);
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  for (VertexId i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+  for (VertexId u : order) {
+    if (match[u] != kNoVertex) continue;
+    VertexId best = kNoVertex;
+    std::uint64_t best_w = 0;
+    for (const auto& [v, w] : g.adj[u]) {
+      if (match[v] == kNoVertex && w > best_w) {
+        best = v;
+        best_w = w;
+      }
+    }
+    if (best != kNoVertex) {
+      match[u] = best;
+      match[best] = u;
+    } else {
+      match[u] = u;  // stays single
+    }
+  }
+
+  Level lvl;
+  lvl.coarse_of.assign(n, kNoVertex);
+  VertexId next = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    if (lvl.coarse_of[u] != kNoVertex) continue;
+    lvl.coarse_of[u] = next;
+    if (match[u] != u) lvl.coarse_of[match[u]] = next;
+    ++next;
+  }
+
+  WGraph& cg = lvl.graph;
+  cg.adj.resize(next);
+  cg.vweight.assign(next, 0);
+  for (VertexId u = 0; u < n; ++u) cg.vweight[lvl.coarse_of[u]] += g.vweight[u];
+
+  // Aggregate edges per coarse vertex.
+  std::unordered_map<VertexId, std::uint64_t> acc;
+  std::vector<std::vector<VertexId>> members(next);
+  for (VertexId u = 0; u < n; ++u) members[lvl.coarse_of[u]].push_back(u);
+  for (VertexId c = 0; c < next; ++c) {
+    acc.clear();
+    for (VertexId u : members[c]) {
+      for (const auto& [v, w] : g.adj[u]) {
+        const VertexId cv = lvl.coarse_of[v];
+        if (cv != c) acc[cv] += w;
+      }
+    }
+    cg.adj[c].assign(acc.begin(), acc.end());
+  }
+  return lvl;
+}
+
+/// Balanced BFS region growing on the coarsest graph, vertex-weight aware.
+std::vector<Rank> initial_partition(const WGraph& g, Rank k, Rng& rng) {
+  const VertexId n = g.size();
+  std::vector<Rank> part(n, kNoRank);
+  const std::uint64_t total = g.total_vweight();
+  const std::uint64_t target =
+      (total + static_cast<std::uint64_t>(k) - 1) / static_cast<std::uint64_t>(k);
+
+  std::size_t probe = n > 0 ? rng.next_below(n) : 0;
+  auto next_seed = [&]() -> VertexId {
+    for (VertexId i = 0; i < n; ++i) {
+      const VertexId v = static_cast<VertexId>((probe + i) % n);
+      if (part[v] == kNoRank) {
+        probe = (probe + i + 1) % n;
+        return v;
+      }
+    }
+    return kNoVertex;
+  };
+
+  std::queue<VertexId> frontier;
+  Rank cur = 0;
+  std::uint64_t cur_weight = 0;
+  VertexId assigned = 0;
+  while (assigned < n) {
+    if (frontier.empty()) {
+      if (cur_weight >= target && cur + 1 < k) {
+        ++cur;
+        cur_weight = 0;
+      }
+      const VertexId s = next_seed();
+      AACC_CHECK(s != kNoVertex);
+      part[s] = cur;
+      cur_weight += g.vweight[s];
+      ++assigned;
+      frontier.push(s);
+      continue;
+    }
+    const VertexId u = frontier.front();
+    frontier.pop();
+    for (const auto& [v, w] : g.adj[u]) {
+      (void)w;
+      if (part[v] != kNoRank) continue;
+      if (cur_weight >= target && cur + 1 < k) {
+        ++cur;
+        cur_weight = 0;
+        std::queue<VertexId>().swap(frontier);
+      }
+      part[v] = cur;
+      cur_weight += g.vweight[v];
+      ++assigned;
+      frontier.push(v);
+      if (cur_weight >= target && cur + 1 < k) break;
+    }
+  }
+  return part;
+}
+
+/// Greedy boundary refinement: move vertices to the neighbouring part with
+/// the largest positive cut gain, respecting the balance constraint.
+void refine(const WGraph& g, std::vector<Rank>& part, Rank k, Rng& rng,
+            double tolerance, unsigned passes) {
+  const VertexId n = g.size();
+  std::vector<std::uint64_t> pweight(static_cast<std::size_t>(k), 0);
+  for (VertexId v = 0; v < n; ++v) pweight[static_cast<std::size_t>(part[v])] += g.vweight[v];
+  const std::uint64_t total = g.total_vweight();
+  const auto max_weight = static_cast<std::uint64_t>(
+      tolerance * static_cast<double>(total) / static_cast<double>(k) + 1.0);
+
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::vector<std::uint64_t> link(static_cast<std::size_t>(k), 0);
+  std::vector<Rank> touched;
+
+  for (unsigned pass = 0; pass < passes; ++pass) {
+    for (VertexId i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    }
+    bool moved = false;
+    for (VertexId u : order) {
+      const Rank from = part[u];
+      touched.clear();
+      bool boundary = false;
+      for (const auto& [v, w] : g.adj[u]) {
+        const Rank rv = part[v];
+        if (link[static_cast<std::size_t>(rv)] == 0) touched.push_back(rv);
+        link[static_cast<std::size_t>(rv)] += w;
+        if (rv != from) boundary = true;
+      }
+      if (boundary) {
+        const std::uint64_t internal = link[static_cast<std::size_t>(from)];
+        Rank best = from;
+        std::int64_t best_gain = 0;
+        for (Rank r : touched) {
+          if (r == from) continue;
+          if (pweight[static_cast<std::size_t>(r)] + g.vweight[u] > max_weight) continue;
+          const auto gain = static_cast<std::int64_t>(link[static_cast<std::size_t>(r)]) -
+                            static_cast<std::int64_t>(internal);
+          if (gain > best_gain ||
+              (gain == best_gain && best != from &&
+               pweight[static_cast<std::size_t>(r)] < pweight[static_cast<std::size_t>(best)])) {
+            best_gain = gain;
+            best = r;
+          }
+        }
+        if (best != from && best_gain > 0) {
+          pweight[static_cast<std::size_t>(from)] -= g.vweight[u];
+          pweight[static_cast<std::size_t>(best)] += g.vweight[u];
+          part[u] = best;
+          moved = true;
+        }
+      }
+      for (Rank r : touched) link[static_cast<std::size_t>(r)] = 0;
+    }
+    if (!moved) break;
+  }
+
+  // Balance pass: greedy refinement only makes cut-improving moves, so an
+  // overfull initial part (BFS growing dumps the remainder into the last
+  // region) can persist. Drain overweight parts by moving their boundary
+  // vertices to the lightest neighbouring part, accepting cut regressions.
+  for (unsigned pass = 0; pass < passes; ++pass) {
+    bool any_overfull = false;
+    for (VertexId u : order) {
+      const Rank from = part[u];
+      if (pweight[static_cast<std::size_t>(from)] <= max_weight) continue;
+      any_overfull = true;
+      Rank best = from;
+      for (const auto& [v, w] : g.adj[u]) {
+        (void)w;
+        const Rank r = part[v];
+        if (r == from) continue;
+        if (pweight[static_cast<std::size_t>(r)] + g.vweight[u] > max_weight) continue;
+        if (best == from ||
+            pweight[static_cast<std::size_t>(r)] < pweight[static_cast<std::size_t>(best)]) {
+          best = r;
+        }
+      }
+      if (best == from) {
+        // No neighbouring part has room: fall back to the globally
+        // lightest part (a cut-increasing teleport, but balance first).
+        for (Rank r = 0; r < k; ++r) {
+          if (r == from) continue;
+          if (pweight[static_cast<std::size_t>(r)] + g.vweight[u] > max_weight) continue;
+          if (best == from ||
+              pweight[static_cast<std::size_t>(r)] < pweight[static_cast<std::size_t>(best)]) {
+            best = r;
+          }
+        }
+      }
+      if (best != from) {
+        pweight[static_cast<std::size_t>(from)] -= g.vweight[u];
+        pweight[static_cast<std::size_t>(best)] += g.vweight[u];
+        part[u] = best;
+      }
+    }
+    if (!any_overfull) break;
+  }
+}
+
+}  // namespace
+
+Partition MultilevelPartitioner::partition(const Graph& g, Rank k, Rng& rng) const {
+  AACC_CHECK(k >= 1);
+  Partition out;
+  out.num_parts = k;
+  out.assignment.assign(g.num_vertices(), kNoRank);
+  if (g.num_alive() == 0) return out;
+
+  std::vector<VertexId> dense_of;
+  std::vector<VertexId> vertex_of;
+  WGraph base = from_input(g, dense_of, vertex_of);
+
+  if (k == 1) {
+    for (VertexId v : vertex_of) out.assignment[v] = 0;
+    return out;
+  }
+
+  // Coarsen.
+  const std::size_t stop_size =
+      std::max<std::size_t>(opts_.coarsest_per_part * static_cast<std::size_t>(k), 64);
+  std::vector<Level> levels;
+  const WGraph* cur = &base;
+  while (cur->size() > stop_size) {
+    Level lvl = coarsen(*cur, rng);
+    // Stalled shrinkage (e.g. star graphs) — stop coarsening.
+    if (lvl.graph.size() > cur->size() * 95 / 100) break;
+    levels.push_back(std::move(lvl));
+    cur = &levels.back().graph;
+  }
+
+  // Initial partition + refinement at the coarsest level.
+  std::vector<Rank> part = initial_partition(*cur, k, rng);
+  refine(*cur, part, k, rng, opts_.balance_tolerance, opts_.refine_passes);
+
+  // Uncoarsen with refinement at every level.
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    const WGraph& fine =
+        (it + 1 == levels.rend()) ? base : (it + 1)->graph;
+    std::vector<Rank> fine_part(fine.size());
+    for (VertexId v = 0; v < fine.size(); ++v) {
+      fine_part[v] = part[it->coarse_of[v]];
+    }
+    part = std::move(fine_part);
+    refine(fine, part, k, rng, opts_.balance_tolerance, opts_.refine_passes);
+  }
+
+  for (VertexId dense = 0; dense < vertex_of.size(); ++dense) {
+    out.assignment[vertex_of[dense]] = part[dense];
+  }
+  return out;
+}
+
+}  // namespace aacc

@@ -1,0 +1,74 @@
+#include "partition/partition.hpp"
+
+#include "common/check.hpp"
+#include "partition/multilevel.hpp"
+#include "partition/simple.hpp"
+
+namespace aacc {
+
+PartitionMetrics evaluate_partition(const Graph& g, const Partition& p) {
+  AACC_CHECK(p.assignment.size() == g.num_vertices());
+  PartitionMetrics m;
+  m.part_sizes.assign(static_cast<std::size_t>(p.num_parts), 0);
+  m.part_cut.assign(static_cast<std::size_t>(p.num_parts), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!g.is_alive(v)) continue;
+    const Rank r = p.assignment[v];
+    AACC_CHECK_MSG(r >= 0 && r < p.num_parts, "vertex " << v << " unassigned");
+    ++m.part_sizes[static_cast<std::size_t>(r)];
+  }
+  for (const auto& [u, v, w] : g.edges()) {
+    (void)w;
+    const Rank ru = p.assignment[u];
+    const Rank rv = p.assignment[v];
+    if (ru != rv) {
+      ++m.cut_edges;
+      ++m.part_cut[static_cast<std::size_t>(ru)];
+      ++m.part_cut[static_cast<std::size_t>(rv)];
+    }
+  }
+  m.max_part = 0;
+  m.min_part = g.num_alive();
+  for (std::size_t s : m.part_sizes) {
+    m.max_part = std::max(m.max_part, s);
+    m.min_part = std::min(m.min_part, s);
+  }
+  const double ideal =
+      static_cast<double>(g.num_alive()) / static_cast<double>(p.num_parts);
+  m.imbalance = ideal > 0.0 ? static_cast<double>(m.max_part) / ideal : 0.0;
+  return m;
+}
+
+std::unique_ptr<Partitioner> make_partitioner(PartitionerKind kind) {
+  switch (kind) {
+    case PartitionerKind::kBlock:
+      return std::make_unique<BlockPartitioner>();
+    case PartitionerKind::kRoundRobin:
+      return std::make_unique<RoundRobinPartitioner>();
+    case PartitionerKind::kHash:
+      return std::make_unique<HashPartitioner>();
+    case PartitionerKind::kBfs:
+      return std::make_unique<BfsPartitioner>();
+    case PartitionerKind::kMultilevel:
+      return std::make_unique<MultilevelPartitioner>();
+  }
+  AACC_CHECK_MSG(false, "unknown PartitionerKind");
+  return nullptr;
+}
+
+const char* partitioner_name(PartitionerKind kind) {
+  switch (kind) {
+    case PartitionerKind::kBlock: return "block";
+    case PartitionerKind::kRoundRobin: return "round-robin";
+    case PartitionerKind::kHash: return "hash";
+    case PartitionerKind::kBfs: return "bfs";
+    case PartitionerKind::kMultilevel: return "multilevel";
+  }
+  return "?";
+}
+
+Partition partition_graph(const Graph& g, Rank k, PartitionerKind kind, Rng& rng) {
+  return make_partitioner(kind)->partition(g, k, rng);
+}
+
+}  // namespace aacc

@@ -1,0 +1,66 @@
+// Graph partitioning: assignment of vertices to P ranks.
+//
+// The paper's DD phase uses ParMETIS, its CutEdge-PS strategy uses METIS,
+// and its Repartition-S strategy re-runs the DD partitioner. Neither library
+// is available offline, so src/partition provides the same algorithm family
+// from scratch: a multilevel k-way partitioner (heavy-edge-matching
+// coarsening, greedy region growing, boundary refinement) plus the trivial
+// baselines the ablation study compares against.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace aacc {
+
+inline constexpr Rank kNoRank = -1;
+
+struct Partition {
+  /// Rank per vertex id; kNoRank for tombstoned vertices.
+  std::vector<Rank> assignment;
+  Rank num_parts = 0;
+
+  [[nodiscard]] Rank of(VertexId v) const { return assignment[v]; }
+};
+
+struct PartitionMetrics {
+  std::size_t cut_edges = 0;          ///< edges with endpoints in different parts
+  std::size_t max_part = 0;           ///< largest part (alive vertices)
+  std::size_t min_part = 0;           ///< smallest part
+  double imbalance = 0.0;             ///< max_part / (alive / parts)
+  std::vector<std::size_t> part_sizes;
+  std::vector<std::size_t> part_cut;  ///< cut-size per part (cut edges incident)
+};
+
+PartitionMetrics evaluate_partition(const Graph& g, const Partition& p);
+
+/// Abstract partitioner. Implementations must assign every alive vertex a
+/// rank in [0, k) and kNoRank to tombstoned vertices.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  [[nodiscard]] virtual Partition partition(const Graph& g, Rank k,
+                                            Rng& rng) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+enum class PartitionerKind {
+  kBlock,       ///< contiguous id blocks
+  kRoundRobin,  ///< v % k
+  kHash,        ///< SplitMix64(v) % k
+  kBfs,         ///< BFS region growing, balanced sizes
+  kMultilevel,  ///< multilevel k-way cut minimization (METIS substitute)
+};
+
+std::unique_ptr<Partitioner> make_partitioner(PartitionerKind kind);
+const char* partitioner_name(PartitionerKind kind);
+
+/// Convenience wrapper: build + run.
+Partition partition_graph(const Graph& g, Rank k, PartitionerKind kind, Rng& rng);
+
+}  // namespace aacc

@@ -1,0 +1,122 @@
+#include "partition/simple.hpp"
+
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace aacc {
+
+namespace {
+
+Partition make_empty(const Graph& g, Rank k) {
+  AACC_CHECK(k >= 1);
+  Partition p;
+  p.num_parts = k;
+  p.assignment.assign(g.num_vertices(), kNoRank);
+  return p;
+}
+
+}  // namespace
+
+Partition BlockPartitioner::partition(const Graph& g, Rank k, Rng& /*rng*/) const {
+  Partition p = make_empty(g, k);
+  const std::size_t alive = g.num_alive();
+  const std::size_t chunk = (alive + static_cast<std::size_t>(k) - 1) /
+                            static_cast<std::size_t>(k);
+  std::size_t idx = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!g.is_alive(v)) continue;
+    p.assignment[v] = static_cast<Rank>(std::min<std::size_t>(
+        idx / std::max<std::size_t>(chunk, 1), static_cast<std::size_t>(k - 1)));
+    ++idx;
+  }
+  return p;
+}
+
+Partition RoundRobinPartitioner::partition(const Graph& g, Rank k, Rng& /*rng*/) const {
+  Partition p = make_empty(g, k);
+  std::size_t idx = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!g.is_alive(v)) continue;
+    p.assignment[v] = static_cast<Rank>(idx % static_cast<std::size_t>(k));
+    ++idx;
+  }
+  return p;
+}
+
+Partition HashPartitioner::partition(const Graph& g, Rank k, Rng& /*rng*/) const {
+  Partition p = make_empty(g, k);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!g.is_alive(v)) continue;
+    std::uint64_t z = v + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    p.assignment[v] = static_cast<Rank>(z % static_cast<std::uint64_t>(k));
+  }
+  return p;
+}
+
+Partition BfsPartitioner::partition(const Graph& g, Rank k, Rng& rng) const {
+  Partition p = make_empty(g, k);
+  const std::size_t alive = g.num_alive();
+  if (alive == 0) return p;
+  const std::size_t target = (alive + static_cast<std::size_t>(k) - 1) /
+                             static_cast<std::size_t>(k);
+
+  const auto alive_list = g.alive_vertices();
+  std::size_t probe = 0;  // rotating scan position for new seeds
+  std::queue<VertexId> frontier;
+  Rank part = 0;
+  std::size_t in_part = 0;
+  std::size_t assigned = 0;
+
+  auto next_seed = [&]() -> VertexId {
+    // Randomized start once, then first unassigned in rotation: keeps seeds
+    // spread out without an O(n^2) farthest-point search.
+    for (std::size_t i = 0; i < alive_list.size(); ++i) {
+      const VertexId v = alive_list[(probe + i) % alive_list.size()];
+      if (p.assignment[v] == kNoRank) {
+        probe = (probe + i + 1) % alive_list.size();
+        return v;
+      }
+    }
+    return kNoVertex;
+  };
+  probe = rng.next_below(alive_list.size());
+
+  while (assigned < alive) {
+    if (frontier.empty()) {
+      if (in_part >= target && part + 1 < k) {
+        ++part;
+        in_part = 0;
+      }
+      const VertexId seed = next_seed();
+      AACC_CHECK(seed != kNoVertex);
+      p.assignment[seed] = part;
+      ++in_part;
+      ++assigned;
+      frontier.push(seed);
+      continue;
+    }
+    const VertexId u = frontier.front();
+    frontier.pop();
+    for (const Edge& e : g.neighbors(u)) {
+      if (p.assignment[e.to] != kNoRank) continue;
+      if (in_part >= target && part + 1 < k) {
+        ++part;
+        in_part = 0;
+        // Abandon the old frontier; a fresh seed will start the next part.
+        std::queue<VertexId>().swap(frontier);
+      }
+      p.assignment[e.to] = part;
+      ++in_part;
+      ++assigned;
+      frontier.push(e.to);
+      if (in_part >= target && part + 1 < k) break;
+    }
+  }
+  return p;
+}
+
+}  // namespace aacc

@@ -1,0 +1,36 @@
+// Trivial partitioners: baselines for the A2 ablation and cheap defaults
+// for tests. BFS region growing is the strongest of the cheap options and
+// is also used as the coarsest-level seed inside the multilevel partitioner.
+#pragma once
+
+#include "partition/partition.hpp"
+
+namespace aacc {
+
+class BlockPartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] Partition partition(const Graph& g, Rank k, Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "block"; }
+};
+
+class RoundRobinPartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] Partition partition(const Graph& g, Rank k, Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+};
+
+class HashPartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] Partition partition(const Graph& g, Rank k, Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "hash"; }
+};
+
+/// Grows balanced regions by BFS from successive unassigned seeds; a region
+/// stops growing once it holds ceil(alive / k) vertices.
+class BfsPartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] Partition partition(const Graph& g, Rank k, Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "bfs"; }
+};
+
+}  // namespace aacc

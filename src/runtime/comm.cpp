@@ -1,0 +1,341 @@
+#include "runtime/comm.hpp"
+
+#include <ctime>
+#include <thread>
+
+#include "runtime/serialize.hpp"
+
+namespace aacc::rt {
+
+// ---------------------------------------------------------------- Mailbox
+
+void Mailbox::put(Message m) {
+  {
+    const std::lock_guard lock(mu_);
+    queue_.push_back(std::move(m));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::take(Rank src, std::int32_t tag) {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->tag == tag && (src == kAnySource || it->src == src)) {
+        Message m = std::move(*it);
+        queue_.erase(it);
+        return m;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::has(Rank src, std::int32_t tag) {
+  const std::lock_guard lock(mu_);
+  for (const Message& m : queue_) {
+    if (m.tag == tag && (src == kAnySource || m.src == src)) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------------- Comm
+
+namespace {
+
+// Tag layout: user tags are non-negative; collectives use negative tags
+// derived from the per-rank collective sequence number, which stays in
+// lockstep across ranks because collectives are SPMD.
+constexpr std::int32_t collective_tag(std::uint32_t op_seq) {
+  return -1 - static_cast<std::int32_t>(op_seq & 0x3fffffffU);
+}
+
+}  // namespace
+
+Comm::Comm(World* world, Rank rank) : world_(world), rank_(rank) {
+  last_cpu_mark_ = thread_cpu_seconds();
+}
+
+Rank Comm::size() const { return world_->size(); }
+
+double Comm::thread_cpu_seconds() const {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+void Comm::account_cpu() {
+  const double now = thread_cpu_seconds();
+  ledger_.cpu_seconds[phase_] += now - last_cpu_mark_;
+  last_cpu_mark_ = now;
+}
+
+void Comm::set_phase(const std::string& phase) {
+  account_cpu();
+  phase_ = phase;
+}
+
+void Comm::log_message(OpKind kind, Rank dst, std::uint64_t bytes,
+                       std::uint32_t op_id) {
+  world_->append_log(MsgRecord{op_id, kind, rank_, dst, bytes});
+}
+
+void Comm::send(Rank dst, std::int32_t tag, std::vector<std::byte> payload) {
+  AACC_CHECK(dst >= 0 && dst < size());
+  account_cpu();
+  ledger_.bytes_sent += payload.size();
+  ++ledger_.messages_sent;
+  if (tag >= 0) {
+    // Collective traffic is logged by the collective itself with its op id.
+    log_message(OpKind::kPointToPoint, dst, payload.size(), 0);
+  }
+  world_->mailbox(dst).put(Message{rank_, tag, std::move(payload)});
+}
+
+Message Comm::recv(Rank src, std::int32_t tag) {
+  account_cpu();
+  Message m = world_->mailbox(rank_).take(src, tag);
+  ledger_.bytes_received += m.payload.size();
+  ++ledger_.messages_received;
+  return m;
+}
+
+std::vector<std::byte> Comm::broadcast(std::vector<std::byte> buf, Rank root) {
+  const Rank P = size();
+  const std::int32_t tag = collective_tag(op_seq_);
+  const std::uint32_t op = op_seq_++;
+  const Rank vr = ((rank_ - root) % P + P) % P;  // virtual rank, root at 0
+
+  if (vr != 0) {
+    Message m = recv(kAnySource, tag);
+    buf = std::move(m.payload);
+  }
+  // Forward down the binomial tree: vr sends to vr + 2^s for every s with
+  // 2^s > vr (vr = 0 sends to 1, 2, 4, ...).
+  for (Rank span = 1; span < P; span *= 2) {
+    if (vr < span && vr + span < P) {
+      const Rank dst = (vr + span + root) % P;
+      ledger_.bytes_sent += buf.size();
+      ++ledger_.messages_sent;
+      log_message(OpKind::kBroadcast, dst, buf.size(), op);
+      world_->mailbox(dst).put(Message{rank_, tag, buf});
+    }
+  }
+  return buf;
+}
+
+std::vector<std::vector<std::byte>> Comm::all_to_all(
+    std::vector<std::vector<std::byte>> out) {
+  const Rank P = size();
+  AACC_CHECK(static_cast<Rank>(out.size()) == P);
+  const std::int32_t tag = collective_tag(op_seq_);
+  const std::uint32_t op = op_seq_++;
+
+  std::vector<std::vector<std::byte>> in(static_cast<std::size_t>(P));
+  in[static_cast<std::size_t>(rank_)] = std::move(out[static_cast<std::size_t>(rank_)]);
+
+  // Shift schedule: round s exchanges with rank +s / -s. Sends are
+  // non-blocking mailbox puts, so the pairwise recv cannot deadlock.
+  for (Rank s = 1; s < P; ++s) {
+    const Rank dst = (rank_ + s) % P;
+    const Rank src = ((rank_ - s) % P + P) % P;
+    auto& payload = out[static_cast<std::size_t>(dst)];
+    ledger_.bytes_sent += payload.size();
+    ++ledger_.messages_sent;
+    log_message(OpKind::kAllToAll, dst, payload.size(), op);
+    world_->mailbox(dst).put(Message{rank_, tag, std::move(payload)});
+    Message m = recv(src, tag);
+    in[static_cast<std::size_t>(src)] = std::move(m.payload);
+  }
+  return in;
+}
+
+std::vector<std::vector<std::byte>> Comm::gather(std::vector<std::byte> buf,
+                                                 Rank root) {
+  const Rank P = size();
+  const std::int32_t tag = collective_tag(op_seq_);
+  const std::uint32_t op = op_seq_++;
+  std::vector<std::vector<std::byte>> out;
+  if (rank_ == root) {
+    out.resize(static_cast<std::size_t>(P));
+    out[static_cast<std::size_t>(root)] = std::move(buf);
+    for (Rank q = 0; q < P; ++q) {
+      if (q == root) continue;
+      Message m = recv(q, tag);
+      out[static_cast<std::size_t>(q)] = std::move(m.payload);
+    }
+  } else {
+    ledger_.bytes_sent += buf.size();
+    ++ledger_.messages_sent;
+    log_message(OpKind::kReduce, root, buf.size(), op);
+    world_->mailbox(root).put(Message{rank_, tag, std::move(buf)});
+  }
+  return out;
+}
+
+std::vector<std::byte> Comm::scatter(std::vector<std::vector<std::byte>> bufs,
+                                     Rank root) {
+  const Rank P = size();
+  const std::int32_t tag = collective_tag(op_seq_);
+  const std::uint32_t op = op_seq_++;
+  if (rank_ == root) {
+    AACC_CHECK(static_cast<Rank>(bufs.size()) == P);
+    for (Rank q = 0; q < P; ++q) {
+      if (q == root) continue;
+      auto& payload = bufs[static_cast<std::size_t>(q)];
+      ledger_.bytes_sent += payload.size();
+      ++ledger_.messages_sent;
+      log_message(OpKind::kBroadcast, q, payload.size(), op);
+      world_->mailbox(q).put(Message{rank_, tag, std::move(payload)});
+    }
+    return std::move(bufs[static_cast<std::size_t>(root)]);
+  }
+  Message m = recv(root, tag);
+  return std::move(m.payload);
+}
+
+bool Comm::probe(Rank src, std::int32_t tag) {
+  return world_->mailbox(rank_).has(src, tag);
+}
+
+std::uint64_t Comm::all_reduce(
+    std::uint64_t value,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& op) {
+  const Rank P = size();
+  const std::int32_t tag = collective_tag(op_seq_);
+  const std::uint32_t opid = op_seq_++;
+
+  // Binomial-tree reduce to rank 0.
+  for (Rank span = 1; span < P; span *= 2) {
+    if ((rank_ & span) != 0) {
+      ByteWriter w;
+      w.write(value);
+      auto payload = w.take();
+      const Rank dst = rank_ - span;
+      ledger_.bytes_sent += payload.size();
+      ++ledger_.messages_sent;
+      log_message(OpKind::kReduce, dst, payload.size(), opid);
+      world_->mailbox(dst).put(Message{rank_, tag, std::move(payload)});
+      break;
+    }
+    if (rank_ + span < P) {
+      Message m = recv(rank_ + span, tag);
+      ByteReader r(m.payload);
+      value = op(value, r.read<std::uint64_t>());
+    }
+  }
+  // Broadcast the result back down.
+  ByteWriter w;
+  w.write(value);
+  auto buf = broadcast(w.take(), 0);
+  ByteReader r(buf);
+  return r.read<std::uint64_t>();
+}
+
+std::uint64_t Comm::all_reduce_sum(std::uint64_t value) {
+  return all_reduce(value, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+std::uint64_t Comm::all_reduce_max(std::uint64_t value) {
+  return all_reduce(value,
+                    [](std::uint64_t a, std::uint64_t b) { return a > b ? a : b; });
+}
+
+bool Comm::all_reduce_or(bool value) {
+  return all_reduce_sum(value ? 1 : 0) != 0;
+}
+
+void Comm::barrier() { (void)all_reduce_sum(0); }
+
+// ------------------------------------------------------------------ World
+
+World::World(Rank size, LogGPParams params) : size_(size), params_(params) {
+  AACC_CHECK(size >= 1);
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (Rank r = 0; r < size; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  ledgers_.resize(static_cast<std::size_t>(size));
+}
+
+void World::run(const std::function<void(Comm&)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
+  std::vector<std::unique_ptr<Comm>> comms(static_cast<std::size_t>(size_));
+  for (Rank r = 0; r < size_; ++r) {
+    comms[static_cast<std::size_t>(r)] = std::make_unique<Comm>(this, r);
+  }
+  threads.reserve(static_cast<std::size_t>(size_));
+  for (Rank r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r] {
+      Comm& comm = *comms[static_cast<std::size_t>(r)];
+      // The Comm was constructed on the driver thread; CPU accounting must
+      // baseline against *this* thread's clock.
+      comm.last_cpu_mark_ = comm.thread_cpu_seconds();
+      try {
+        fn(comm);
+        comm.account_cpu();
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Merge ledgers before error propagation so partial accounting survives.
+  for (Rank r = 0; r < size_; ++r) {
+    const RankLedger& src = comms[static_cast<std::size_t>(r)]->ledger();
+    RankLedger& dst = ledgers_[static_cast<std::size_t>(r)];
+    dst.bytes_sent += src.bytes_sent;
+    dst.bytes_received += src.bytes_received;
+    dst.messages_sent += src.messages_sent;
+    dst.messages_received += src.messages_received;
+    for (const auto& [phase, secs] : src.cpu_seconds) {
+      dst.cpu_seconds[phase] += secs;
+    }
+  }
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void World::append_log(const MsgRecord& m) {
+  const std::lock_guard lock(log_mu_);
+  log_.push_back(m);
+}
+
+double World::modeled_network_seconds(SchedulePolicy policy) const {
+  return rt::modeled_network_seconds(log_, params_, policy, size_);
+}
+
+double World::total_cpu_seconds() const {
+  double t = 0.0;
+  for (const auto& l : ledgers_) t += l.total_cpu_seconds();
+  return t;
+}
+
+double World::max_rank_cpu_seconds() const {
+  double t = 0.0;
+  for (const auto& l : ledgers_) t = std::max(t, l.total_cpu_seconds());
+  return t;
+}
+
+std::uint64_t World::total_bytes() const {
+  std::uint64_t b = 0;
+  for (const auto& l : ledgers_) b += l.bytes_sent;
+  return b;
+}
+
+std::uint64_t World::total_messages() const {
+  std::uint64_t m = 0;
+  for (const auto& l : ledgers_) m += l.messages_sent;
+  return m;
+}
+
+void World::reset_accounting() {
+  for (auto& l : ledgers_) l = RankLedger{};
+  const std::lock_guard lock(log_mu_);
+  log_.clear();
+}
+
+}  // namespace aacc::rt

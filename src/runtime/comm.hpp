@@ -1,0 +1,181 @@
+// Message-passing runtime: a World of P logical processors (threads), each
+// holding a Comm endpoint. This is the repository's MPI substitute (see
+// DESIGN.md): rank code is SPMD, communicates only through serialized
+// messages, and all collectives are built from point-to-point sends so that
+// byte counts and message counts are exact.
+//
+// Collectives provided (mirroring the subset the paper uses):
+//   * barrier            — tree reduce + tree broadcast of an empty token
+//   * broadcast          — binomial tree from a root
+//   * all_to_all         — personalized all-to-all using the shift schedule
+//   * all_reduce (sum/max/or)
+//
+// Every Comm records a per-rank ledger (bytes, messages, per-phase thread
+// CPU seconds) and appends to a message log that logp.hpp replays to model
+// network time under the paper's serialized schedule or alternatives.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "runtime/logp.hpp"
+
+namespace aacc::rt {
+
+inline constexpr Rank kAnySource = -1;
+
+struct Message {
+  Rank src = 0;
+  std::int32_t tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Thread-safe mailbox with (source, tag) matching and per-sender FIFO.
+class Mailbox {
+ public:
+  void put(Message m);
+
+  /// Blocks until a message matching (src or kAnySource, tag) is available.
+  Message take(Rank src, std::int32_t tag);
+
+  /// Non-blocking probe (used by tests).
+  [[nodiscard]] bool has(Rank src, std::int32_t tag);
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+/// Per-rank accounting.
+struct RankLedger {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  /// Thread-CPU seconds spent computing, keyed by phase label.
+  std::map<std::string, double> cpu_seconds;
+
+  [[nodiscard]] double total_cpu_seconds() const {
+    double t = 0.0;
+    for (const auto& [k, v] : cpu_seconds) t += v;
+    return t;
+  }
+};
+
+class World;
+
+/// A rank's endpoint. Not thread-safe; owned by exactly one rank thread.
+class Comm {
+ public:
+  Comm(World* world, Rank rank);
+
+  [[nodiscard]] Rank rank() const { return rank_; }
+  [[nodiscard]] Rank size() const;
+
+  /// Point-to-point. send() never blocks; recv() blocks until a match.
+  void send(Rank dst, std::int32_t tag, std::vector<std::byte> payload);
+  Message recv(Rank src, std::int32_t tag);
+
+  void barrier();
+
+  /// Binomial-tree broadcast; every rank (root included) returns the buffer.
+  std::vector<std::byte> broadcast(std::vector<std::byte> buf, Rank root);
+
+  /// Personalized all-to-all: out[r] goes to rank r (out[rank()] is returned
+  /// untouched). Returns in[r] = payload from rank r.
+  std::vector<std::vector<std::byte>> all_to_all(
+      std::vector<std::vector<std::byte>> out);
+
+  /// Gather: every rank contributes a buffer; the root returns all P
+  /// buffers (indexed by source rank), other ranks return empty.
+  std::vector<std::vector<std::byte>> gather(std::vector<std::byte> buf,
+                                             Rank root);
+
+  /// Scatter: the root provides one buffer per rank; every rank returns its
+  /// own slice.
+  std::vector<std::byte> scatter(std::vector<std::vector<std::byte>> bufs,
+                                 Rank root);
+
+  std::uint64_t all_reduce_sum(std::uint64_t value);
+  std::uint64_t all_reduce_max(std::uint64_t value);
+  bool all_reduce_or(bool value);
+
+  /// Non-blocking probe for a pending message (testing/polling loops).
+  [[nodiscard]] bool probe(Rank src, std::int32_t tag);
+
+  /// Switches the CPU-accounting phase label; time since the last boundary
+  /// is charged to the previous phase.
+  void set_phase(const std::string& phase);
+
+  [[nodiscard]] const RankLedger& ledger() const { return ledger_; }
+
+ private:
+  friend class World;
+
+  std::uint64_t all_reduce(std::uint64_t value,
+                           const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& op);
+  void account_cpu();
+  void log_message(OpKind kind, Rank dst, std::uint64_t bytes, std::uint32_t op_id);
+  [[nodiscard]] double thread_cpu_seconds() const;
+
+  World* world_;
+  Rank rank_;
+  RankLedger ledger_;
+  std::string phase_ = "init";
+  double last_cpu_mark_ = 0.0;
+  std::uint32_t op_seq_ = 0;  // collective sequence number (SPMD lockstep)
+};
+
+/// Spawns P rank threads, runs fn(Comm&) on each, joins, and keeps the
+/// merged ledgers/logs for post-run analysis. Exceptions thrown by rank
+/// code are rethrown from run().
+class World {
+ public:
+  explicit World(Rank size, LogGPParams params = {});
+
+  /// Runs one SPMD program. May be called repeatedly; ledgers accumulate.
+  void run(const std::function<void(Comm&)>& fn);
+
+  [[nodiscard]] Rank size() const { return size_; }
+  [[nodiscard]] const LogGPParams& params() const { return params_; }
+
+  /// Per-rank ledgers, merged message log, and modeled network time.
+  [[nodiscard]] const std::vector<RankLedger>& ledgers() const { return ledgers_; }
+  [[nodiscard]] const std::vector<MsgRecord>& message_log() const { return log_; }
+  [[nodiscard]] double modeled_network_seconds(SchedulePolicy policy) const;
+
+  /// Sum over ranks / max over ranks of compute CPU seconds.
+  [[nodiscard]] double total_cpu_seconds() const;
+  [[nodiscard]] double max_rank_cpu_seconds() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+  [[nodiscard]] std::uint64_t total_messages() const;
+
+  /// Resets ledgers and the message log (between experiment repetitions).
+  void reset_accounting();
+
+ private:
+  friend class Comm;
+
+  Mailbox& mailbox(Rank r) { return *mailboxes_[static_cast<std::size_t>(r)]; }
+  void append_log(const MsgRecord& m);
+
+  Rank size_;
+  LogGPParams params_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<RankLedger> ledgers_;
+  std::vector<MsgRecord> log_;
+  std::mutex log_mu_;
+};
+
+}  // namespace aacc::rt

@@ -1,0 +1,93 @@
+// Byte-buffer serialization for inter-rank messages.
+//
+// Rank state may only cross rank boundaries through these buffers — that is
+// what keeps the thread-based runtime an honest stand-in for MPI: byte
+// counts fed into the LogGP model are the real payload sizes, and no rank
+// can observe another's memory.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace aacc::rt {
+
+class ByteWriter {
+ public:
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write(const T& value) {
+    const auto* p = reinterpret_cast<const std::byte*>(&value);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write_vec(const std::vector<T>& v) {
+    write(static_cast<std::uint64_t>(v.size()));
+    const auto* p = reinterpret_cast<const std::byte*>(v.data());
+    buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+  }
+
+  void write_str(const std::string& s) {
+    write(static_cast<std::uint64_t>(s.size()));
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    buf_.insert(buf_.end(), p, p + s.size());
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+  /// Moves the accumulated bytes out; the writer is reusable afterwards.
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> buf) : buf_(buf) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T read() {
+    AACC_CHECK_MSG(pos_ + sizeof(T) <= buf_.size(), "message underflow");
+    T value;
+    std::memcpy(&value, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> read_vec() {
+    const auto n = read<std::uint64_t>();
+    AACC_CHECK_MSG(pos_ + n * sizeof(T) <= buf_.size(), "message underflow");
+    std::vector<T> v(n);
+    std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  std::string read_str() {
+    const auto n = read<std::uint64_t>();
+    AACC_CHECK_MSG(pos_ + n <= buf_.size(), "message underflow");
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == buf_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  std::span<const std::byte> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace aacc::rt

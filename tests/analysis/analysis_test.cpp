@@ -1,0 +1,162 @@
+// Reference kernels: Dijkstra, APSP, centralities, quality metrics.
+#include <gtest/gtest.h>
+
+#include "analysis/closeness.hpp"
+#include "analysis/quality.hpp"
+#include "analysis/shortest_paths.hpp"
+#include "graph/generators.hpp"
+
+namespace aacc {
+namespace {
+
+Graph diamond() {
+  // 0 -2- 1 -2- 3,  0 -1- 2 -1- 3  => d(0,3) = 2 via vertex 2
+  Graph g(4);
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 3, 2);
+  g.add_edge(0, 2, 1);
+  g.add_edge(2, 3, 1);
+  return g;
+}
+
+TEST(Dijkstra, WeightedShortestPaths) {
+  const Graph g = diamond();
+  const CsrGraph csr(g);
+  const auto d = dijkstra(csr, 0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 2u);
+  EXPECT_EQ(d[2], 1u);
+  EXPECT_EQ(d[3], 2u);
+}
+
+TEST(Dijkstra, UnreachableIsInf) {
+  Graph g(3);
+  g.add_edge(0, 1, 4);
+  const CsrGraph csr(g);
+  const auto d = dijkstra(csr, 0);
+  EXPECT_EQ(d[2], kInfDist);
+}
+
+TEST(Dijkstra, FirstHopFollowsShortestPath) {
+  const Graph g = diamond();
+  const CsrGraph csr(g);
+  const auto res = dijkstra_with_first_hop(csr, 0);
+  EXPECT_EQ(res.first_hop[0], kNoVertex);
+  EXPECT_EQ(res.first_hop[2], 2u);
+  EXPECT_EQ(res.first_hop[3], 2u);  // through the cheap side
+  EXPECT_EQ(res.first_hop[1], 1u);
+}
+
+TEST(Dijkstra, FirstHopChainsAreConsistent) {
+  Rng rng(12);
+  const Graph g = erdos_renyi(80, 200, rng, WeightRange{1, 6});
+  const CsrGraph csr(g);
+  for (VertexId s = 0; s < 80; s += 13) {
+    const auto res = dijkstra_with_first_hop(csr, s);
+    for (VertexId t = 0; t < 80; ++t) {
+      if (t == s || res.dist[t] == kInfDist) continue;
+      const VertexId h = res.first_hop[t];
+      ASSERT_NE(h, kNoVertex);
+      ASSERT_TRUE(g.has_edge(s, h));
+      // d(s,t) = w(s,h) + d(h,t)
+      const auto from_h = dijkstra(csr, h);
+      EXPECT_EQ(res.dist[t], g.edge_weight(s, h) + from_h[t]);
+    }
+  }
+}
+
+TEST(ApspReference, SymmetricOnUndirectedGraphs) {
+  Rng rng(13);
+  const Graph g = erdos_renyi(60, 150, rng, WeightRange{1, 4});
+  const auto apsp = apsp_reference(g);
+  for (VertexId u = 0; u < 60; ++u) {
+    for (VertexId v = u; v < 60; ++v) {
+      EXPECT_EQ(apsp[u][v], apsp[v][u]);
+    }
+  }
+}
+
+TEST(ApspReference, TombstonedRowsAndColumnsAreInf) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.remove_vertex(2);
+  const auto apsp = apsp_reference(g);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_EQ(apsp[2][v], kInfDist);
+    EXPECT_EQ(apsp[v][2], kInfDist);
+  }
+  EXPECT_EQ(apsp[0][1], 1u);
+  EXPECT_EQ(apsp[0][3], kInfDist);  // 3 got disconnected
+}
+
+TEST(Closeness, MatchesHandComputation) {
+  // Path 0-1-2: C(1) = 1/(1+1), C(0) = 1/(1+2)
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto c = closeness_exact(g);
+  EXPECT_DOUBLE_EQ(c[1], 0.5);
+  EXPECT_DOUBLE_EQ(c[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c[2], 1.0 / 3.0);
+}
+
+TEST(Closeness, CenterOfStarIsMostCentral) {
+  Graph g(9);
+  for (VertexId v = 1; v < 9; ++v) g.add_edge(0, v);
+  const auto c = closeness_exact(g);
+  for (VertexId v = 1; v < 9; ++v) EXPECT_GT(c[0], c[v]);
+  const auto h = harmonic_exact(g);
+  for (VertexId v = 1; v < 9; ++v) EXPECT_GT(h[0], h[v]);
+}
+
+TEST(Closeness, IsolatedVertexScoresZero) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto c = closeness_exact(g);
+  EXPECT_EQ(c[2], 0.0);
+}
+
+TEST(Harmonic, CountsOnlyReachable) {
+  Graph g(4);
+  g.add_edge(0, 1, 2);  // 1/2 from 0
+  g.add_edge(0, 2, 4);  // 1/4 from 0
+  const auto h = harmonic_exact(g);
+  EXPECT_DOUBLE_EQ(h[0], 0.75);
+}
+
+TEST(TopK, OrdersByScoreThenId) {
+  const std::vector<double> s{0.5, 0.9, 0.9, 0.1};
+  const auto top = top_k(s, 3);
+  EXPECT_EQ(top, (std::vector<VertexId>{1, 2, 0}));
+}
+
+TEST(Quality, PerfectEstimateScoresPerfectly) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_relative_error(x, x), 0.0);
+  EXPECT_DOUBLE_EQ(max_abs_error(x, x), 0.0);
+  EXPECT_DOUBLE_EQ(top_k_overlap(x, x, 2), 1.0);
+  EXPECT_DOUBLE_EQ(kendall_tau(x, x), 1.0);
+}
+
+TEST(Quality, ReversedRankingHasTauMinusOne) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const std::vector<double> b{5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(kendall_tau(a, b), -1.0);
+}
+
+TEST(Quality, MeanRelativeError) {
+  const std::vector<double> exact{2.0, 4.0};
+  const std::vector<double> est{1.0, 5.0};
+  EXPECT_DOUBLE_EQ(mean_relative_error(exact, est), (0.5 + 0.25) / 2);
+}
+
+TEST(Quality, TopKOverlapPartial) {
+  const std::vector<double> exact{10, 9, 8, 1, 2};
+  const std::vector<double> est{10, 1, 9, 8, 2};  // top3: {0,2,3} vs {0,1,2}
+  EXPECT_DOUBLE_EQ(top_k_overlap(exact, est, 3), 2.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace aacc

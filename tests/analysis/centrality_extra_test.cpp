@@ -1,0 +1,101 @@
+// Betweenness (Brandes) and eigenvector centrality ground-truth tests.
+#include <gtest/gtest.h>
+
+#include "analysis/centrality_extra.hpp"
+#include "graph/generators.hpp"
+
+namespace aacc {
+namespace {
+
+TEST(Betweenness, PathGraphMiddleDominates) {
+  // 0-1-2-3-4: bc(2) = 4 pairs through it ({0,1}x{3,4} via... exact: pairs
+  // (0,3),(0,4),(1,3),(1,4) all pass 2; plus (0,2..) endpoints excluded.
+  Graph g(5);
+  for (VertexId v = 0; v + 1 < 5; ++v) g.add_edge(v, v + 1);
+  const auto bc = betweenness_exact(g);
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[4], 0.0);
+  EXPECT_DOUBLE_EQ(bc[1], 3.0);  // (0,2),(0,3),(0,4)
+  EXPECT_DOUBLE_EQ(bc[2], 4.0);
+  EXPECT_DOUBLE_EQ(bc[3], 3.0);
+}
+
+TEST(Betweenness, StarCenterCarriesAllPairs) {
+  Graph g(6);
+  for (VertexId v = 1; v < 6; ++v) g.add_edge(0, v);
+  const auto bc = betweenness_exact(g);
+  // 5 leaves: C(5,2) = 10 pairs through the hub.
+  EXPECT_DOUBLE_EQ(bc[0], 10.0);
+  for (VertexId v = 1; v < 6; ++v) EXPECT_DOUBLE_EQ(bc[v], 0.0);
+}
+
+TEST(Betweenness, SplitsEvenlyAcrossEqualPaths) {
+  // Square 0-1-3-2-0: two equal paths between opposite corners.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(3, 2);
+  g.add_edge(2, 0);
+  const auto bc = betweenness_exact(g);
+  // Pair (0,3) splits across 1 and 2; pair (1,2) splits across 0 and 3.
+  for (VertexId v = 0; v < 4; ++v) EXPECT_DOUBLE_EQ(bc[v], 0.5);
+}
+
+TEST(Betweenness, RespectsWeights) {
+  // Triangle with one heavy edge: 0-2 direct (w=5) vs 0-1-2 (w=2).
+  Graph g(3);
+  g.add_edge(0, 2, 5);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  const auto bc = betweenness_exact(g);
+  EXPECT_DOUBLE_EQ(bc[1], 1.0);  // carries the (0,2) pair
+}
+
+TEST(Betweenness, SkipsTombstonedVertices) {
+  Graph g(5);
+  for (VertexId v = 0; v + 1 < 5; ++v) g.add_edge(v, v + 1);
+  g.remove_vertex(2);
+  const auto bc = betweenness_exact(g);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_DOUBLE_EQ(bc[v], 0.0);
+}
+
+TEST(Eigenvector, StarCenterHighest) {
+  Graph g(6);
+  for (VertexId v = 1; v < 6; ++v) g.add_edge(0, v);
+  const auto ev = eigenvector_centrality(g);
+  EXPECT_DOUBLE_EQ(ev[0], 1.0);  // normalized to max
+  for (VertexId v = 1; v < 6; ++v) {
+    EXPECT_LT(ev[v], 1.0);
+    EXPECT_GT(ev[v], 0.0);
+    EXPECT_NEAR(ev[v], ev[1], 1e-9);  // leaves symmetric
+  }
+}
+
+TEST(Eigenvector, RegularGraphIsUniform) {
+  // Cycle: every vertex identical.
+  Graph g(8);
+  for (VertexId v = 0; v < 8; ++v) g.add_edge(v, (v + 1) % 8);
+  const auto ev = eigenvector_centrality(g);
+  for (VertexId v = 0; v < 8; ++v) EXPECT_NEAR(ev[v], 1.0, 1e-9);
+}
+
+TEST(Eigenvector, EdgelessGraphIsZero) {
+  Graph g(4);
+  const auto ev = eigenvector_centrality(g);
+  for (const double v : ev) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Eigenvector, HubsDominateInScaleFree) {
+  Rng rng(5);
+  const Graph g = barabasi_albert(400, 2, rng);
+  const auto ev = eigenvector_centrality(g);
+  // The earliest (highest-degree) vertices should rank above the median.
+  double early = 0.0;
+  double total = 0.0;
+  for (VertexId v = 0; v < 10; ++v) early += ev[v];
+  for (VertexId v = 0; v < 400; ++v) total += ev[v];
+  EXPECT_GT(early / 10.0, total / 400.0 * 3.0);
+}
+
+}  // namespace
+}  // namespace aacc

@@ -1,0 +1,135 @@
+// Common kernel: saturating distance arithmetic, checked asserts, RNG
+// distribution sanity, env knobs.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace aacc {
+namespace {
+
+TEST(DistAdd, FiniteSums) {
+  EXPECT_EQ(dist_add(2, 3), 5u);
+  EXPECT_EQ(dist_add(0, 0), 0u);
+}
+
+TEST(DistAdd, InfinityAbsorbs) {
+  EXPECT_EQ(dist_add(kInfDist, 1), kInfDist);
+  EXPECT_EQ(dist_add(1, kInfDist), kInfDist);
+  EXPECT_EQ(dist_add(kInfDist, kInfDist), kInfDist);
+}
+
+TEST(DistAdd, OverflowSaturates) {
+  const Dist big = kInfDist - 1;
+  EXPECT_EQ(dist_add(big, big), kInfDist);
+  EXPECT_EQ(dist_add(big, 1), kInfDist);
+  EXPECT_EQ(dist_add(big, 0), big);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    AACC_CHECK_MSG(1 == 2, "context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  AACC_CHECK(1 + 1 == 2);
+  AACC_CHECK_MSG(true, "never shown");
+  SUCCEED();
+}
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng c(8);
+  Rng d(7);
+  bool all_same = true;
+  for (int i = 0; i < 10; ++i) all_same &= (c.next_u64() == d.next_u64());
+  EXPECT_FALSE(all_same);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversValues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, UniformityChiSquare) {
+  // 10 buckets, 20k draws: chi^2 with 9 dof; 99.9th percentile ~ 27.9.
+  Rng rng(5);
+  const int buckets = 10;
+  const int draws = 20000;
+  std::vector<int> count(buckets, 0);
+  for (int i = 0; i < draws; ++i) ++count[rng.next_below(buckets)];
+  const double expected = static_cast<double>(draws) / buckets;
+  double chi2 = 0;
+  for (const int c : count) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(6);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NextInInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.next_in(3, 5);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Env, ReadsAndDefaults) {
+  ::setenv("AACC_TEST_INT", "42", 1);
+  ::setenv("AACC_TEST_DBL", "2.5", 1);
+  ::setenv("AACC_TEST_STR", "hello", 1);
+  EXPECT_EQ(env_int("AACC_TEST_INT", 7), 42);
+  EXPECT_DOUBLE_EQ(env_double("AACC_TEST_DBL", 1.0), 2.5);
+  EXPECT_EQ(env_str("AACC_TEST_STR", "x"), "hello");
+  EXPECT_EQ(env_int("AACC_TEST_MISSING", 7), 7);
+  EXPECT_DOUBLE_EQ(env_double("AACC_TEST_MISSING", 1.5), 1.5);
+  EXPECT_EQ(env_str("AACC_TEST_MISSING", "dflt"), "dflt");
+  ::setenv("AACC_TEST_EMPTY", "", 1);
+  EXPECT_EQ(env_int("AACC_TEST_EMPTY", 9), 9);
+}
+
+}  // namespace
+}  // namespace aacc

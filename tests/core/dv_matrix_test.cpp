@@ -1,0 +1,96 @@
+// DvRow: aggregates, flags, growth, wire reconstruction.
+#include <gtest/gtest.h>
+
+#include "core/dv_matrix.hpp"
+
+namespace aacc {
+namespace {
+
+TEST(DvRow, FreshRowKnowsOnlyItself) {
+  const DvRow row(2, 5);
+  EXPECT_EQ(row.self(), 2u);
+  EXPECT_EQ(row.size(), 5u);
+  EXPECT_EQ(row.dist(2), 0u);
+  for (VertexId t : {0u, 1u, 3u, 4u}) EXPECT_EQ(row.dist(t), kInfDist);
+  EXPECT_EQ(row.finite_count(), 0u);
+  EXPECT_EQ(row.finite_sum(), 0u);
+  EXPECT_EQ(row.closeness(), 0.0);
+}
+
+TEST(DvRow, SetMaintainsAggregates) {
+  DvRow row(0, 4);
+  row.set(1, 5, 1);
+  row.set(2, 7, 1);
+  EXPECT_EQ(row.finite_sum(), 12u);
+  EXPECT_EQ(row.finite_count(), 2u);
+  EXPECT_DOUBLE_EQ(row.closeness(), 1.0 / 12.0);
+  row.set(1, 3, 2);  // improvement
+  EXPECT_EQ(row.finite_sum(), 10u);
+  EXPECT_EQ(row.finite_count(), 2u);
+  row.set(2, kInfDist, kNoVertex);  // poison
+  EXPECT_EQ(row.finite_sum(), 3u);
+  EXPECT_EQ(row.finite_count(), 1u);
+}
+
+TEST(DvRow, SelfEntryExcludedFromAggregates) {
+  DvRow row(1, 3);
+  row.set(0, 2, 0);
+  EXPECT_EQ(row.finite_sum(), 2u);
+  EXPECT_EQ(row.finite_count(), 1u);
+}
+
+TEST(DvRow, DirtyFlagCounting) {
+  DvRow row(0, 4);
+  EXPECT_TRUE(row.mark_dirty(1));
+  EXPECT_FALSE(row.mark_dirty(1));  // already dirty
+  EXPECT_TRUE(row.mark_dirty(2));
+  EXPECT_EQ(row.dirty_count(), 2u);
+  EXPECT_TRUE(row.clear_dirty(1));
+  EXPECT_FALSE(row.clear_dirty(1));
+  EXPECT_EQ(row.dirty_count(), 1u);
+}
+
+TEST(DvRow, QueuedFlagIndependentOfDirty) {
+  DvRow row(0, 3);
+  row.set_flag(1, DvRow::kQueued);
+  EXPECT_TRUE(row.test_flag(1, DvRow::kQueued));
+  EXPECT_FALSE(row.test_flag(1, DvRow::kDirty));
+  (void)row.mark_dirty(1);
+  row.clear_flag(1, DvRow::kQueued);
+  EXPECT_TRUE(row.test_flag(1, DvRow::kDirty));
+  EXPECT_EQ(row.dirty_count(), 1u);
+}
+
+TEST(DvRow, GrowAddsUnreachableColumns) {
+  DvRow row(0, 2);
+  row.set(1, 4, 1);
+  row.grow(3);
+  EXPECT_EQ(row.size(), 5u);
+  EXPECT_EQ(row.dist(4), kInfDist);
+  EXPECT_EQ(row.next_hop(4), kNoVertex);
+  EXPECT_EQ(row.finite_sum(), 4u);  // aggregates unchanged
+}
+
+TEST(DvRow, WireConstructorRecomputesAggregates) {
+  const std::vector<Dist> d{0, 3, kInfDist, 9};
+  const std::vector<VertexId> nh{kNoVertex, 1, kNoVertex, 1};
+  const DvRow row(0, d, nh);
+  EXPECT_EQ(row.finite_sum(), 12u);
+  EXPECT_EQ(row.finite_count(), 2u);
+  EXPECT_EQ(row.dirty_count(), 0u);
+  EXPECT_EQ(row.next_hop(3), 1u);
+}
+
+TEST(DvRow, ResetFlagsClearsEverything) {
+  DvRow row(0, 4);
+  (void)row.mark_dirty(1);
+  (void)row.mark_dirty(2);
+  row.set_flag(3, DvRow::kQueued);
+  row.reset_flags();
+  EXPECT_EQ(row.dirty_count(), 0u);
+  EXPECT_FALSE(row.test_flag(1, DvRow::kDirty));
+  EXPECT_FALSE(row.test_flag(3, DvRow::kQueued));
+}
+
+}  // namespace
+}  // namespace aacc

@@ -1,0 +1,305 @@
+// Integration: dynamic updates ingested mid-analysis must converge to
+// exactly the same APSP/closeness as recomputing from scratch on the
+// mutated graph — for additions, deletions, weight changes, vertex
+// additions under every assignment strategy, and vertex deletions.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace aacc {
+namespace {
+
+using test::expect_apsp_exact;
+using test::grow_vertices;
+using test::make_ba;
+using test::make_er;
+
+EngineConfig base_cfg(Rank P) {
+  EngineConfig cfg;
+  cfg.num_ranks = P;
+  cfg.gather_apsp = true;
+  return cfg;
+}
+
+Graph truth_after(const Graph& g, const EventSchedule& schedule) {
+  Graph t = g;
+  apply_schedule(t, schedule);
+  return t;
+}
+
+TEST(EngineDynamic, EdgeAdditionsSeeded) {
+  const Graph g = make_ba(200, 2, 11);
+  Rng rng(99);
+  EventSchedule sched;
+  EventBatch batch;
+  batch.at_step = 1;
+  for (int i = 0; i < 30; ++i) {
+    VertexId u;
+    VertexId v;
+    do {
+      u = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+      v = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    } while (u == v || g.has_edge(u, v));
+    bool dup = false;
+    for (const Event& e : batch.events) {
+      const auto& ea = std::get<EdgeAddEvent>(e);
+      dup |= (ea.u == u && ea.v == v) || (ea.u == v && ea.v == u);
+    }
+    if (dup) continue;
+    batch.events.emplace_back(EdgeAddEvent{u, v, 1});
+  }
+  sched.push_back(batch);
+
+  AnytimeEngine engine(g, base_cfg(6));
+  const RunResult r = engine.run(sched);
+  expect_apsp_exact(truth_after(g, sched), r);
+}
+
+TEST(EngineDynamic, EdgeAdditionsEagerMatchesSeeded) {
+  const Graph g = make_er(150, 400, 21, WeightRange{1, 5});
+  EventSchedule sched;
+  EventBatch batch;
+  batch.at_step = 2;
+  batch.events.emplace_back(EdgeAddEvent{3, 77, 1});
+  batch.events.emplace_back(EdgeAddEvent{10, 140, 2});
+  batch.events.emplace_back(EdgeAddEvent{55, 91, 1});
+  sched.push_back(batch);
+
+  for (const EdgeAddMode mode : {EdgeAddMode::kSeeded, EdgeAddMode::kEager}) {
+    EngineConfig cfg = base_cfg(4);
+    cfg.add_mode = mode;
+    Graph g2 = g;
+    // Ensure the scheduled edges don't already exist in the fixture.
+    for (const Event& e : sched[0].events) {
+      const auto& ea = std::get<EdgeAddEvent>(e);
+      ASSERT_FALSE(g2.has_edge(ea.u, ea.v));
+    }
+    AnytimeEngine engine(g2, cfg);
+    const RunResult r = engine.run(sched);
+    expect_apsp_exact(truth_after(g, sched), r);
+  }
+}
+
+TEST(EngineDynamic, EdgeDeletions) {
+  const Graph g = make_er(150, 500, 33);
+  Rng rng(5);
+  EventSchedule sched;
+  EventBatch batch;
+  batch.at_step = 1;
+  Graph probe = g;  // tracks deletions so we never delete twice
+  for (int i = 0; i < 25; ++i) {
+    const auto edges = probe.edges();
+    const auto& [u, v, w] = edges[rng.next_below(edges.size())];
+    (void)w;
+    probe.remove_edge(u, v);
+    batch.events.emplace_back(EdgeDeleteEvent{u, v});
+  }
+  sched.push_back(batch);
+
+  AnytimeEngine engine(g, base_cfg(6));
+  const RunResult r = engine.run(sched);
+  expect_apsp_exact(truth_after(g, sched), r);
+}
+
+TEST(EngineDynamic, EdgeDeletionLateStep) {
+  const Graph g = make_ba(180, 3, 8);
+  Rng rng(17);
+  EventSchedule sched;
+  EventBatch batch;
+  batch.at_step = 9;  // after static convergence
+  Graph probe = g;
+  for (int i = 0; i < 15; ++i) {
+    const auto edges = probe.edges();
+    const auto& [u, v, w] = edges[rng.next_below(edges.size())];
+    (void)w;
+    probe.remove_edge(u, v);
+    batch.events.emplace_back(EdgeDeleteEvent{u, v});
+  }
+  sched.push_back(batch);
+
+  AnytimeEngine engine(g, base_cfg(5));
+  const RunResult r = engine.run(sched);
+  expect_apsp_exact(truth_after(g, sched), r);
+}
+
+TEST(EngineDynamic, WeightIncreaseAndDecrease) {
+  const Graph g = make_er(120, 360, 44, WeightRange{2, 6});
+  EventSchedule sched;
+  EventBatch batch;
+  batch.at_step = 1;
+  const auto edges = g.edges();
+  // Increase some weights, decrease others.
+  for (std::size_t i = 0; i < 20 && i < edges.size(); ++i) {
+    const auto& [u, v, w] = edges[i * 7 % edges.size()];
+    bool dup = false;
+    for (const Event& e : batch.events) {
+      const auto& wc = std::get<WeightChangeEvent>(e);
+      dup |= (wc.u == u && wc.v == v);
+    }
+    if (dup) continue;
+    const Weight nw = (i % 2 == 0) ? w + 5 : 1;
+    batch.events.emplace_back(WeightChangeEvent{u, v, nw});
+  }
+  sched.push_back(batch);
+
+  AnytimeEngine engine(g, base_cfg(4));
+  const RunResult r = engine.run(sched);
+  expect_apsp_exact(truth_after(g, sched), r);
+}
+
+TEST(EngineDynamic, VertexAdditionsRoundRobin) {
+  const Graph g = make_ba(150, 2, 55);
+  Rng rng(2);
+  EventSchedule sched;
+  sched.push_back({1, grow_vertices(g, 40, 3, rng)});
+
+  EngineConfig cfg = base_cfg(6);
+  cfg.assign = AssignStrategy::kRoundRobin;
+  AnytimeEngine engine(g, cfg);
+  const RunResult r = engine.run(sched);
+  expect_apsp_exact(truth_after(g, sched), r);
+}
+
+TEST(EngineDynamic, VertexAdditionsCutEdge) {
+  const Graph g = make_ba(150, 2, 56);
+  Rng rng(3);
+  EventSchedule sched;
+  sched.push_back({2, grow_vertices(g, 40, 3, rng)});
+
+  EngineConfig cfg = base_cfg(6);
+  cfg.assign = AssignStrategy::kCutEdge;
+  AnytimeEngine engine(g, cfg);
+  const RunResult r = engine.run(sched);
+  expect_apsp_exact(truth_after(g, sched), r);
+}
+
+TEST(EngineDynamic, VertexAdditionsRepartition) {
+  const Graph g = make_ba(150, 2, 57);
+  Rng rng(4);
+  EventSchedule sched;
+  sched.push_back({1, grow_vertices(g, 40, 3, rng)});
+
+  EngineConfig cfg = base_cfg(6);
+  cfg.assign = AssignStrategy::kRepartition;
+  AnytimeEngine engine(g, cfg);
+  const RunResult r = engine.run(sched);
+  expect_apsp_exact(truth_after(g, sched), r);
+}
+
+TEST(EngineDynamic, VertexDeletions) {
+  const Graph g = make_er(140, 500, 66);
+  EventSchedule sched;
+  EventBatch batch;
+  batch.at_step = 1;
+  batch.events.emplace_back(VertexDeleteEvent{7});
+  batch.events.emplace_back(VertexDeleteEvent{23});
+  batch.events.emplace_back(VertexDeleteEvent{108});
+  sched.push_back(batch);
+
+  AnytimeEngine engine(g, base_cfg(5));
+  const RunResult r = engine.run(sched);
+  expect_apsp_exact(truth_after(g, sched), r);
+}
+
+TEST(EngineDynamic, IncrementalBatchesAcrossSteps) {
+  const Graph g = make_ba(160, 2, 77);
+  Rng rng(8);
+  EventSchedule sched;
+  Graph cursor = g;
+  for (std::size_t s = 0; s < 4; ++s) {
+    EventBatch batch;
+    batch.at_step = 1 + 2 * s;
+    auto events = grow_vertices(cursor, 10, 2, rng);
+    for (const Event& e : events) apply_event(cursor, e);
+    batch.events = std::move(events);
+    sched.push_back(std::move(batch));
+  }
+  AnytimeEngine engine(g, base_cfg(6));
+  const RunResult r = engine.run(sched);
+  expect_apsp_exact(cursor, r);
+}
+
+// Property sweep: random interleavings of every event type at random steps
+// must still converge to the reference. Seeds parameterize the chaos.
+class DynamicChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicChaos, ConvergesToReference) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  Graph g = make_er(100, 280, seed ^ 0xabcdef);
+
+  Graph cursor = g;
+  EventSchedule sched;
+  std::size_t step = 1;
+  for (int b = 0; b < 3; ++b) {
+    EventBatch batch;
+    batch.at_step = step;
+    step += rng.next_below(3);
+    for (int i = 0; i < 12; ++i) {
+      const auto kind = rng.next_below(5);
+      if (kind == 0) {  // edge add
+        VertexId u;
+        VertexId v;
+        int tries = 0;
+        do {
+          u = static_cast<VertexId>(rng.next_below(cursor.num_vertices()));
+          v = static_cast<VertexId>(rng.next_below(cursor.num_vertices()));
+        } while ((u == v || !cursor.is_alive(u) || !cursor.is_alive(v) ||
+                  cursor.has_edge(u, v)) &&
+                 ++tries < 50);
+        if (tries >= 50) continue;
+        const auto w = static_cast<Weight>(1 + rng.next_below(4));
+        cursor.add_edge(u, v, w);
+        batch.events.emplace_back(EdgeAddEvent{u, v, w});
+      } else if (kind == 1) {  // edge delete
+        const auto edges = cursor.edges();
+        if (edges.empty()) continue;
+        const auto& [u, v, w] = edges[rng.next_below(edges.size())];
+        (void)w;
+        cursor.remove_edge(u, v);
+        batch.events.emplace_back(EdgeDeleteEvent{u, v});
+      } else if (kind == 2) {  // weight change
+        const auto edges = cursor.edges();
+        if (edges.empty()) continue;
+        const auto& [u, v, w] = edges[rng.next_below(edges.size())];
+        (void)w;
+        const auto nw = static_cast<Weight>(1 + rng.next_below(8));
+        cursor.set_weight(u, v, nw);
+        batch.events.emplace_back(WeightChangeEvent{u, v, nw});
+      } else if (kind == 3) {  // vertex add
+        auto events = grow_vertices(cursor, 2, 2, rng);
+        for (const Event& e : events) {
+          apply_event(cursor, e);
+          batch.events.push_back(e);
+        }
+      } else {  // vertex delete
+        VertexId v;
+        int tries = 0;
+        do {
+          v = static_cast<VertexId>(rng.next_below(cursor.num_vertices()));
+        } while (!cursor.is_alive(v) && ++tries < 50);
+        if (tries >= 50 || cursor.num_alive() < 20) continue;
+        cursor.remove_vertex(v);
+        batch.events.emplace_back(VertexDeleteEvent{v});
+      }
+    }
+    sched.push_back(std::move(batch));
+  }
+
+  EngineConfig cfg;
+  cfg.num_ranks = 4 + static_cast<Rank>(seed % 5);
+  cfg.gather_apsp = true;
+  cfg.assign = static_cast<AssignStrategy>(seed % 3);
+  cfg.validate_each_step = true;  // DVR invariant audited after every step
+  AnytimeEngine engine(g, cfg);
+  const RunResult r = engine.run(sched);
+  EXPECT_EQ(r.stats.invariant_violations, 0u);
+  expect_apsp_exact(cursor, r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicChaos,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16));
+
+}  // namespace
+}  // namespace aacc

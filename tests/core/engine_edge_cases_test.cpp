@@ -1,0 +1,245 @@
+// Engine edge cases: degenerate sizes, batch pathologies, strategy corner
+// cases, and schedule validation.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace aacc {
+namespace {
+
+using test::expect_apsp_exact;
+using test::grow_vertices;
+using test::make_ba;
+using test::make_er;
+
+EngineConfig base_cfg(Rank P) {
+  EngineConfig cfg;
+  cfg.num_ranks = P;
+  cfg.gather_apsp = true;
+  return cfg;
+}
+
+TEST(EngineEdgeCases, TwoVertexGraph) {
+  Graph g(2);
+  g.add_edge(0, 1, 7);
+  AnytimeEngine engine(g, base_cfg(2));
+  const RunResult r = engine.run();
+  EXPECT_EQ(r.apsp[0][1], 7u);
+  EXPECT_DOUBLE_EQ(r.closeness[0], 1.0 / 7.0);
+}
+
+TEST(EngineEdgeCases, MoreRanksThanVertices) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  AnytimeEngine engine(g, base_cfg(8));
+  const RunResult r = engine.run();
+  expect_apsp_exact(g, r);
+}
+
+TEST(EngineEdgeCases, EdgelessGraph) {
+  Graph g(6);
+  AnytimeEngine engine(g, base_cfg(3));
+  const RunResult r = engine.run();
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_DOUBLE_EQ(r.closeness[v], 0.0);
+  }
+}
+
+TEST(EngineEdgeCases, EventsAtStepZero) {
+  const Graph g = make_ba(100, 2, 1);
+  EventSchedule sched;
+  sched.push_back({0, {EdgeAddEvent{0, 50, 1}}});
+  AnytimeEngine engine(g, base_cfg(4));
+  const RunResult r = engine.run(sched);
+  Graph truth = g;
+  apply_schedule(truth, sched);
+  expect_apsp_exact(truth, r);
+}
+
+TEST(EngineEdgeCases, MultipleBatchesAtSameStep) {
+  const Graph g = make_ba(100, 2, 2);
+  Rng rng(3);
+  EventSchedule sched;
+  sched.push_back({2, grow_vertices(g, 5, 2, rng)});
+  Graph mid = g;
+  apply_schedule(mid, sched);
+  sched.push_back({2, grow_vertices(mid, 5, 2, rng)});
+  AnytimeEngine engine(g, base_cfg(4));
+  const RunResult r = engine.run(sched);
+  Graph truth = g;
+  apply_schedule(truth, sched);
+  expect_apsp_exact(truth, r);
+}
+
+TEST(EngineEdgeCases, AddThenDeleteSameEdgeAcrossBatches) {
+  const Graph g = make_er(80, 200, 4);
+  ASSERT_FALSE(g.has_edge(0, 79));
+  EventSchedule sched;
+  sched.push_back({1, {EdgeAddEvent{0, 79, 1}}});
+  sched.push_back({3, {EdgeDeleteEvent{0, 79}}});
+  AnytimeEngine engine(g, base_cfg(4));
+  const RunResult r = engine.run(sched);
+  expect_apsp_exact(g, r);  // net effect: unchanged graph
+}
+
+TEST(EngineEdgeCases, AddThenDeleteSameEdgeWithinOneBatch) {
+  const Graph g = make_er(80, 200, 5);
+  ASSERT_FALSE(g.has_edge(3, 77));
+  EventSchedule sched;
+  sched.push_back({1, {EdgeAddEvent{3, 77, 1}, EdgeDeleteEvent{3, 77}}});
+  AnytimeEngine engine(g, base_cfg(4));
+  const RunResult r = engine.run(sched);
+  expect_apsp_exact(g, r);
+}
+
+TEST(EngineEdgeCases, WeightChangeToSameValueIsNoOp) {
+  const Graph g = make_er(60, 150, 6, WeightRange{3, 3});
+  const auto edges = g.edges();
+  EventSchedule sched;
+  sched.push_back({1, {WeightChangeEvent{std::get<0>(edges[0]),
+                                         std::get<1>(edges[0]), 3}}});
+  AnytimeEngine engine(g, base_cfg(3));
+  const RunResult r = engine.run(sched);
+  expect_apsp_exact(g, r);
+}
+
+TEST(EngineEdgeCases, DeleteBridgeDisconnectsGraph) {
+  // Two cliques joined by one bridge; deleting it must yield infinite
+  // cross-distances (and terminate — the count-to-infinity guard).
+  Graph g(8);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = u + 1; v < 4; ++v) g.add_edge(u, v);
+  }
+  for (VertexId u = 4; u < 8; ++u) {
+    for (VertexId v = u + 1; v < 8; ++v) g.add_edge(u, v);
+  }
+  g.add_edge(3, 4);
+  EventSchedule sched;
+  sched.push_back({1, {EdgeDeleteEvent{3, 4}}});
+  AnytimeEngine engine(g, base_cfg(4));
+  const RunResult r = engine.run(sched);
+  Graph truth = g;
+  truth.remove_edge(3, 4);
+  expect_apsp_exact(truth, r);
+  EXPECT_EQ(r.apsp[0][7], kInfDist);
+}
+
+TEST(EngineEdgeCases, DisconnectLargeRegionByVertexDeletes) {
+  // Star of cliques: deleting the hub isolates the arms from each other.
+  Graph g(13);
+  for (unsigned arm = 0; arm < 3; ++arm) {
+    const VertexId base = 1 + arm * 4;
+    for (VertexId u = base; u < base + 4; ++u) {
+      for (VertexId v = u + 1; v < base + 4; ++v) g.add_edge(u, v);
+      g.add_edge(0, u);
+    }
+  }
+  EventSchedule sched;
+  sched.push_back({2, {VertexDeleteEvent{0}}});
+  AnytimeEngine engine(g, base_cfg(5));
+  const RunResult r = engine.run(sched);
+  Graph truth = g;
+  truth.remove_vertex(0);
+  expect_apsp_exact(truth, r);
+}
+
+TEST(EngineEdgeCases, RepartitionWithDeletionsInSameBatch) {
+  const Graph g = make_er(120, 400, 7);
+  Rng rng(8);
+  EventSchedule sched;
+  EventBatch batch;
+  batch.at_step = 1;
+  Graph cursor = g;
+  // deletions first, then the vertex run that triggers repartitioning
+  for (int i = 0; i < 10; ++i) {
+    const auto edges = cursor.edges();
+    const auto& [u, v, w] = edges[rng.next_below(edges.size())];
+    (void)w;
+    cursor.remove_edge(u, v);
+    batch.events.emplace_back(EdgeDeleteEvent{u, v});
+  }
+  for (const Event& e : grow_vertices(cursor, 15, 2, rng)) {
+    apply_event(cursor, e);
+    batch.events.push_back(e);
+  }
+  sched.push_back(std::move(batch));
+
+  EngineConfig cfg = base_cfg(6);
+  cfg.assign = AssignStrategy::kRepartition;
+  AnytimeEngine engine(g, cfg);
+  const RunResult r = engine.run(sched);
+  expect_apsp_exact(cursor, r);
+}
+
+TEST(EngineEdgeCases, UnsortedScheduleRejected) {
+  const Graph g = make_ba(50, 2, 9);
+  EventSchedule sched;
+  sched.push_back({5, {EdgeAddEvent{0, 30, 1}}});
+  sched.push_back({2, {EdgeAddEvent{1, 31, 1}}});
+  AnytimeEngine engine(g, base_cfg(2));
+  EXPECT_THROW((void)engine.run(sched), std::logic_error);
+}
+
+TEST(EngineEdgeCases, RunIsSingleShot) {
+  const Graph g = make_ba(50, 2, 10);
+  AnytimeEngine engine(g, base_cfg(2));
+  (void)engine.run();
+  EXPECT_THROW((void)engine.run(), std::logic_error);
+}
+
+TEST(EngineEdgeCases, BoundaryFwRejectsDeletions) {
+  const Graph g = make_ba(50, 2, 11);
+  EngineConfig cfg = base_cfg(2);
+  cfg.refine = RefineMode::kBoundaryFloydWarshall;
+  EventSchedule sched;
+  sched.push_back({1, {EdgeDeleteEvent{0, 1}}});
+  AnytimeEngine engine(g, cfg);
+  EXPECT_THROW((void)engine.run(sched), std::logic_error);
+}
+
+TEST(EngineEdgeCases, BoundaryFwMatchesOnAdditiveWorkloads) {
+  const Graph g = make_ba(150, 2, 12);
+  Rng rng(13);
+  EventSchedule sched;
+  sched.push_back({1, grow_vertices(g, 20, 2, rng)});
+  EngineConfig cfg = base_cfg(5);
+  cfg.refine = RefineMode::kBoundaryFloydWarshall;
+  AnytimeEngine engine(g, cfg);
+  const RunResult r = engine.run(sched);
+  Graph truth = g;
+  apply_schedule(truth, sched);
+  expect_apsp_exact(truth, r);
+}
+
+TEST(EngineEdgeCases, MaxRcStepsCapsTheLoop) {
+  const Graph g = make_ba(200, 2, 14);
+  EngineConfig cfg;
+  cfg.num_ranks = 8;
+  cfg.max_rc_steps = 2;
+  AnytimeEngine engine(g, cfg);
+  const RunResult r = engine.run();
+  EXPECT_EQ(r.stats.rc_steps, 2u);  // interrupted (anytime!) run
+  // Estimates exist and are plausible even though not converged.
+  double sum = 0;
+  for (const double c : r.closeness) sum += c;
+  EXPECT_GT(sum, 0.0);
+}
+
+TEST(EngineEdgeCases, VertexAdditionIntoDisconnectedComponent) {
+  Rng rng(15);
+  Graph g = erdos_renyi(60, 80, rng);  // probably disconnected
+  EventSchedule sched;
+  VertexAddEvent ev;
+  ev.id = 60;
+  ev.edges = {{0, 2}};
+  sched.push_back({1, {ev}});
+  AnytimeEngine engine(g, base_cfg(4));
+  const RunResult r = engine.run(sched);
+  Graph truth = g;
+  apply_schedule(truth, sched);
+  expect_apsp_exact(truth, r);
+}
+
+}  // namespace
+}  // namespace aacc

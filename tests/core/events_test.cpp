@@ -1,0 +1,102 @@
+// Event application and wire round-trips.
+#include <gtest/gtest.h>
+
+#include "core/events.hpp"
+
+namespace aacc {
+namespace {
+
+TEST(Events, ApplyEdgeLifecycle) {
+  Graph g(3);
+  apply_event(g, EdgeAddEvent{0, 1, 4});
+  EXPECT_EQ(g.edge_weight(0, 1), 4u);
+  apply_event(g, WeightChangeEvent{0, 1, 9});
+  EXPECT_EQ(g.edge_weight(0, 1), 9u);
+  apply_event(g, EdgeDeleteEvent{0, 1});
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Events, ApplyVertexAddChecksDenseId) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  VertexAddEvent ev;
+  ev.id = 2;
+  ev.edges = {{0, 3}, {1, 1}};
+  apply_event(g, ev);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.edge_weight(2, 0), 3u);
+
+  VertexAddEvent bad;
+  bad.id = 7;  // should be 3
+  EXPECT_THROW(apply_event(g, bad), std::logic_error);
+}
+
+TEST(Events, ApplyVertexDelete) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  apply_event(g, VertexDeleteEvent{1});
+  EXPECT_FALSE(g.is_alive(1));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Events, ScheduleAppliesInOrder) {
+  Graph g(2);
+  EventSchedule sched;
+  sched.push_back({0, {EdgeAddEvent{0, 1, 2}}});
+  VertexAddEvent va;
+  va.id = 2;
+  va.edges = {{1, 1}};
+  sched.push_back({3, {va, EdgeDeleteEvent{0, 1}}});
+  apply_schedule(g, sched);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(Events, SerializationRoundTrip) {
+  std::vector<Event> events;
+  events.emplace_back(EdgeAddEvent{1, 2, 3});
+  events.emplace_back(EdgeDeleteEvent{4, 5});
+  events.emplace_back(WeightChangeEvent{6, 7, 8});
+  VertexAddEvent va;
+  va.id = 9;
+  va.edges = {{1, 2}, {3, 4}};
+  events.emplace_back(va);
+  events.emplace_back(VertexDeleteEvent{10});
+
+  rt::ByteWriter w;
+  serialize_events(events, w);
+  const auto buf = w.take();
+  rt::ByteReader r(buf);
+  const auto back = deserialize_events(r);
+  ASSERT_EQ(back.size(), events.size());
+
+  EXPECT_EQ(std::get<EdgeAddEvent>(back[0]).w, 3u);
+  EXPECT_EQ(std::get<EdgeDeleteEvent>(back[1]).v, 5u);
+  EXPECT_EQ(std::get<WeightChangeEvent>(back[2]).w_new, 8u);
+  const auto& va2 = std::get<VertexAddEvent>(back[3]);
+  EXPECT_EQ(va2.id, 9u);
+  ASSERT_EQ(va2.edges.size(), 2u);
+  EXPECT_EQ(va2.edges[1], (std::pair<VertexId, Weight>{3, 4}));
+  EXPECT_EQ(std::get<VertexDeleteEvent>(back[4]).v, 10u);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Events, EmptySerialization) {
+  rt::ByteWriter w;
+  serialize_events({}, w);
+  const auto buf = w.take();
+  rt::ByteReader r(buf);
+  EXPECT_TRUE(deserialize_events(r).empty());
+}
+
+TEST(Events, CountAcrossSchedule) {
+  EventSchedule sched;
+  sched.push_back({0, {EdgeAddEvent{}, EdgeAddEvent{}}});
+  sched.push_back({2, {EdgeDeleteEvent{}}});
+  EXPECT_EQ(event_count(sched), 3u);
+}
+
+}  // namespace
+}  // namespace aacc

@@ -1,0 +1,139 @@
+// LocalGraph: ownership, portals, subscribers, and mutation bookkeeping.
+#include <gtest/gtest.h>
+
+#include "core/local_graph.hpp"
+
+namespace aacc {
+namespace {
+
+// 6 vertices, ranks: {0,1,2}->0, {3,4,5}->1.
+// Edges: 0-1, 1-2 (local to 0); 3-4 (local to 1); 2-3, 1-4 (cut).
+std::vector<std::tuple<VertexId, VertexId, Weight>> fixture_edges() {
+  return {{0, 1, 1}, {1, 2, 2}, {3, 4, 1}, {2, 3, 5}, {1, 4, 3}};
+}
+
+LocalGraph fixture(Rank me) {
+  return LocalGraph(me, {0, 0, 0, 1, 1, 1}, fixture_edges());
+}
+
+TEST(LocalGraph, OwnershipAndRows) {
+  const LocalGraph lg = fixture(0);
+  EXPECT_EQ(lg.n(), 6u);
+  EXPECT_EQ(lg.num_local(), 3u);
+  EXPECT_TRUE(lg.is_local(1));
+  EXPECT_FALSE(lg.is_local(4));
+  EXPECT_EQ(lg.owner(4), 1);
+  EXPECT_GE(lg.row_of(0), 0);
+  EXPECT_EQ(lg.row_of(3), -1);
+  EXPECT_EQ(lg.vertex_of(static_cast<std::size_t>(lg.row_of(2))), 2u);
+}
+
+TEST(LocalGraph, PortalsAreRemoteEndpointsOfCutEdges) {
+  const LocalGraph lg = fixture(0);
+  EXPECT_TRUE(lg.is_portal(3));  // via 2-3
+  EXPECT_TRUE(lg.is_portal(4));  // via 1-4
+  EXPECT_FALSE(lg.is_portal(5));
+  EXPECT_FALSE(lg.is_portal(0));
+  const auto nbrs = lg.portal_neighbors(3);
+  ASSERT_EQ(nbrs.size(), 1u);
+  EXPECT_EQ(nbrs[0].first, 2u);
+  EXPECT_EQ(nbrs[0].second, 5u);
+}
+
+TEST(LocalGraph, BoundaryAndSubscribers) {
+  const LocalGraph lg = fixture(0);
+  EXPECT_FALSE(lg.is_boundary_row(static_cast<std::size_t>(lg.row_of(0))));
+  EXPECT_TRUE(lg.is_boundary_row(static_cast<std::size_t>(lg.row_of(1))));
+  std::vector<Rank> subs;
+  lg.subscribers(static_cast<std::size_t>(lg.row_of(1)), subs);
+  EXPECT_EQ(subs, std::vector<Rank>{1});
+  subs.clear();
+  lg.subscribers(static_cast<std::size_t>(lg.row_of(0)), subs);
+  EXPECT_TRUE(subs.empty());
+}
+
+TEST(LocalGraph, SymmetricViewOnOtherRank) {
+  const LocalGraph lg = fixture(1);
+  EXPECT_EQ(lg.num_local(), 3u);
+  EXPECT_TRUE(lg.is_portal(2));
+  EXPECT_TRUE(lg.is_portal(1));
+  EXPECT_EQ(lg.edge_weight(2, 3), 5u);
+}
+
+TEST(LocalGraph, AddCutEdgeCreatesPortal) {
+  LocalGraph lg = fixture(0);
+  lg.add_edge(0, 5, 7);
+  EXPECT_TRUE(lg.is_portal(5));
+  EXPECT_TRUE(lg.is_boundary_row(static_cast<std::size_t>(lg.row_of(0))));
+  EXPECT_EQ(lg.edge_weight(0, 5), 7u);
+}
+
+TEST(LocalGraph, RemoveLastCutEdgeRemovesPortal) {
+  LocalGraph lg = fixture(0);
+  lg.remove_edge(2, 3);
+  EXPECT_FALSE(lg.is_portal(3));
+  EXPECT_TRUE(lg.is_portal(4));  // the other cut edge remains
+}
+
+TEST(LocalGraph, NonIncidentEdgesIgnored) {
+  LocalGraph lg = fixture(0);
+  lg.add_edge(3, 5, 2);  // remote-remote
+  EXPECT_FALSE(lg.is_portal(5));
+  lg.remove_edge(3, 4);  // remote-remote removal is a no-op locally
+  EXPECT_EQ(lg.n(), 6u);
+}
+
+TEST(LocalGraph, SetWeightUpdatesPortalAdjacency) {
+  LocalGraph lg = fixture(0);
+  lg.set_weight(2, 3, 9);
+  EXPECT_EQ(lg.edge_weight(2, 3), 9u);
+  EXPECT_EQ(lg.portal_neighbors(3)[0].second, 9u);
+}
+
+TEST(LocalGraph, AddVertexLocalAndRemote) {
+  LocalGraph lg = fixture(0);
+  const VertexId a = lg.add_vertex(1);
+  EXPECT_EQ(a, 6u);
+  EXPECT_FALSE(lg.is_local(a));
+  const VertexId b = lg.add_vertex(0);
+  EXPECT_TRUE(lg.is_local(b));
+  EXPECT_EQ(lg.num_local(), 4u);
+  EXPECT_EQ(static_cast<std::size_t>(lg.row_of(b)), 3u);
+}
+
+TEST(LocalGraph, RemoveLocalVertexSwapsRows) {
+  LocalGraph lg = fixture(0);
+  const auto removed = lg.remove_vertex(0);  // row 0; vertex 2 moves into it
+  EXPECT_EQ(removed, 0);
+  EXPECT_FALSE(lg.is_alive(0));
+  EXPECT_EQ(lg.num_local(), 2u);
+  // Remaining locals still resolve correctly.
+  EXPECT_EQ(lg.vertex_of(static_cast<std::size_t>(lg.row_of(2))), 2u);
+  EXPECT_EQ(lg.vertex_of(static_cast<std::size_t>(lg.row_of(1))), 1u);
+}
+
+TEST(LocalGraph, RemoveRemoteVertexDropsCutEdges) {
+  LocalGraph lg = fixture(0);
+  const auto removed = lg.remove_vertex(3);
+  EXPECT_EQ(removed, -1);
+  EXPECT_FALSE(lg.is_portal(3));
+  // Edge 2-3 must be gone from 2's adjacency.
+  for (const Edge& e : lg.adj(static_cast<std::size_t>(lg.row_of(2)))) {
+    EXPECT_NE(e.to, 3u);
+  }
+}
+
+TEST(LocalGraph, GatherEmitsEachEdgeExactlyOnceAcrossRanks) {
+  const LocalGraph lg0 = fixture(0);
+  const LocalGraph lg1 = fixture(1);
+  auto e0 = lg0.local_edges_for_gather();
+  const auto e1 = lg1.local_edges_for_gather();
+  e0.insert(e0.end(), e1.begin(), e1.end());
+  EXPECT_EQ(e0.size(), fixture_edges().size());
+  // No duplicates.
+  std::sort(e0.begin(), e0.end());
+  EXPECT_EQ(std::adjacent_find(e0.begin(), e0.end()), e0.end());
+}
+
+}  // namespace
+}  // namespace aacc

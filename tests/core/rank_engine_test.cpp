@@ -1,0 +1,147 @@
+// RankEngine in isolation (driven directly on a World): IA correctness
+// against local Dijkstra semantics, invariant auditing, and state
+// serialization round-trips.
+#include <gtest/gtest.h>
+
+#include "analysis/shortest_paths.hpp"
+#include "core/rank_engine.hpp"
+#include "graph/generators.hpp"
+#include "partition/partition.hpp"
+#include "runtime/comm.hpp"
+#include "test_util.hpp"
+
+namespace aacc {
+namespace {
+
+struct Fixture {
+  Graph g;
+  Partition part;
+  std::vector<std::tuple<VertexId, VertexId, Weight>> edges;
+  EngineConfig cfg;
+};
+
+Fixture make_fixture(VertexId n, Rank P, std::uint64_t seed) {
+  Fixture f;
+  f.g = test::make_er(n, n * 3, seed, WeightRange{1, 4});
+  Rng rng(seed);
+  f.part = partition_graph(f.g, P, PartitionerKind::kMultilevel, rng);
+  f.edges = f.g.edges();
+  f.cfg.num_ranks = P;
+  return f;
+}
+
+RankEngine::Init init_for(const Fixture& f, Rank me,
+                          const EventSchedule* sched = nullptr) {
+  RankEngine::Init init;
+  init.me = me;
+  init.world = f.cfg.num_ranks;
+  init.owner = f.part.assignment;
+  init.edges = &f.edges;
+  init.schedule = sched;
+  init.cfg = f.cfg;
+  return init;
+}
+
+TEST(RankEngineIa, MatchesLocalSubgraphSemantics) {
+  // After IA (no RC), every finite entry must equal a true shortest path of
+  // the *local sub-graph* (local vertices expanded, portals as leaves) —
+  // i.e. it is >= the global distance, and reachable-local pairs match the
+  // global value when the whole shortest path stays inside the partition.
+  const Fixture f = make_fixture(120, 4, 7);
+  const auto global = apsp_reference(f.g);
+
+  rt::World world(f.cfg.num_ranks);
+  std::vector<int> bad(4, 0);
+  world.run([&](rt::Comm& comm) {
+    RankEngine engine(init_for(f, comm.rank()), comm);
+    engine.run_ia();
+    for (const DvRow& row : engine.rows()) {
+      for (VertexId t = 0; t < row.size(); ++t) {
+        if (row.dist(t) == kInfDist) continue;
+        if (row.dist(t) < global[row.self()][t]) {
+          ++bad[static_cast<std::size_t>(comm.rank())];
+        }
+      }
+    }
+    // Invariants hold on the IA state too.
+    if (!engine.check_invariants().empty()) {
+      bad[static_cast<std::size_t>(comm.rank())] += 1000;
+    }
+  });
+  for (const int b : bad) EXPECT_EQ(b, 0);
+}
+
+TEST(RankEngineIa, RowsCoverExactlyLocalVertices) {
+  const Fixture f = make_fixture(90, 3, 9);
+  rt::World world(3);
+  std::vector<std::size_t> row_counts(3, 0);
+  world.run([&](rt::Comm& comm) {
+    RankEngine engine(init_for(f, comm.rank()), comm);
+    row_counts[static_cast<std::size_t>(comm.rank())] = engine.rows().size();
+    for (const DvRow& row : engine.rows()) {
+      EXPECT_EQ(f.part.assignment[row.self()], comm.rank());
+      EXPECT_EQ(row.dist(row.self()), 0u);
+    }
+  });
+  std::size_t total = 0;
+  for (const std::size_t c : row_counts) total += c;
+  EXPECT_EQ(total, f.g.num_alive());
+}
+
+TEST(RankEngineState, SerializeRestoreRoundTrip) {
+  const Fixture f = make_fixture(100, 4, 11);
+  rt::World world(4);
+  std::vector<int> mismatches(4, 0);
+  world.run([&](rt::Comm& comm) {
+    RankEngine engine(init_for(f, comm.rank()), comm);
+    engine.run_ia();
+    (void)engine.run_rc();
+
+    rt::ByteWriter w;
+    engine.serialize_state(w);
+    const auto blob = w.take();
+
+    RankEngine::Init init = init_for(f, comm.rank());
+    init.restore_blob = &blob;
+    RankEngine twin(init, comm);
+
+    // Same rows, same values, same next hops.
+    if (twin.rows().size() != engine.rows().size()) {
+      mismatches[static_cast<std::size_t>(comm.rank())] = 1;
+      return;
+    }
+    for (std::size_t r = 0; r < twin.rows().size(); ++r) {
+      if (twin.rows()[r].self() != engine.rows()[r].self() ||
+          twin.rows()[r].dists() != engine.rows()[r].dists() ||
+          twin.rows()[r].next_hops() != engine.rows()[r].next_hops() ||
+          twin.rows()[r].dirty_count() != engine.rows()[r].dirty_count()) {
+        ++mismatches[static_cast<std::size_t>(comm.rank())];
+      }
+    }
+    if (!twin.check_invariants().empty()) {
+      mismatches[static_cast<std::size_t>(comm.rank())] += 1000;
+    }
+  });
+  for (const int m : mismatches) EXPECT_EQ(m, 0);
+}
+
+TEST(RankEngineInvariants, DetectsCorruptedState) {
+  // Sanity for the auditor itself: a healthy engine reports nothing; the
+  // auditor is exercised against corrupted states indirectly through the
+  // chaos tests, so here we just pin the healthy-run contract on all ranks.
+  const Fixture f = make_fixture(80, 2, 13);
+  rt::World world(2);
+  std::vector<std::size_t> violations(2, 99);
+  world.run([&](rt::Comm& comm) {
+    RankEngine engine(init_for(f, comm.rank()), comm);
+    engine.run_ia();
+    (void)engine.run_rc();
+    violations[static_cast<std::size_t>(comm.rank())] =
+        engine.check_invariants().size();
+  });
+  EXPECT_EQ(violations[0], 0u);
+  EXPECT_EQ(violations[1], 0u);
+}
+
+}  // namespace
+}  // namespace aacc

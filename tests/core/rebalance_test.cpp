@@ -1,0 +1,131 @@
+// Extension (the paper's stated future work): automatic rebalancing after
+// dynamic changes skew the load.
+#include <gtest/gtest.h>
+
+#include "core/strategies.hpp"
+#include "test_util.hpp"
+
+namespace aacc {
+namespace {
+
+using test::expect_apsp_exact;
+using test::make_er;
+
+double imbalance_of(const std::vector<Rank>& owner, Rank world) {
+  const auto loads = rank_loads(owner, world);
+  std::size_t alive = 0;
+  std::size_t max_load = 0;
+  for (const std::size_t l : loads) {
+    alive += l;
+    max_load = std::max(max_load, l);
+  }
+  return static_cast<double>(max_load) /
+         (static_cast<double>(alive) / static_cast<double>(world));
+}
+
+// Deleting a whole id-contiguous slab of vertices empties the block
+// partitioner's first ranks, producing a heavy skew.
+EventSchedule slab_deletion(VertexId from, VertexId to) {
+  EventSchedule sched;
+  EventBatch batch;
+  batch.at_step = 1;
+  for (VertexId v = from; v < to; ++v) {
+    batch.events.emplace_back(VertexDeleteEvent{v});
+  }
+  sched.push_back(std::move(batch));
+  return sched;
+}
+
+TEST(Rebalance, SkewWithoutRebalancePersists) {
+  const Graph g = make_er(160, 640, 21);
+  const auto sched = slab_deletion(0, 60);
+  EngineConfig cfg;
+  cfg.num_ranks = 4;
+  cfg.dd_partitioner = PartitionerKind::kBlock;  // slab hits ranks 0-1
+  cfg.gather_apsp = true;
+  AnytimeEngine engine(g, cfg);
+  const RunResult r = engine.run(sched);
+  Graph truth = g;
+  apply_schedule(truth, sched);
+  expect_apsp_exact(truth, r);
+  EXPECT_GT(imbalance_of(r.final_owner, cfg.num_ranks), 1.5);
+}
+
+TEST(Rebalance, ThresholdTriggersRepartitionAndStaysCorrect) {
+  const Graph g = make_er(160, 640, 21);
+  const auto sched = slab_deletion(0, 60);
+  EngineConfig cfg;
+  cfg.num_ranks = 4;
+  cfg.dd_partitioner = PartitionerKind::kBlock;
+  cfg.gather_apsp = true;
+  cfg.rebalance_threshold = 1.3;
+  AnytimeEngine engine(g, cfg);
+  const RunResult r = engine.run(sched);
+  Graph truth = g;
+  apply_schedule(truth, sched);
+  expect_apsp_exact(truth, r);
+  EXPECT_LT(imbalance_of(r.final_owner, cfg.num_ranks), 1.3);
+}
+
+TEST(Rebalance, NoTriggerWhenBalanced) {
+  const Graph g = make_er(120, 480, 22);
+  // Uniformly scattered deletions keep the load even.
+  EventSchedule sched;
+  EventBatch batch;
+  batch.at_step = 1;
+  for (VertexId v = 0; v < 120; v += 15) {
+    batch.events.emplace_back(VertexDeleteEvent{v});
+  }
+  sched.push_back(std::move(batch));
+
+  EngineConfig cfg;
+  cfg.num_ranks = 4;
+  cfg.rebalance_threshold = 1.5;
+  cfg.gather_apsp = true;
+
+  EngineConfig no_rebalance = cfg;
+  no_rebalance.rebalance_threshold = 0.0;
+
+  AnytimeEngine a(g, cfg);
+  const RunResult ra = a.run(sched);
+  AnytimeEngine b(g, no_rebalance);
+  const RunResult rb = b.run(sched);
+  // Balanced deletions should not trip the threshold: identical ownership.
+  EXPECT_EQ(ra.final_owner, rb.final_owner);
+  Graph truth = g;
+  apply_schedule(truth, sched);
+  expect_apsp_exact(truth, ra);
+}
+
+TEST(Rebalance, WorksTogetherWithVertexAdditions) {
+  const Graph g = make_er(140, 560, 23);
+  Rng rng(9);
+  EventSchedule sched;
+  EventBatch batch;
+  batch.at_step = 1;
+  for (VertexId v = 0; v < 50; ++v) {
+    batch.events.emplace_back(VertexDeleteEvent{v});
+  }
+  sched.push_back(std::move(batch));
+  Graph mid = g;
+  apply_schedule(mid, sched);
+  EventBatch growth;
+  growth.at_step = 3;
+  growth.events = test::grow_vertices(mid, 20, 2, rng);
+  apply_schedule(mid, {EventBatch{3, growth.events}});
+  sched.push_back(std::move(growth));
+
+  EngineConfig cfg;
+  cfg.num_ranks = 5;
+  cfg.dd_partitioner = PartitionerKind::kBlock;
+  cfg.rebalance_threshold = 1.3;
+  cfg.assign = AssignStrategy::kRoundRobin;
+  cfg.gather_apsp = true;
+  AnytimeEngine engine(g, cfg);
+  const RunResult r = engine.run(sched);
+  expect_apsp_exact(mid, r);
+  EXPECT_LT(imbalance_of(r.final_owner, cfg.num_ranks), 1.35);
+}
+
+}  // namespace
+}  // namespace aacc

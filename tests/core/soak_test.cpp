@@ -1,0 +1,82 @@
+// Soak: a medium-size run at the paper's processor count with a long mixed
+// schedule — catches interactions the small fixtures miss (many batches,
+// repeated repartitions, deep poison waves) while staying test-suite fast.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace aacc {
+namespace {
+
+TEST(Soak, MediumGraphLongMixedSchedule) {
+  const VertexId n = 600;
+  Rng rng(2024);
+  Graph g = barabasi_albert(n, 2, rng);
+
+  Graph cursor = g;
+  EventSchedule sched;
+  std::size_t step = 1;
+  for (int b = 0; b < 8; ++b) {
+    EventBatch batch;
+    batch.at_step = step;
+    step += 2;
+    // growth
+    for (const Event& e : test::grow_vertices(cursor, 15, 2, rng)) {
+      apply_event(cursor, e);
+      batch.events.push_back(e);
+    }
+    // churn
+    for (int i = 0; i < 10; ++i) {
+      const auto edges = cursor.edges();
+      const auto& [u, v, w] = edges[rng.next_below(edges.size())];
+      (void)w;
+      cursor.remove_edge(u, v);
+      batch.events.emplace_back(EdgeDeleteEvent{u, v});
+    }
+    for (int i = 0; i < 5; ++i) {
+      const auto edges = cursor.edges();
+      const auto& [u, v, w] = edges[rng.next_below(edges.size())];
+      (void)w;
+      const auto nw = static_cast<Weight>(1 + rng.next_below(5));
+      cursor.set_weight(u, v, nw);
+      batch.events.emplace_back(WeightChangeEvent{u, v, nw});
+    }
+    sched.push_back(std::move(batch));
+  }
+
+  EngineConfig cfg;
+  cfg.num_ranks = 16;  // the paper's processor count
+  cfg.gather_apsp = true;
+  cfg.assign = AssignStrategy::kCutEdge;
+  AnytimeEngine engine(g, cfg);
+  const RunResult r = engine.run(sched);
+  test::expect_apsp_exact(cursor, r);
+  EXPECT_GE(r.stats.rc_steps, 17u);  // ran past the last batch
+}
+
+TEST(Soak, RepartitionEveryBatch) {
+  const VertexId n = 400;
+  Rng rng(77);
+  Graph g = barabasi_albert(n, 2, rng);
+  Graph cursor = g;
+  EventSchedule sched;
+  for (std::size_t b = 0; b < 5; ++b) {
+    EventBatch batch;
+    batch.at_step = 1 + b;  // back-to-back repartitions
+    for (const Event& e : test::grow_vertices(cursor, 20, 2, rng)) {
+      apply_event(cursor, e);
+      batch.events.push_back(e);
+    }
+    sched.push_back(std::move(batch));
+  }
+  EngineConfig cfg;
+  cfg.num_ranks = 8;
+  cfg.gather_apsp = true;
+  cfg.assign = AssignStrategy::kRepartition;
+  AnytimeEngine engine(g, cfg);
+  const RunResult r = engine.run(sched);
+  test::expect_apsp_exact(cursor, r);
+}
+
+}  // namespace
+}  // namespace aacc

@@ -1,0 +1,100 @@
+// Processor-assignment strategies: determinism, balance, and cut quality.
+#include <gtest/gtest.h>
+
+#include "core/strategies.hpp"
+
+namespace aacc {
+namespace {
+
+std::vector<VertexAddEvent> community_batch(VertexId first_id, VertexId count,
+                                            unsigned communities) {
+  // Chain + a few extra edges inside each community; no cross-community
+  // edges — an ideal case for CutEdge-PS.
+  std::vector<VertexAddEvent> batch(count);
+  const VertexId per = count / communities;
+  for (VertexId i = 0; i < count; ++i) {
+    batch[i].id = first_id + i;
+    const VertexId comm = i / per;
+    const VertexId base = comm * per;
+    if (i > base) {
+      batch[i].edges.emplace_back(first_id + i - 1, 1);
+      if (i > base + 1) batch[i].edges.emplace_back(first_id + base, 1);
+    }
+  }
+  return batch;
+}
+
+TEST(RoundRobin, CircularFromCursor) {
+  const auto a = assign_round_robin(5, 0, 3);
+  EXPECT_EQ(a, (std::vector<Rank>{0, 1, 2, 0, 1}));
+  const auto b = assign_round_robin(4, 7, 3);
+  EXPECT_EQ(b, (std::vector<Rank>{1, 2, 0, 1}));
+}
+
+TEST(RankLoads, CountsAliveOnly) {
+  const std::vector<Rank> owner{0, 1, 1, kNoRank, 2};
+  EXPECT_EQ(rank_loads(owner, 3), (std::vector<std::size_t>{1, 2, 1}));
+}
+
+TEST(CutEdge, DeterministicGivenSeed) {
+  const auto batch = community_batch(100, 40, 4);
+  const std::vector<Rank> owner(100, 0);
+  const auto a = assign_cut_edge(batch, 100, owner, 4, 7);
+  const auto b = assign_cut_edge(batch, 100, owner, 4, 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CutEdge, KeepsCommunitiesTogether) {
+  const unsigned k = 4;
+  const VertexId count = 80;
+  const auto batch = community_batch(50, count, k);
+  std::vector<Rank> owner(50);
+  for (VertexId v = 0; v < 50; ++v) owner[v] = static_cast<Rank>(v % k);
+  const auto assign = assign_cut_edge(batch, 50, owner, k, 3);
+
+  // Count batch-internal edges that end up cut.
+  std::size_t cut = 0;
+  std::size_t total = 0;
+  for (VertexId i = 0; i < count; ++i) {
+    for (const auto& [to, w] : batch[i].edges) {
+      (void)w;
+      ++total;
+      if (assign[i] != assign[to - 50]) ++cut;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  // Communities have no mutual edges, so a cut-minimizing assignment should
+  // cut (almost) nothing; round-robin would cut ~3/4 of them.
+  EXPECT_LT(static_cast<double>(cut) / static_cast<double>(total), 0.15);
+}
+
+TEST(CutEdge, BalancesAgainstCurrentLoads) {
+  const auto batch = community_batch(40, 40, 4);  // 4 equal communities
+  // Rank 0 heavily loaded; rank 3 empty.
+  std::vector<Rank> owner(40, 0);
+  for (VertexId v = 30; v < 40; ++v) owner[v] = 1;
+  const auto assign = assign_cut_edge(batch, 40, owner, 4, 5);
+  std::vector<std::size_t> got(4, 0);
+  for (const Rank r : assign) ++got[static_cast<std::size_t>(r)];
+  // The least-loaded ranks (2 and 3) must receive at least as many new
+  // vertices as the most-loaded rank 0.
+  EXPECT_GE(got[3], got[0]);
+  EXPECT_GE(got[2], got[0]);
+}
+
+TEST(CutEdge, BatchSmallerThanWorld) {
+  std::vector<VertexAddEvent> batch(2);
+  batch[0].id = 10;
+  batch[1].id = 11;
+  batch[1].edges.emplace_back(10, 1);
+  const std::vector<Rank> owner(10, 0);
+  const auto assign = assign_cut_edge(batch, 10, owner, 8, 1);
+  ASSERT_EQ(assign.size(), 2u);
+  for (const Rank r : assign) {
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, 8);
+  }
+}
+
+}  // namespace
+}  // namespace aacc

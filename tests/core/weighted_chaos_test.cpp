@@ -1,0 +1,95 @@
+// Weighted chaos sweep: the DynamicChaos property on weighted base graphs,
+// with the per-step invariant auditor armed and higher weight variance so
+// that deletion/weight-change repairs exercise non-unit arithmetic.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace aacc {
+namespace {
+
+using test::expect_apsp_exact;
+using test::grow_vertices;
+
+class WeightedChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeightedChaos, ConvergesToReference) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 7919);
+  Graph g = test::make_er(90, 270, seed ^ 0xfeed, WeightRange{1, 9});
+
+  Graph cursor = g;
+  EventSchedule sched;
+  std::size_t step = 0;
+  for (int b = 0; b < 4; ++b) {
+    EventBatch batch;
+    batch.at_step = step;
+    step += 1 + rng.next_below(2);
+    for (int i = 0; i < 10; ++i) {
+      const auto kind = rng.next_below(6);
+      if (kind <= 1) {  // weight change (both directions, twice as likely)
+        const auto edges = cursor.edges();
+        if (edges.empty()) continue;
+        const auto& [u, v, w] = edges[rng.next_below(edges.size())];
+        (void)w;
+        const auto nw = static_cast<Weight>(1 + rng.next_below(12));
+        cursor.set_weight(u, v, nw);
+        batch.events.emplace_back(WeightChangeEvent{u, v, nw});
+      } else if (kind == 2) {
+        VertexId u;
+        VertexId v;
+        int tries = 0;
+        do {
+          u = static_cast<VertexId>(rng.next_below(cursor.num_vertices()));
+          v = static_cast<VertexId>(rng.next_below(cursor.num_vertices()));
+        } while ((u == v || !cursor.is_alive(u) || !cursor.is_alive(v) ||
+                  cursor.has_edge(u, v)) &&
+                 ++tries < 50);
+        if (tries >= 50) continue;
+        const auto w = static_cast<Weight>(1 + rng.next_below(9));
+        cursor.add_edge(u, v, w);
+        batch.events.emplace_back(EdgeAddEvent{u, v, w});
+      } else if (kind == 3) {
+        const auto edges = cursor.edges();
+        if (edges.empty()) continue;
+        const auto& [u, v, w] = edges[rng.next_below(edges.size())];
+        (void)w;
+        cursor.remove_edge(u, v);
+        batch.events.emplace_back(EdgeDeleteEvent{u, v});
+      } else if (kind == 4) {
+        for (const Event& e : grow_vertices(cursor, 2, 2, rng)) {
+          apply_event(cursor, e);
+          batch.events.push_back(e);
+        }
+      } else {
+        VertexId v;
+        int tries = 0;
+        do {
+          v = static_cast<VertexId>(rng.next_below(cursor.num_vertices()));
+        } while (!cursor.is_alive(v) && ++tries < 50);
+        if (tries >= 50 || cursor.num_alive() < 30) continue;
+        cursor.remove_vertex(v);
+        batch.events.emplace_back(VertexDeleteEvent{v});
+      }
+    }
+    sched.push_back(std::move(batch));
+  }
+
+  EngineConfig cfg;
+  cfg.num_ranks = 3 + static_cast<Rank>(seed % 6);
+  cfg.gather_apsp = true;
+  cfg.assign = static_cast<AssignStrategy>(seed % 3);
+  cfg.add_mode = (seed % 2 == 0) ? EdgeAddMode::kSeeded : EdgeAddMode::kEager;
+  cfg.validate_each_step = true;
+  AnytimeEngine engine(g, cfg);
+  const RunResult r = engine.run(sched);
+  EXPECT_EQ(r.stats.invariant_violations, 0u);
+  expect_apsp_exact(cursor, r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedChaos,
+                         ::testing::Values(101, 102, 103, 104, 105, 106, 107,
+                                           108, 109, 110, 111, 112));
+
+}  // namespace
+}  // namespace aacc

@@ -1,0 +1,95 @@
+// Generator properties: sizes, determinism, structural regimes.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace aacc {
+namespace {
+
+TEST(BarabasiAlbert, SizeAndConnectivity) {
+  Rng rng(1);
+  const Graph g = barabasi_albert(500, 3, rng);
+  EXPECT_EQ(g.num_vertices(), 500u);
+  EXPECT_TRUE(is_connected(g));
+  // seed clique (4 choose 2) + 3 per subsequent vertex
+  EXPECT_EQ(g.num_edges(), 6u + 3u * (500u - 4u));
+}
+
+TEST(BarabasiAlbert, DeterministicGivenSeed) {
+  Rng a(42);
+  Rng b(42);
+  const Graph ga = barabasi_albert(200, 2, a);
+  const Graph gb = barabasi_albert(200, 2, b);
+  EXPECT_EQ(ga.edges(), gb.edges());
+  Rng c(43);
+  const Graph gc = barabasi_albert(200, 2, c);
+  EXPECT_NE(ga.edges(), gc.edges());
+}
+
+TEST(BarabasiAlbert, HeavyTailedDegrees) {
+  Rng rng(7);
+  const Graph g = barabasi_albert(3000, 2, rng);
+  const auto hist = degree_histogram(g);
+  // A hub far above the mean degree must exist.
+  EXPECT_GT(hist.size(), 40u) << "max degree too small for scale-free";
+  // MLE exponent in the usual BA band (theory: 3, finite-size estimates
+  // land roughly in [2, 3.6]).
+  const double alpha = power_law_alpha_mle(g, 4);
+  EXPECT_GT(alpha, 1.8);
+  EXPECT_LT(alpha, 4.0);
+}
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  Rng rng(5);
+  const Graph g = erdos_renyi(300, 900, rng);
+  EXPECT_EQ(g.num_edges(), 900u);
+  EXPECT_EQ(g.num_vertices(), 300u);
+}
+
+TEST(ErdosRenyi, WeightsInRange) {
+  Rng rng(6);
+  const Graph g = erdos_renyi(100, 300, rng, WeightRange{2, 9});
+  for (const auto& [u, v, w] : g.edges()) {
+    EXPECT_GE(w, 2u);
+    EXPECT_LE(w, 9u);
+  }
+}
+
+TEST(WattsStrogatz, RingWithoutRewiringIsRegular) {
+  Rng rng(3);
+  const Graph g = watts_strogatz(50, 2, 0.0, rng);
+  for (VertexId v = 0; v < 50; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(WattsStrogatz, RewiringKeepsEdgeCount) {
+  Rng rng(4);
+  const Graph g = watts_strogatz(200, 3, 0.3, rng);
+  EXPECT_EQ(g.num_edges(), 600u);
+}
+
+TEST(PlantedPartition, CommunityDensityContrast) {
+  Rng rng(8);
+  const Graph g = planted_partition(200, 4, 0.30, 0.01, rng);
+  std::size_t internal = 0;
+  std::size_t external = 0;
+  for (const auto& [u, v, w] : g.edges()) {
+    (void)w;
+    (u % 4 == v % 4 ? internal : external) += 1;
+  }
+  // Within-community pairs are 4x rarer but 30x likelier: internal edges
+  // must clearly dominate.
+  EXPECT_GT(internal, 3 * external);
+}
+
+TEST(ConnectComponents, MakesGraphConnected) {
+  Rng rng(9);
+  Graph g = erdos_renyi(200, 120, rng);  // far below connectivity threshold
+  ASSERT_FALSE(is_connected(g));
+  connect_components(g, rng);
+  EXPECT_TRUE(is_connected(g));
+}
+
+}  // namespace
+}  // namespace aacc

@@ -1,0 +1,120 @@
+// Unit tests for the mutable Graph container.
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+#include "graph/graph.hpp"
+
+namespace aacc {
+namespace {
+
+TEST(Graph, StartsEmpty) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_alive(), 0u);
+}
+
+TEST(Graph, AddVertexAssignsDenseIds) {
+  Graph g(2);
+  EXPECT_EQ(g.add_vertex(), 2u);
+  EXPECT_EQ(g.add_vertex(), 3u);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_alive(), 4u);
+}
+
+TEST(Graph, AddEdgeIsUndirected) {
+  Graph g(3);
+  g.add_edge(0, 1, 5);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_EQ(g.edge_weight(0, 1), 5u);
+  EXPECT_EQ(g.edge_weight(1, 0), 5u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(Graph, RejectsSelfLoopDuplicateAndZeroWeight) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 0), std::logic_error);
+  EXPECT_THROW(g.add_edge(1, 0), std::logic_error);
+  EXPECT_THROW(g.add_edge(1, 2, 0), std::logic_error);
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.remove_edge(0, 1);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_THROW(g.remove_edge(0, 1), std::logic_error);
+}
+
+TEST(Graph, SetWeight) {
+  Graph g(2);
+  g.add_edge(0, 1, 3);
+  EXPECT_EQ(g.set_weight(0, 1, 7), 3u);
+  EXPECT_EQ(g.edge_weight(1, 0), 7u);
+  EXPECT_THROW(g.set_weight(0, 1, 0), std::logic_error);
+}
+
+TEST(Graph, RemoveVertexTombstonesAndDropsEdges) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  g.remove_vertex(1);
+  EXPECT_FALSE(g.is_alive(1));
+  EXPECT_EQ(g.num_alive(), 3u);
+  EXPECT_EQ(g.num_vertices(), 4u);  // id space is stable
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_THROW(g.remove_vertex(1), std::logic_error);
+  EXPECT_THROW(g.add_edge(0, 1), std::logic_error);
+}
+
+TEST(Graph, EdgesListsEachEdgeOnce) {
+  Graph g(4);
+  g.add_edge(0, 1, 2);
+  g.add_edge(2, 1, 3);
+  g.add_edge(3, 0, 4);
+  const auto edges = g.edges();
+  EXPECT_EQ(edges.size(), 3u);
+  for (const auto& [u, v, w] : edges) {
+    EXPECT_LT(u, v);
+    EXPECT_EQ(g.edge_weight(u, v), w);
+  }
+}
+
+TEST(Graph, AliveVerticesSkipsTombstones) {
+  Graph g(5);
+  g.remove_vertex(2);
+  const auto alive = g.alive_vertices();
+  EXPECT_EQ(alive, (std::vector<VertexId>{0, 1, 3, 4}));
+}
+
+TEST(Csr, MirrorsAdjacency) {
+  Graph g(4);
+  g.add_edge(0, 1, 2);
+  g.add_edge(0, 2, 3);
+  g.add_edge(2, 3, 1);
+  const CsrGraph csr(g);
+  EXPECT_EQ(csr.num_vertices(), 4u);
+  EXPECT_EQ(csr.num_directed_edges(), 6u);
+  EXPECT_EQ(csr.degree(0), 2u);
+  EXPECT_EQ(csr.degree(3), 1u);
+  // Every (target, weight) in the CSR must exist in the graph.
+  for (VertexId v = 0; v < 4; ++v) {
+    for (std::size_t i = csr.begin(v); i < csr.end(v); ++i) {
+      EXPECT_TRUE(g.has_edge(v, csr.target(i)));
+      EXPECT_EQ(g.edge_weight(v, csr.target(i)), csr.weight(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aacc

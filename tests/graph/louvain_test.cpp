@@ -1,0 +1,85 @@
+// Louvain community detection: planted communities must be recovered and
+// modularity must behave.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/louvain.hpp"
+
+namespace aacc {
+namespace {
+
+TEST(Modularity, SingleCommunityIsZero) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const std::vector<VertexId> all_same(4, 0);
+  EXPECT_NEAR(modularity(g, all_same), 0.0, 1e-12);
+}
+
+TEST(Modularity, PerfectSplitOfTwoCliques) {
+  Graph g(6);
+  for (VertexId u = 0; u < 3; ++u) {
+    for (VertexId v = u + 1; v < 3; ++v) g.add_edge(u, v);
+  }
+  for (VertexId u = 3; u < 6; ++u) {
+    for (VertexId v = u + 1; v < 6; ++v) g.add_edge(u, v);
+  }
+  g.add_edge(2, 3);  // single bridge
+  const std::vector<VertexId> split{0, 0, 0, 1, 1, 1};
+  // Two dense blocks: modularity close to 0.5 - small bridge penalty.
+  EXPECT_GT(modularity(g, split), 0.35);
+}
+
+TEST(Louvain, RecoversPlantedCommunities) {
+  Rng grng(21);
+  const unsigned k = 4;
+  const Graph g = planted_partition(240, k, 0.25, 0.005, grng);
+  Rng lrng(5);
+  const LouvainResult res = louvain(g, lrng);
+  EXPECT_GE(res.num_communities, k - 1);
+  EXPECT_GT(res.modularity, 0.5);
+  // Pairs from the same planted block should mostly share a community.
+  std::size_t agree = 0;
+  std::size_t total = 0;
+  for (VertexId u = 0; u < g.num_vertices(); u += 7) {
+    for (VertexId v = u + k; v < g.num_vertices(); v += 7) {
+      if (u % k != v % k) continue;
+      ++total;
+      agree += res.community[u] == res.community[v];
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.8);
+}
+
+TEST(Louvain, ModularityMatchesStandaloneComputation) {
+  Rng grng(3);
+  const Graph g = planted_partition(120, 3, 0.3, 0.02, grng);
+  Rng lrng(9);
+  const LouvainResult res = louvain(g, lrng);
+  EXPECT_NEAR(res.modularity, modularity(g, res.community), 1e-9);
+}
+
+TEST(Louvain, CommunityIdsAreDense) {
+  Rng grng(4);
+  const Graph g = planted_partition(90, 3, 0.3, 0.02, grng);
+  Rng lrng(2);
+  const LouvainResult res = louvain(g, lrng);
+  std::vector<bool> seen(res.num_communities, false);
+  for (const VertexId c : res.community) {
+    ASSERT_LT(c, res.num_communities);
+    seen[c] = true;
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Louvain, DeterministicGivenSeed) {
+  Rng grng(6);
+  const Graph g = planted_partition(150, 3, 0.25, 0.02, grng);
+  Rng a(77);
+  Rng b(77);
+  EXPECT_EQ(louvain(g, a).community, louvain(g, b).community);
+}
+
+}  // namespace
+}  // namespace aacc

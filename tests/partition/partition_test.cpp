@@ -1,0 +1,156 @@
+// Partitioner contracts: full assignment, balance, and cut quality of the
+// multilevel partitioner versus the trivial baselines.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/partition.hpp"
+
+namespace aacc {
+namespace {
+
+void expect_valid(const Graph& g, const Partition& p, Rank k) {
+  ASSERT_EQ(p.num_parts, k);
+  ASSERT_EQ(p.assignment.size(), g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.is_alive(v)) {
+      EXPECT_GE(p.assignment[v], 0);
+      EXPECT_LT(p.assignment[v], k);
+    } else {
+      EXPECT_EQ(p.assignment[v], kNoRank);
+    }
+  }
+}
+
+class AllPartitioners : public ::testing::TestWithParam<PartitionerKind> {};
+
+TEST_P(AllPartitioners, AssignsEveryAliveVertex) {
+  Rng grng(31);
+  Graph g = barabasi_albert(400, 2, grng);
+  g.remove_vertex(5);
+  g.remove_vertex(123);
+  Rng rng(1);
+  const Partition p = partition_graph(g, 8, GetParam(), rng);
+  expect_valid(g, p, 8);
+}
+
+TEST_P(AllPartitioners, SinglePart) {
+  Rng grng(32);
+  const Graph g = barabasi_albert(100, 2, grng);
+  Rng rng(2);
+  const Partition p = partition_graph(g, 1, GetParam(), rng);
+  expect_valid(g, p, 1);
+  EXPECT_EQ(evaluate_partition(g, p).cut_edges, 0u);
+}
+
+TEST_P(AllPartitioners, ReasonableBalance) {
+  Rng grng(33);
+  const Graph g = barabasi_albert(1000, 2, grng);
+  Rng rng(3);
+  const Partition p = partition_graph(g, 8, GetParam(), rng);
+  const auto m = evaluate_partition(g, p);
+  EXPECT_LE(m.imbalance, 1.35) << partitioner_name(GetParam());
+  EXPECT_GE(m.min_part, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllPartitioners,
+                         ::testing::Values(PartitionerKind::kBlock,
+                                           PartitionerKind::kRoundRobin,
+                                           PartitionerKind::kHash,
+                                           PartitionerKind::kBfs,
+                                           PartitionerKind::kMultilevel),
+                         [](const auto& info) {
+                           std::string name = partitioner_name(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Multilevel, BeatsHashOnCommunityGraphs) {
+  // Note: round-robin would be a *perfect* baseline-cheat here, because
+  // planted_partition assigns communities by v % k and round-robin
+  // partitions by the same formula. Hash is the structure-blind baseline.
+  Rng grng(44);
+  const Graph g = planted_partition(600, 8, 0.08, 0.002, grng);
+  Rng r1(1);
+  Rng r2(1);
+  const auto ml =
+      evaluate_partition(g, partition_graph(g, 8, PartitionerKind::kMultilevel, r1));
+  const auto hash =
+      evaluate_partition(g, partition_graph(g, 8, PartitionerKind::kHash, r2));
+  // Cut-minimizing partitioner must find (most of) the planted structure;
+  // a blind partitioner cuts ~7/8 of all edges.
+  EXPECT_LT(ml.cut_edges * 3, hash.cut_edges)
+      << "multilevel cut " << ml.cut_edges << " vs hash " << hash.cut_edges;
+  // And it should be close to the planted optimum (the cross-community
+  // edge count).
+  std::size_t cross = 0;
+  for (const auto& [u, v, w] : g.edges()) {
+    (void)w;
+    if (u % 8 != v % 8) ++cross;
+  }
+  EXPECT_LT(ml.cut_edges, cross + cross / 2);
+}
+
+TEST(Multilevel, HandlesDisconnectedGraphs) {
+  Rng grng(45);
+  const Graph g = erdos_renyi(300, 150, grng);  // many components
+  Rng rng(4);
+  const Partition p = partition_graph(g, 6, PartitionerKind::kMultilevel, rng);
+  expect_valid(g, p, 6);
+}
+
+TEST(Multilevel, HandlesMoreRanksThanVertices) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  Rng rng(5);
+  const Partition p = partition_graph(g, 8, PartitionerKind::kMultilevel, rng);
+  ASSERT_EQ(p.num_parts, 8);
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_GE(p.assignment[v], 0);
+    EXPECT_LT(p.assignment[v], 8);
+  }
+}
+
+TEST(EvaluatePartition, CountsCutEdges) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  Partition p;
+  p.num_parts = 2;
+  p.assignment = {0, 0, 1, 1};
+  const auto m = evaluate_partition(g, p);
+  EXPECT_EQ(m.cut_edges, 1u);
+  EXPECT_EQ(m.part_sizes, (std::vector<std::size_t>{2, 2}));
+  EXPECT_EQ(m.part_cut, (std::vector<std::size_t>{1, 1}));
+  EXPECT_DOUBLE_EQ(m.imbalance, 1.0);
+}
+
+
+class MultilevelBalance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultilevelBalance, WithinToleranceOnVariedGraphs) {
+  const std::uint64_t seed = GetParam();
+  Rng grng(seed);
+  Graph g;
+  switch (seed % 3) {
+    case 0: g = barabasi_albert(700 + 37 * (seed % 7), 2, grng); break;
+    case 1: g = planted_partition(600, 5, 0.06, 0.004, grng); break;
+    default: g = erdos_renyi(800, 2400, grng); break;
+  }
+  Rng rng(seed * 13 + 1);
+  const Rank k = 4 + static_cast<Rank>(seed % 13);
+  const auto m =
+      evaluate_partition(g, partition_graph(g, k, PartitionerKind::kMultilevel, rng));
+  // Option default tolerance is 1.05 (+1 vertex granularity slack).
+  const double ideal = static_cast<double>(g.num_alive()) / k;
+  EXPECT_LE(static_cast<double>(m.max_part), 1.05 * ideal + 1.5)
+      << "k=" << k << " n=" << g.num_alive();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultilevelBalance,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+}  // namespace
+}  // namespace aacc

@@ -1,0 +1,72 @@
+// ByteWriter/ByteReader: round trips and underflow detection.
+#include <gtest/gtest.h>
+
+#include "runtime/serialize.hpp"
+
+namespace aacc::rt {
+namespace {
+
+TEST(Serialize, ScalarRoundTrip) {
+  ByteWriter w;
+  w.write(std::uint32_t{42});
+  w.write(std::int64_t{-7});
+  w.write(3.25);
+  w.write(std::uint8_t{255});
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.read<std::uint32_t>(), 42u);
+  EXPECT_EQ(r.read<std::int64_t>(), -7);
+  EXPECT_DOUBLE_EQ(r.read<double>(), 3.25);
+  EXPECT_EQ(r.read<std::uint8_t>(), 255);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  ByteWriter w;
+  const std::vector<std::uint32_t> v{1, 2, 3, 4, 5};
+  const std::vector<std::uint64_t> empty;
+  w.write_vec(v);
+  w.write_vec(empty);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.read_vec<std::uint32_t>(), v);
+  EXPECT_TRUE(r.read_vec<std::uint64_t>().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, StringRoundTrip) {
+  ByteWriter w;
+  w.write_str("hello");
+  w.write_str("");
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.read_str(), "hello");
+  EXPECT_EQ(r.read_str(), "");
+}
+
+TEST(Serialize, UnderflowThrows) {
+  ByteWriter w;
+  w.write(std::uint16_t{1});
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_THROW(r.read<std::uint64_t>(), std::logic_error);
+}
+
+TEST(Serialize, VectorUnderflowThrows) {
+  ByteWriter w;
+  w.write(std::uint64_t{1000});  // claims 1000 elements, provides none
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_THROW(r.read_vec<std::uint32_t>(), std::logic_error);
+}
+
+TEST(Serialize, TakeResetsWriter) {
+  ByteWriter w;
+  w.write(std::uint32_t{1});
+  EXPECT_EQ(w.size(), 4u);
+  (void)w.take();
+  EXPECT_EQ(w.size(), 0u);
+}
+
+}  // namespace
+}  // namespace aacc::rt

@@ -1,0 +1,171 @@
+// Runtime stress: randomized point-to-point storms interleaved with
+// collectives, FIFO ordering under load, and repeated world reuse.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/rng.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/serialize.hpp"
+
+namespace aacc::rt {
+namespace {
+
+TEST(WorldStress, RandomP2PStormAllDelivered) {
+  const Rank P = 6;
+  const int per_rank = 400;
+  World world(P);
+  std::atomic<std::uint64_t> received_sum{0};
+  std::uint64_t expected_sum = 0;
+  // Precompute destinations so the expected checksum is known.
+  std::vector<std::vector<std::pair<Rank, std::uint64_t>>> plan(
+      static_cast<std::size_t>(P));
+  {
+    Rng rng(42);
+    for (Rank r = 0; r < P; ++r) {
+      for (int i = 0; i < per_rank; ++i) {
+        const auto dst = static_cast<Rank>(rng.next_below(P));
+        const std::uint64_t value = rng.next_below(1'000'000);
+        plan[static_cast<std::size_t>(r)].emplace_back(dst, value);
+        expected_sum += value;
+      }
+    }
+  }
+  world.run([&](Comm& comm) {
+    // Everyone blasts; then everyone drains exactly what was addressed to
+    // them (count known from the plan).
+    std::size_t expect_count = 0;
+    for (Rank r = 0; r < P; ++r) {
+      for (const auto& [dst, value] : plan[static_cast<std::size_t>(r)]) {
+        if (dst == comm.rank()) ++expect_count;
+      }
+    }
+    for (const auto& [dst, value] : plan[static_cast<std::size_t>(comm.rank())]) {
+      ByteWriter w;
+      w.write(value);
+      comm.send(dst, 77, w.take());
+    }
+    std::uint64_t local = 0;
+    for (std::size_t i = 0; i < expect_count; ++i) {
+      Message m = comm.recv(kAnySource, 77);
+      ByteReader r(m.payload);
+      local += r.read<std::uint64_t>();
+    }
+    received_sum += local;
+  });
+  EXPECT_EQ(received_sum.load(), expected_sum);
+  EXPECT_EQ(world.total_messages(), static_cast<std::uint64_t>(P) * per_rank);
+}
+
+TEST(WorldStress, FifoPreservedPerSenderUnderLoad) {
+  const Rank P = 4;
+  World world(P);
+  std::atomic<int> violations{0};
+  world.run([&](Comm& comm) {
+    const Rank next = (comm.rank() + 1) % P;
+    const Rank prev = (comm.rank() + P - 1) % P;
+    for (std::uint64_t i = 0; i < 500; ++i) {
+      ByteWriter w;
+      w.write(i);
+      comm.send(next, 5, w.take());
+    }
+    std::uint64_t expect = 0;
+    for (std::uint64_t i = 0; i < 500; ++i) {
+      Message m = comm.recv(prev, 5);
+      ByteReader r(m.payload);
+      if (r.read<std::uint64_t>() != expect++) ++violations;
+    }
+  });
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(WorldStress, CollectivesInterleavedWithP2P) {
+  const Rank P = 5;
+  World world(P);
+  std::vector<std::uint64_t> sums(static_cast<std::size_t>(P), 0);
+  world.run([&](Comm& comm) {
+    std::uint64_t acc = 0;
+    for (int round = 0; round < 20; ++round) {
+      // p2p ring exchange
+      ByteWriter w;
+      w.write(static_cast<std::uint64_t>(round * 10 + comm.rank()));
+      comm.send((comm.rank() + 1) % P, round, w.take());
+      // collective in between
+      acc += comm.all_reduce_sum(1);
+      Message m = comm.recv((comm.rank() + P - 1) % P, round);
+      ByteReader r(m.payload);
+      acc += r.read<std::uint64_t>();
+      // broadcast, root rotating
+      std::vector<std::byte> buf;
+      if (comm.rank() == round % P) {
+        ByteWriter bw;
+        bw.write(static_cast<std::uint64_t>(round));
+        buf = bw.take();
+      }
+      buf = comm.broadcast(std::move(buf), round % P);
+      ByteReader br(buf);
+      acc += br.read<std::uint64_t>();
+    }
+    sums[static_cast<std::size_t>(comm.rank())] = acc;
+  });
+  // All-reduce and broadcast contributions are rank-independent; the ring
+  // term differs by a fixed pattern. Just pin determinism across two runs.
+  World world2(P);
+  std::vector<std::uint64_t> sums2(static_cast<std::size_t>(P), 0);
+  world2.run([&](Comm& comm) {
+    std::uint64_t acc = 0;
+    for (int round = 0; round < 20; ++round) {
+      ByteWriter w;
+      w.write(static_cast<std::uint64_t>(round * 10 + comm.rank()));
+      comm.send((comm.rank() + 1) % P, round, w.take());
+      acc += comm.all_reduce_sum(1);
+      Message m = comm.recv((comm.rank() + P - 1) % P, round);
+      ByteReader r(m.payload);
+      acc += r.read<std::uint64_t>();
+      std::vector<std::byte> buf;
+      if (comm.rank() == round % P) {
+        ByteWriter bw;
+        bw.write(static_cast<std::uint64_t>(round));
+        buf = bw.take();
+      }
+      buf = comm.broadcast(std::move(buf), round % P);
+      ByteReader br(buf);
+      acc += br.read<std::uint64_t>();
+    }
+    sums2[static_cast<std::size_t>(comm.rank())] = acc;
+  });
+  EXPECT_EQ(sums, sums2);
+}
+
+TEST(WorldStress, WorldReusableAcrossRuns) {
+  World world(3);
+  for (int run = 0; run < 5; ++run) {
+    world.run([&](Comm& comm) {
+      EXPECT_EQ(comm.all_reduce_sum(1), 3u);
+    });
+  }
+  // Ledgers accumulated across all five runs.
+  EXPECT_GT(world.total_messages(), 0u);
+}
+
+TEST(WorldStress, LargePayloadsSurvive) {
+  World world(2);
+  const std::size_t size = 8 << 20;  // 8 MiB
+  std::vector<int> ok(2, 0);
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> big(size, std::byte{0xAB});
+      comm.send(1, 1, std::move(big));
+      ok[0] = 1;
+    } else {
+      Message m = comm.recv(0, 1);
+      ok[1] = m.payload.size() == size &&
+              m.payload[size - 1] == std::byte{0xAB};
+    }
+  });
+  EXPECT_EQ(ok[0], 1);
+  EXPECT_EQ(ok[1], 1);
+}
+
+}  // namespace
+}  // namespace aacc::rt
