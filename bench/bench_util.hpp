@@ -146,6 +146,25 @@ class Table {
       csv << '\n';
     }
     std::printf("[csv] %s/%s.csv\n", dir.c_str(), name_.c_str());
+
+    // Machine-readable mirror of the CSV (schema: EXPERIMENTS.md).
+    std::ofstream json(dir + "/" + name_ + ".json");
+    json << "{\"bench\":\"" << name_ << "\",\"x_name\":\"" << x_ << "\"";
+    if (!extra_.empty()) json << ",\"extra_name\":\"" << extra_ << "\"";
+    json << ",\"rows\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      if (i != 0) json << ',';
+      json << "{\"series\":\"" << r.label << "\",\"x\":" << r.x
+           << ",\"wall_s\":" << r.wall_seconds
+           << ",\"modeled_s\":" << r.modeled_seconds
+           << ",\"mbytes\":" << r.mbytes << ",\"rc_steps\":" << r.rc_steps
+           << ",\"poisons\":" << r.poisons;
+      if (!extra_.empty()) json << ",\"extra\":" << r.extra;
+      json << '}';
+    }
+    json << "]}\n";
+    std::printf("[json] %s/%s.json\n", dir.c_str(), name_.c_str());
   }
 
  private:

@@ -1,8 +1,11 @@
 #include "analysis/shortest_paths.hpp"
 
+#include <algorithm>
 #include <queue>
+#include <thread>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace aacc {
 
@@ -70,14 +73,17 @@ std::vector<std::vector<Dist>> apsp_reference(const Graph& g) {
   const CsrGraph csr(g);
   const VertexId n = g.num_vertices();
   std::vector<std::vector<Dist>> all(n);
-#pragma omp parallel for schedule(dynamic, 16)
-  for (VertexId v = 0; v < n; ++v) {
-    if (g.is_alive(v)) {
-      all[v] = dijkstra(csr, v);
-    } else {
-      all[v].assign(n, kInfDist);
+  const std::size_t threads =
+      std::clamp<std::size_t>(std::thread::hardware_concurrency(), 1, 16);
+  parallel_chunks(n, 16, threads, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      if (g.is_alive(static_cast<VertexId>(v))) {
+        all[v] = dijkstra(csr, static_cast<VertexId>(v));
+      } else {
+        all[v].assign(n, kInfDist);
+      }
     }
-  }
+  });
   // Tombstoned columns must read as unreachable.
   for (VertexId v = 0; v < n; ++v) {
     if (g.is_alive(v)) continue;

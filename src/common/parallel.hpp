@@ -1,0 +1,67 @@
+// Minimal intra-process worker pool.
+//
+// Replaces the seed's OpenMP pragmas: an OMP team nested inside every
+// rt::World rank thread oversubscribes the machine, silently degrades to
+// serial when the toolchain lacks OpenMP, and hides its synchronization
+// from ThreadSanitizer. Explicit std::threads are visible to TSan and
+// sized by configuration instead of the runtime's guess.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aacc {
+
+/// Runs body(worker_index) on `threads` workers — the calling thread acts
+/// as worker 0, so `threads <= 1` is a plain inline call — joins them all,
+/// and rethrows the first exception any worker raised.
+template <typename Body>
+void run_workers(std::size_t threads, Body&& body) {
+  if (threads <= 1) {
+    body(std::size_t{0});
+    return;
+  }
+  std::mutex err_mu;
+  std::exception_ptr err;
+  const auto guarded = [&](std::size_t worker) {
+    try {
+      body(worker);
+    } catch (...) {
+      const std::scoped_lock lock(err_mu);
+      if (!err) err = std::current_exception();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (std::size_t i = 1; i < threads; ++i) {
+    pool.emplace_back(guarded, i);
+  }
+  guarded(0);
+  for (std::thread& th : pool) th.join();
+  if (err) std::rethrow_exception(err);
+}
+
+/// Dynamic work distribution: workers claim chunks of `chunk` consecutive
+/// indices from [0, total) off a shared cursor and call body(begin, end).
+/// Matches OpenMP's schedule(dynamic, chunk) load balancing; every index
+/// is processed by exactly one worker.
+template <typename Body>
+void parallel_chunks(std::size_t total, std::size_t chunk, std::size_t threads,
+                     Body&& body) {
+  std::atomic<std::size_t> cursor{0};
+  run_workers(threads, [&](std::size_t) {
+    for (;;) {
+      const std::size_t begin =
+          cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= total) break;
+      body(begin, std::min(begin + chunk, total));
+    }
+  });
+}
+
+}  // namespace aacc

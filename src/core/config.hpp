@@ -49,6 +49,12 @@ struct EngineConfig {
   AssignStrategy assign = AssignStrategy::kRoundRobin;
   EdgeAddMode add_mode = EdgeAddMode::kSeeded;
   RefineMode refine = RefineMode::kLabelCorrecting;
+  /// Intra-rank worker threads for the IA Dijkstra sweep (the paper's
+  /// MPI+OpenMP hybrid: ranks are processes, sources parallelize inside
+  /// each). 0 = auto (hardware_concurrency / num_ranks, clamped to [1, 8]).
+  /// Any value produces bit-identical rows and ledgers: sources are
+  /// disjoint rows and per-row counters merge in row order.
+  std::size_t ia_threads = 0;
   std::uint64_t seed = 1;
   rt::LogGPParams logp;
   /// Record per-step closeness snapshots (E3 quality curves). Adds one

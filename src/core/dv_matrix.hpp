@@ -8,6 +8,20 @@
 // Each row maintains its running Σ(finite non-self distances) and finite
 // count so that an anytime closeness snapshot costs O(local rows), not
 // O(local rows × n).
+//
+// Sparse change tracking: besides the per-entry flag byte, a row keeps two
+// compact index lists so the RC hot path never scans the full column range:
+//   * dirty list  — columns changed since the last send (kDirty). Send
+//     assembly, dirty clearing and checkpoint serialization walk this list,
+//     taking per-step cost from O(n) to O(dirty).
+//   * reach list  — columns that have ever been finite (kReached).
+//     mark-finite-dirty walks this instead of all n columns.
+// Both lists are *lazy*: clearing an entry only drops its flag, the column
+// id stays in the list until the next compaction (triggered when stale
+// entries outnumber live ones). Membership bits (kTracked/kReached) keep
+// the lists duplicate-free, so consumers only need to filter on the live
+// flag. The fuzz tests in dv_matrix_test.cpp assert list/flag agreement
+// under random op sequences.
 #pragma once
 
 #include <algorithm>
@@ -64,22 +78,50 @@ class DvRow {
       if (nd != kInfDist) {
         sum_ += nd;
         ++finite_;
+        if ((flags_[t] & kReached) == 0) {
+          flags_[t] |= kReached;
+          reach_.push_back(t);
+        }
       }
     }
     d_[t] = nd;
     nh_[t] = nh;
   }
 
-  /// Appends `count` new (unreachable) columns.
+  /// Appends `count` new (unreachable) columns, reserving geometrically so
+  /// a stream of vertex-addition batches does not reallocate per batch.
   void grow(VertexId count) {
+    const std::size_t need = d_.size() + count;
+    if (need > d_.capacity()) {
+      const std::size_t cap = std::max(need, 2 * d_.size());
+      d_.reserve(cap);
+      nh_.reserve(cap);
+      flags_.reserve(cap);
+    }
     d_.insert(d_.end(), count, kInfDist);
     nh_.insert(nh_.end(), count, kNoVertex);
     flags_.insert(flags_.end(), count, 0);
   }
 
+  /// Releases slack capacity (columns and index lists). Called after a
+  /// repartition rebuilt the row set: the geometric growth headroom of the
+  /// pre-migration era is dead weight on the new owner.
+  void shrink_to_fit() {
+    compact_dirty();
+    compact_reach();
+    d_.shrink_to_fit();
+    nh_.shrink_to_fit();
+    flags_.shrink_to_fit();
+    dirty_.shrink_to_fit();
+    reach_.shrink_to_fit();
+  }
+
   // Entry flags used by the rank engine.
   static constexpr std::uint8_t kDirty = 1;    ///< changed since last send
   static constexpr std::uint8_t kQueued = 2;   ///< in the relaxation worklist
+  // Internal membership bits for the sparse index lists (not for engine use).
+  static constexpr std::uint8_t kTracked = 4;  ///< column id is in dirty_
+  static constexpr std::uint8_t kReached = 8;  ///< column id is in reach_
 
   [[nodiscard]] bool test_flag(VertexId t, std::uint8_t bit) const {
     return (flags_[t] & bit) != 0;
@@ -94,9 +136,15 @@ class DvRow {
     if ((flags_[t] & kDirty) != 0) return false;
     flags_[t] |= kDirty;
     ++dirty_count_;
+    if ((flags_[t] & kTracked) == 0) {
+      flags_[t] |= kTracked;
+      maybe_compact_dirty();
+      dirty_.push_back(t);
+    }
     return true;
   }
-  /// Clears the dirty bit. Returns true if it was set.
+  /// Clears the dirty bit. Returns true if it was set. The column stays in
+  /// the index list as a stale entry until the next compaction.
   bool clear_dirty(VertexId t) {
     if ((flags_[t] & kDirty) == 0) return false;
     flags_[t] &= static_cast<std::uint8_t>(~kDirty);
@@ -105,10 +153,44 @@ class DvRow {
   }
   [[nodiscard]] VertexId dirty_count() const { return dirty_count_; }
 
-  /// Clears every flag (dirty + queued). Used when a row survives a
-  /// repartition in place: the new ownership invalidates all bookkeeping.
+  /// Clears every dirty bit by walking the sparse list — O(dirty), not
+  /// O(n). Returns the number of live entries cleared.
+  VertexId clear_all_dirty() {
+    for (const VertexId t : dirty_) {
+      flags_[t] &= static_cast<std::uint8_t>(~(kDirty | kTracked));
+    }
+    dirty_.clear();
+    const VertexId cleared = dirty_count_;
+    dirty_count_ = 0;
+    return cleared;
+  }
+
+  /// Fills `out` with the currently dirty columns in ascending order
+  /// (stale list entries are filtered out). O(dirty log dirty).
+  void sorted_dirty(std::vector<VertexId>& out) const {
+    out.clear();
+    for (const VertexId t : dirty_) {
+      if ((flags_[t] & kDirty) != 0) out.push_back(t);
+    }
+    std::sort(out.begin(), out.end());
+  }
+
+  /// Calls fn(t) for every finite non-self column, walking the reach list
+  /// instead of the full column range — O(ever-finite), not O(n).
+  template <typename Fn>
+  void for_each_finite(Fn&& fn) const {
+    for (const VertexId t : reach_) {
+      if (d_[t] != kInfDist) fn(t);
+    }
+  }
+
+  /// Clears every flag (dirty + queued) and the dirty list. Reachability
+  /// bookkeeping survives: the distances themselves are untouched, so the
+  /// reach list must keep describing them. Used when a row survives a
+  /// repartition in place: the new ownership invalidates send/queue state.
   void reset_flags() {
-    std::fill(flags_.begin(), flags_.end(), std::uint8_t{0});
+    for (std::uint8_t& f : flags_) f &= kReached;
+    dirty_.clear();
     dirty_count_ = 0;
   }
 
@@ -120,14 +202,47 @@ class DvRow {
       if (t != self_ && d_[t] != kInfDist) {
         sum_ += d_[t];
         ++finite_;
+        flags_[t] |= kReached;
+        reach_.push_back(t);
       }
     }
+  }
+
+  /// Drops stale ids once they outnumber live ones (amortized O(1) per op).
+  void maybe_compact_dirty() {
+    if (dirty_.size() > 2 * static_cast<std::size_t>(dirty_count_) + 8) {
+      compact_dirty();
+    }
+  }
+  void compact_dirty() {
+    std::size_t keep = 0;
+    for (const VertexId t : dirty_) {
+      if ((flags_[t] & kDirty) != 0) {
+        dirty_[keep++] = t;
+      } else {
+        flags_[t] &= static_cast<std::uint8_t>(~kTracked);
+      }
+    }
+    dirty_.resize(keep);
+  }
+  void compact_reach() {
+    std::size_t keep = 0;
+    for (const VertexId t : reach_) {
+      if (d_[t] != kInfDist) {
+        reach_[keep++] = t;
+      } else {
+        flags_[t] &= static_cast<std::uint8_t>(~kReached);
+      }
+    }
+    reach_.resize(keep);
   }
 
   VertexId self_;
   std::vector<Dist> d_;
   std::vector<VertexId> nh_;
   std::vector<std::uint8_t> flags_;
+  std::vector<VertexId> dirty_;  ///< sparse dirty index list (may hold stale ids)
+  std::vector<VertexId> reach_;  ///< columns ever finite (may hold stale ids)
   std::uint64_t sum_ = 0;
   VertexId finite_ = 0;
   VertexId dirty_count_ = 0;

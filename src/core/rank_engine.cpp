@@ -1,11 +1,14 @@
 #include "core/rank_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <ctime>
 #include <queue>
 #include <sstream>
+#include <thread>
 
 #include "analysis/closeness.hpp"
+#include "common/parallel.hpp"
 #include "core/strategies.hpp"
 #include "partition/multilevel.hpp"
 #include "runtime/serialize.hpp"
@@ -19,6 +22,13 @@ double thread_cpu_now() {
   clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
   return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
 }
+
+// Checkpoint blob header (wire format v2). Legacy v1 blobs have no header:
+// they open directly with the owner-map length, so restore_state dispatches
+// on the magic bytes. See docs/PROTOCOL.md §"Wire format v2".
+constexpr std::uint8_t kCkptMagic0 = 0xAA;
+constexpr std::uint8_t kCkptMagic1 = 0xCC;
+constexpr std::uint8_t kCkptVersion2 = 2;
 
 struct HeapItem {
   Dist d;
@@ -42,8 +52,7 @@ RankEngine::RankEngine(const Init& init, rt::Comm& comm)
       lg_(init.me, init.restore_blob != nullptr ? std::vector<Rank>{} : init.owner,
           init.restore_blob != nullptr ? kNoEdges : *init.edges) {
   if (init.restore_blob != nullptr) {
-    rt::ByteReader r(*init.restore_blob);
-    restore_state(r);
+    restore_state(*init.restore_blob);
     return;
   }
   rows_.reserve(lg_.num_local());
@@ -55,6 +64,10 @@ RankEngine::RankEngine(const Init& init, rt::Comm& comm)
 // ------------------------------------------------------ checkpoint/restore
 
 void RankEngine::serialize_state(rt::ByteWriter& w) const {
+  // v2 header; restore_state also accepts legacy headerless v1 blobs.
+  w.write(kCkptMagic0);
+  w.write(kCkptMagic1);
+  w.write(kCkptVersion2);
   // Topology view: owner map + this rank's locally incident edges (each
   // edge once from this rank's perspective; the LocalGraph constructor
   // rebuilds both half-edges and the portal index).
@@ -72,30 +85,39 @@ void RankEngine::serialize_state(rt::ByteWriter& w) const {
     w.write(v);
     w.write(wt);
   }
-  // DV rows, including un-sent dirty targets (they must survive a restart
-  // or subscribers would permanently miss the pending updates/poisons).
+  // DV rows (varint-packed: distances/next hops are small or the sentinel),
+  // including un-sent dirty targets (they must survive a restart or
+  // subscribers would permanently miss the pending updates/poisons). The
+  // dirty targets come straight off the sparse list — O(dirty), no column
+  // scan.
   w.write(static_cast<std::uint64_t>(rows_.size()));
   std::vector<VertexId> dirty;
   for (const DvRow& row : rows_) {
     w.write(row.self());
-    w.write_vec(row.dists());
-    w.write_vec(row.next_hops());
-    dirty.clear();
-    for (VertexId t = 0; t < row.size() && dirty.size() < row.dirty_count(); ++t) {
-      if (row.test_flag(t, DvRow::kDirty)) dirty.push_back(t);
-    }
-    w.write_vec(dirty);
+    rt::write_packed_u32s(w, row.dists());
+    rt::write_packed_u32s(w, row.next_hops());
+    row.sorted_dirty(dirty);
+    rt::write_ascending_ids(w, dirty);
   }
   // Portal caches.
   w.write(static_cast<std::uint64_t>(caches_.size()));
   for (const auto& [portal, cache] : caches_) {
     w.write(portal);
-    w.write_vec(cache);
+    rt::write_packed_u32s(w, cache);
   }
   w.write(vertices_added_);
 }
 
-void RankEngine::restore_state(rt::ByteReader& r) {
+void RankEngine::restore_state(std::span<const std::byte> blob) {
+  const bool v2 = blob.size() >= 3 &&
+                  std::to_integer<std::uint8_t>(blob[0]) == kCkptMagic0 &&
+                  std::to_integer<std::uint8_t>(blob[1]) == kCkptMagic1;
+  if (v2) {
+    AACC_CHECK_MSG(std::to_integer<std::uint8_t>(blob[2]) == kCkptVersion2,
+                   "unknown checkpoint version");
+  }
+  rt::ByteReader r(v2 ? blob.subspan(3) : blob);
+
   auto owner = r.read_vec<Rank>();
   const auto edge_count = r.read<std::uint64_t>();
   std::vector<std::tuple<VertexId, VertexId, Weight>> edges;
@@ -116,10 +138,12 @@ void RankEngine::restore_state(rt::ByteReader& r) {
   unordered.reserve(row_count);
   for (std::uint64_t i = 0; i < row_count; ++i) {
     const auto vid = r.read<VertexId>();
-    auto d = r.read_vec<Dist>();
-    auto nh = r.read_vec<VertexId>();
+    auto d = v2 ? rt::read_packed_u32s(r) : r.read_vec<Dist>();
+    auto nh = v2 ? rt::read_packed_u32s(r) : r.read_vec<VertexId>();
     DvRow row(vid, std::move(d), std::move(nh));
-    for (const VertexId t : r.read_vec<VertexId>()) {
+    const auto dirty =
+        v2 ? rt::read_ascending_ids(r) : r.read_vec<VertexId>();
+    for (const VertexId t : dirty) {
       if (row.mark_dirty(t)) ++dirty_entries_;
     }
     unordered.push_back(std::move(row));
@@ -137,7 +161,7 @@ void RankEngine::restore_state(rt::ByteReader& r) {
   const auto cache_count = r.read<std::uint64_t>();
   for (std::uint64_t i = 0; i < cache_count; ++i) {
     const auto portal = r.read<VertexId>();
-    caches_[portal] = r.read_vec<Dist>();
+    caches_[portal] = v2 ? rt::read_packed_u32s(r) : r.read_vec<Dist>();
   }
   vertices_added_ = r.read<std::uint64_t>();
   AACC_CHECK_MSG(r.done(), "trailing bytes in checkpoint blob");
@@ -145,62 +169,85 @@ void RankEngine::restore_state(rt::ByteReader& r) {
 
 // --------------------------------------------------------------------- IA
 
+void RankEngine::ia_source(std::size_t r, std::vector<Dist>& dist,
+                           std::vector<VertexId>& hop,
+                           std::vector<VertexId>& touched,
+                           std::uint64_t& dirty_added) {
+  const VertexId src = lg_.vertex_of(r);
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> pq;
+  dist[src] = 0;
+  touched.push_back(src);
+  pq.push({0, src});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;
+    // Portals are reachable leaves: they get a distance but are not
+    // expanded (paths *through* an external boundary vertex are
+    // resolved during recombination, which keeps next-hop chains
+    // locally sound — see DESIGN.md).
+    const std::int32_t urow = lg_.row_of(u);
+    if (urow < 0) continue;
+    for (const Edge& e : lg_.adj(static_cast<std::size_t>(urow))) {
+      const Dist nd = dist_add(d, e.w);
+      if (nd < dist[e.to]) {
+        if (dist[e.to] == kInfDist) touched.push_back(e.to);
+        dist[e.to] = nd;
+        hop[e.to] = (u == src) ? e.to : hop[u];
+        pq.push({nd, e.to});
+      }
+    }
+  }
+  DvRow& row = rows_[r];
+  for (const VertexId t : touched) {
+    if (t != src) {
+      row.set(t, dist[t], hop[t]);
+      if (row.mark_dirty(t)) ++dirty_added;
+    }
+    dist[t] = kInfDist;
+    hop[t] = kNoVertex;
+  }
+  touched.clear();
+}
+
+std::size_t RankEngine::ia_thread_count() const {
+  if (cfg_.ia_threads != 0) return cfg_.ia_threads;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const auto ranks = static_cast<unsigned>(std::max<Rank>(comm_.size(), 1));
+  return std::clamp<std::size_t>(hw / ranks, 1, 8);
+}
+
 void RankEngine::run_ia() {
   comm_.set_phase("ia");
   const VertexId n = lg_.n();
 
-  // The paper runs a multithreaded Dijkstra here (OpenMP over sources,
-  // O(n_p * m_p log n_p / T)); rows are disjoint so sources parallelize
-  // freely with per-thread scratch. Dirty counting is serialized afterwards.
+  // The paper runs a multithreaded Dijkstra here (its MPI+OpenMP hybrid:
+  // O(n_p * m_p log n_p / T) per rank). Sources are disjoint rows, so they
+  // fan out across an intra-rank pool with per-thread scratch; each row is
+  // written by exactly one worker and per-row dirty counters merge in row
+  // order afterwards, so rows, counters and ledgers are bit-identical to
+  // the serial path for any thread count.
   std::vector<std::uint64_t> dirty_added(rows_.size(), 0);
-#pragma omp parallel
-  {
-    // Scratch buffers reused across this thread's sources; `touched` resets
-    // only what a source actually visited.
+  std::atomic<std::size_t> cursor{0};
+  constexpr std::size_t kChunk = 8;
+  const std::size_t threads = std::min(ia_thread_count(), rows_.size());
+  run_workers(threads, [&](std::size_t) {
+    // Scratch reused across this worker's sources; `touched` resets only
+    // what a source actually visited.
     std::vector<Dist> dist(n, kInfDist);
     std::vector<VertexId> hop(n, kNoVertex);
     std::vector<VertexId> touched;
     touched.reserve(n);
-
-#pragma omp for schedule(dynamic, 8)
-    for (std::size_t r = 0; r < rows_.size(); ++r) {
-      const VertexId src = lg_.vertex_of(r);
-      std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> pq;
-      dist[src] = 0;
-      touched.push_back(src);
-      pq.push({0, src});
-      while (!pq.empty()) {
-        const auto [d, u] = pq.top();
-        pq.pop();
-        if (d != dist[u]) continue;
-        // Portals are reachable leaves: they get a distance but are not
-        // expanded (paths *through* an external boundary vertex are
-        // resolved during recombination, which keeps next-hop chains
-        // locally sound — see DESIGN.md).
-        const std::int32_t urow = lg_.row_of(u);
-        if (urow < 0) continue;
-        for (const Edge& e : lg_.adj(static_cast<std::size_t>(urow))) {
-          const Dist nd = dist_add(d, e.w);
-          if (nd < dist[e.to]) {
-            if (dist[e.to] == kInfDist) touched.push_back(e.to);
-            dist[e.to] = nd;
-            hop[e.to] = (u == src) ? e.to : hop[u];
-            pq.push({nd, e.to});
-          }
-        }
+    for (;;) {
+      const std::size_t begin =
+          cursor.fetch_add(kChunk, std::memory_order_relaxed);
+      if (begin >= rows_.size()) break;
+      const std::size_t end = std::min(begin + kChunk, rows_.size());
+      for (std::size_t r = begin; r < end; ++r) {
+        ia_source(r, dist, hop, touched, dirty_added[r]);
       }
-      DvRow& row = rows_[r];
-      for (const VertexId t : touched) {
-        if (t != src) {
-          row.set(t, dist[t], hop[t]);
-          if (row.mark_dirty(t)) ++dirty_added[r];
-        }
-        dist[t] = kInfDist;
-        hop[t] = kNoVertex;
-      }
-      touched.clear();
     }
-  }
+  });
   for (const std::uint64_t d : dirty_added) dirty_entries_ += d;
 }
 
@@ -383,7 +430,9 @@ void RankEngine::exchange() {
   const Rank P = comm_.size();
   std::vector<rt::ByteWriter> writers(static_cast<std::size_t>(P));
   std::vector<Rank> subs;
+  std::vector<VertexId> dirty_cols;
   std::vector<std::pair<VertexId, Dist>> entries;
+  rt::ByteWriter record;
 
   for (std::size_t r = 0; r < rows_.size(); ++r) {
     DvRow& row = rows_[r];
@@ -391,24 +440,19 @@ void RankEngine::exchange() {
     subs.clear();
     lg_.subscribers(r, subs);
     if (!subs.empty()) {
+      // Send assembly walks the sparse dirty list (sorted, as the delta
+      // codec requires); the record is encoded once and fanned out.
+      row.sorted_dirty(dirty_cols);
       entries.clear();
-      for (VertexId t = 0; t < row.size() && entries.size() < row.dirty_count();
-           ++t) {
-        if (row.test_flag(t, DvRow::kDirty)) entries.emplace_back(t, row.dist(t));
-      }
+      entries.reserve(dirty_cols.size());
+      for (const VertexId t : dirty_cols) entries.emplace_back(t, row.dist(t));
+      rt::write_dv_record(record, row.self(), entries);
+      const auto bytes = record.take();
       for (const Rank q : subs) {
-        auto& w = writers[static_cast<std::size_t>(q)];
-        w.write(row.self());
-        w.write(static_cast<std::uint32_t>(entries.size()));
-        for (const auto& [t, d] : entries) {
-          w.write(t);
-          w.write(d);
-        }
+        writers[static_cast<std::size_t>(q)].write_bytes(bytes);
       }
     }
-    for (VertexId t = 0; t < row.size() && row.dirty_count() > 0; ++t) {
-      if (row.clear_dirty(t)) --dirty_entries_;
-    }
+    dirty_entries_ -= row.clear_all_dirty();
   }
 
   std::vector<std::vector<std::byte>> out;
@@ -423,12 +467,11 @@ void RankEngine::apply_incoming(const std::vector<std::vector<std::byte>>& in) {
     if (q == comm_.rank() || in[static_cast<std::size_t>(q)].empty()) continue;
     rt::ByteReader rd(in[static_cast<std::size_t>(q)]);
     while (!rd.done()) {
-      const auto b = rd.read<VertexId>();
-      const auto count = rd.read<std::uint32_t>();
+      rt::DvRecordReader rec(rd);
+      const VertexId b = rec.vid();
       const bool portal = lg_.is_portal(b);
-      for (std::uint32_t i = 0; i < count; ++i) {
-        const auto t = rd.read<VertexId>();
-        const auto d = rd.read<Dist>();
+      for (std::uint32_t i = 0; i < rec.count(); ++i) {
+        const auto [t, d] = rec.next();
         if (portal) apply_portal_value(b, t, d);
       }
       if (!portal) caches_.erase(b);  // stale sender view; drop leftovers
@@ -440,38 +483,37 @@ bool RankEngine::poison_sync_round() {
   const Rank P = comm_.size();
   std::vector<rt::ByteWriter> writers(static_cast<std::size_t>(P));
   std::vector<Rank> subs;
-  std::vector<VertexId> dead;
+  std::vector<VertexId> dirty_cols;
+  std::vector<std::pair<VertexId, Dist>> dead;
+  rt::ByteWriter record;
 
   for (std::size_t r = 0; r < rows_.size(); ++r) {
     DvRow& row = rows_[r];
     if (row.dirty_count() == 0) continue;
     subs.clear();
     lg_.subscribers(r, subs);
+    // The newly-invalid entries are dirty by construction, so the sparse
+    // list (sorted for the delta codec) is a complete candidate set.
+    row.sorted_dirty(dirty_cols);
     dead.clear();
-    for (VertexId t = 0; t < row.size(); ++t) {
-      if (row.test_flag(t, DvRow::kDirty) && row.dist(t) == kInfDist) {
-        dead.push_back(t);
-      }
+    for (const VertexId t : dirty_cols) {
+      if (row.dist(t) == kInfDist) dead.emplace_back(t, kInfDist);
     }
     if (subs.empty()) {
       // Nobody depends on this row; retire the markers so the deferred
       // repairs (see relax()) become runnable again.
-      for (const VertexId t : dead) {
+      for (const auto& [t, d] : dead) {
         if (row.clear_dirty(t)) --dirty_entries_;
       }
       continue;
     }
     if (dead.empty()) continue;
+    rt::write_dv_record(record, row.self(), dead);
+    const auto bytes = record.take();
     for (const Rank q : subs) {
-      auto& w = writers[static_cast<std::size_t>(q)];
-      w.write(row.self());
-      w.write(static_cast<std::uint32_t>(dead.size()));
-      for (const VertexId t : dead) {
-        w.write(t);
-        w.write(kInfDist);
-      }
+      writers[static_cast<std::size_t>(q)].write_bytes(bytes);
     }
-    for (const VertexId t : dead) {
+    for (const auto& [t, d] : dead) {
       if (row.clear_dirty(t)) --dirty_entries_;
     }
   }
@@ -490,12 +532,13 @@ bool RankEngine::poison_sync_round() {
 // ----------------------------------------------------------- dirty helper
 
 void RankEngine::mark_finite_dirty(std::size_t row_idx) {
+  // Walks the row's reach list (columns ever finite) instead of the full
+  // column range — O(finite), which is what the whole-row resend actually
+  // costs downstream anyway.
   DvRow& row = rows_[row_idx];
-  for (VertexId t = 0; t < row.size(); ++t) {
-    if (t != row.self() && row.dist(t) != kInfDist && row.mark_dirty(t)) {
-      ++dirty_entries_;
-    }
-  }
+  row.for_each_finite([&](VertexId t) {
+    if (row.mark_dirty(t)) ++dirty_entries_;
+  });
 }
 
 // ------------------------------------------------------------- edge events
@@ -900,6 +943,9 @@ void RankEngine::apply_repartition(const std::vector<VertexAddEvent>& batch) {
         place(DvRow(vid, std::move(d), std::move(nh)));
       }
     }
+    // Kept rows carry geometric-growth slack from the previous era; drop it
+    // now that the row set is final for this ownership generation.
+    for (DvRow& row : rows_) row.shrink_to_fit();
 
     // 4. Every boundary row must reach its (fresh) subscribers; seed new
     //    rows through their local edges. Existing rows are deliberately not

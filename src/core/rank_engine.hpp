@@ -19,6 +19,7 @@
 #pragma once
 
 #include <deque>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -153,7 +154,14 @@ class RankEngine {
   void mark_finite_dirty(std::size_t row);
   void boundary_fw_pass();
 
-  void restore_state(rt::ByteReader& r);
+  /// One IA Dijkstra source (row r) using caller-owned scratch buffers;
+  /// `dirty_added` receives the row's newly-dirty entry count.
+  void ia_source(std::size_t r, std::vector<Dist>& dist,
+                 std::vector<VertexId>& hop, std::vector<VertexId>& touched,
+                 std::uint64_t& dirty_added);
+  [[nodiscard]] std::size_t ia_thread_count() const;
+
+  void restore_state(std::span<const std::byte> blob);
 
   rt::Comm& comm_;
   EngineConfig cfg_;

@@ -8,12 +8,15 @@
 
 #include <cstddef>
 #include <cstring>
+#include <limits>
 #include <span>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/types.hpp"
 
 namespace aacc::rt {
 
@@ -24,6 +27,24 @@ class ByteWriter {
   void write(const T& value) {
     const auto* p = reinterpret_cast<const std::byte*>(&value);
     buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  /// Appends raw bytes with no length prefix (pre-encoded records that fan
+  /// out to several destinations are assembled once and appended per
+  /// destination).
+  void write_bytes(std::span<const std::byte> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// LEB128 unsigned varint: 7 value bits per byte, high bit = continue.
+  /// 1 byte for values < 128, 2 bytes < 16384, at most 5 bytes for u32
+  /// payloads and 10 for the full u64 range.
+  void write_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      write(static_cast<std::uint8_t>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    write(static_cast<std::uint8_t>(v));
   }
 
   template <typename T>
@@ -82,12 +103,180 @@ class ByteReader {
     return s;
   }
 
+  std::uint64_t read_varint() {
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    for (;;) {
+      const auto b = read<std::uint8_t>();
+      AACC_CHECK_MSG(shift < 64, "varint overflow");
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+    }
+    return v;
+  }
+
   [[nodiscard]] bool done() const { return pos_ == buf_.size(); }
   [[nodiscard]] std::size_t remaining() const { return buf_.size() - pos_; }
 
  private:
   std::span<const std::byte> buf_;
   std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------- wire v2
+//
+// Compressed codecs for the DV-update message path and checkpoints (see
+// docs/PROTOCOL.md §"Wire format v2"). Values of u32 domains with an
+// all-ones sentinel (kInfDist / kNoVertex) map through code = 0 for the
+// sentinel, value + 1 otherwise, so the common small values stay 1-byte
+// varints and the sentinel costs 1 byte instead of 5.
+
+inline constexpr std::uint64_t kSentinelCode = 0;
+
+/// kInfDist / kNoVertex → 0, v → v + 1. Saturating arithmetic guarantees
+/// every non-sentinel value is < 2^32 - 1, so v + 1 never collides.
+[[nodiscard]] constexpr std::uint64_t encode_u32_sentinel(std::uint32_t v) {
+  return v == std::numeric_limits<std::uint32_t>::max()
+             ? kSentinelCode
+             : static_cast<std::uint64_t>(v) + 1;
+}
+[[nodiscard]] constexpr std::uint32_t decode_u32_sentinel(std::uint64_t code) {
+  return code == kSentinelCode ? std::numeric_limits<std::uint32_t>::max()
+                               : static_cast<std::uint32_t>(code - 1);
+}
+
+/// Varint-packs a u32 vector under the sentinel mapping (checkpoint rows:
+/// distances and next hops are mostly small or the sentinel).
+inline void write_packed_u32s(ByteWriter& w, const std::vector<std::uint32_t>& v) {
+  w.write_varint(v.size());
+  for (const std::uint32_t x : v) w.write_varint(encode_u32_sentinel(x));
+}
+inline std::vector<std::uint32_t> read_packed_u32s(ByteReader& r) {
+  const auto n = r.read_varint();
+  std::vector<std::uint32_t> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    v.push_back(decode_u32_sentinel(r.read_varint()));
+  }
+  return v;
+}
+
+/// Delta-encodes a strictly ascending id list: first id raw, then
+/// (id - prev - 1) — dense dirty ranges become runs of 0x00 bytes.
+inline void write_ascending_ids(ByteWriter& w, const std::vector<VertexId>& ids) {
+  w.write_varint(ids.size());
+  VertexId prev = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i == 0) {
+      w.write_varint(ids[0]);
+    } else {
+      AACC_DCHECK(ids[i] > prev);
+      w.write_varint(ids[i] - prev - 1);
+    }
+    prev = ids[i];
+  }
+}
+inline std::vector<VertexId> read_ascending_ids(ByteReader& r) {
+  const auto n = r.read_varint();
+  std::vector<VertexId> ids;
+  ids.reserve(n);
+  VertexId prev = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto delta = static_cast<VertexId>(r.read_varint());
+    prev = (i == 0) ? delta : prev + delta + 1;
+    ids.push_back(prev);
+  }
+  return ids;
+}
+
+// ---- DV-update records --------------------------------------------------
+//
+// One record carries the changed entries of one row to a subscriber. Every
+// record is self-describing: a leading version byte selects the codec, so
+// a stream may mix versions and old (v1) payloads stay decodable.
+//
+//   v1:  u8 version, u32 vid, u32 count, count × (u32 target, u32 dist)
+//   v2:  u8 version, varint vid, varint count,
+//        count × (varint target-delta, varint dist-code)
+//        targets strictly ascending; first delta is the target itself,
+//        later deltas are (target - prev - 1); dist-code is the sentinel
+//        mapping above (poison markers ship as 1 byte).
+
+inline constexpr std::uint8_t kDvRecordV1 = 1;
+inline constexpr std::uint8_t kDvRecordV2 = 2;
+
+/// Entries must be sorted by target id (ascending, unique).
+inline void write_dv_record(ByteWriter& w, VertexId vid,
+                            const std::vector<std::pair<VertexId, Dist>>& entries,
+                            std::uint8_t version = kDvRecordV2) {
+  w.write(version);
+  if (version == kDvRecordV1) {
+    w.write(vid);
+    w.write(static_cast<std::uint32_t>(entries.size()));
+    for (const auto& [t, d] : entries) {
+      w.write(t);
+      w.write(d);
+    }
+    return;
+  }
+  AACC_CHECK_MSG(version == kDvRecordV2, "unknown DV record version");
+  w.write_varint(vid);
+  w.write_varint(entries.size());
+  VertexId prev = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto [t, d] = entries[i];
+    if (i == 0) {
+      w.write_varint(t);
+    } else {
+      AACC_DCHECK(t > prev);
+      w.write_varint(t - prev - 1);
+    }
+    prev = t;
+    w.write_varint(encode_u32_sentinel(d));
+  }
+}
+
+/// Streaming decoder for one record: construct, read vid()/count(), then
+/// call next() exactly count() times. Dispatches on the version byte.
+class DvRecordReader {
+ public:
+  explicit DvRecordReader(ByteReader& r) : r_(r) {
+    version_ = r_.read<std::uint8_t>();
+    if (version_ == kDvRecordV1) {
+      vid_ = r_.read<VertexId>();
+      count_ = r_.read<std::uint32_t>();
+      return;
+    }
+    AACC_CHECK_MSG(version_ == kDvRecordV2, "unknown DV record version");
+    vid_ = static_cast<VertexId>(r_.read_varint());
+    count_ = static_cast<std::uint32_t>(r_.read_varint());
+  }
+
+  [[nodiscard]] VertexId vid() const { return vid_; }
+  [[nodiscard]] std::uint32_t count() const { return count_; }
+
+  std::pair<VertexId, Dist> next() {
+    AACC_DCHECK(read_ < count_);
+    if (version_ == kDvRecordV1) {
+      const auto t = r_.read<VertexId>();
+      const auto d = r_.read<Dist>();
+      ++read_;
+      return {t, d};
+    }
+    const auto delta = static_cast<VertexId>(r_.read_varint());
+    prev_ = (read_ == 0) ? delta : prev_ + delta + 1;
+    ++read_;
+    return {prev_, decode_u32_sentinel(r_.read_varint())};
+  }
+
+ private:
+  ByteReader& r_;
+  std::uint8_t version_ = 0;
+  VertexId vid_ = 0;
+  std::uint32_t count_ = 0;
+  std::uint32_t read_ = 0;
+  VertexId prev_ = 0;
 };
 
 }  // namespace aacc::rt

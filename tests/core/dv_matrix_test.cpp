@@ -1,6 +1,9 @@
 // DvRow: aggregates, flags, growth, wire reconstruction.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+
 #include "core/dv_matrix.hpp"
 
 namespace aacc {
@@ -79,6 +82,104 @@ TEST(DvRow, WireConstructorRecomputesAggregates) {
   EXPECT_EQ(row.finite_count(), 2u);
   EXPECT_EQ(row.dirty_count(), 0u);
   EXPECT_EQ(row.next_hop(3), 1u);
+}
+
+TEST(DvRow, SortedDirtyMatchesFlagScan) {
+  DvRow row(0, 8);
+  (void)row.mark_dirty(5);
+  (void)row.mark_dirty(1);
+  (void)row.mark_dirty(7);
+  (void)row.clear_dirty(1);
+  (void)row.mark_dirty(3);
+  std::vector<VertexId> dirty;
+  row.sorted_dirty(dirty);
+  EXPECT_EQ(dirty, (std::vector<VertexId>{3, 5, 7}));
+  EXPECT_EQ(row.dirty_count(), 3u);
+}
+
+TEST(DvRow, ClearAllDirtyReturnsCount) {
+  DvRow row(0, 6);
+  (void)row.mark_dirty(2);
+  (void)row.mark_dirty(4);
+  (void)row.clear_dirty(2);
+  EXPECT_EQ(row.clear_all_dirty(), 1u);
+  EXPECT_EQ(row.dirty_count(), 0u);
+  std::vector<VertexId> dirty;
+  row.sorted_dirty(dirty);
+  EXPECT_TRUE(dirty.empty());
+  // Re-marking after a bulk clear starts a fresh list.
+  EXPECT_TRUE(row.mark_dirty(4));
+  EXPECT_EQ(row.dirty_count(), 1u);
+}
+
+TEST(DvRow, ForEachFiniteVisitsReachableColumns) {
+  DvRow row(1, 6);
+  row.set(0, 4, 0);
+  row.set(3, 2, 3);
+  row.set(5, 9, 3);
+  row.set(5, kInfDist, kNoVertex);  // poisoned after being reached
+  std::vector<VertexId> seen;
+  row.for_each_finite([&](VertexId t) { seen.push_back(t); });
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<VertexId>{0, 3}));
+}
+
+// Fuzz: the sparse dirty list and reach list must agree with a brute-force
+// scan of the per-column flags/distances after any interleaving of set,
+// mark, clear, grow, bulk-clear, and reset operations.
+TEST(DvRow, FuzzSparseTrackingMatchesBruteForce) {
+  std::mt19937 rng(20260806);
+  for (int round = 0; round < 20; ++round) {
+    VertexId n = 16;
+    DvRow row(3, n);
+    for (int step = 0; step < 400; ++step) {
+      const auto op = rng() % 100;
+      const auto t = static_cast<VertexId>(rng() % n);
+      if (op < 35) {
+        (void)row.mark_dirty(t);
+      } else if (op < 60) {
+        (void)row.clear_dirty(t);
+      } else if (op < 85) {
+        const Dist d = (rng() % 8 == 0) ? kInfDist : rng() % 1000;
+        row.set(t, d, d == kInfDist ? kNoVertex : t);
+      } else if (op < 92) {
+        const auto added = static_cast<VertexId>(1 + rng() % 4);
+        row.grow(added);
+        n += added;
+      } else if (op < 96) {
+        (void)row.clear_all_dirty();
+      } else if (op < 98) {
+        row.reset_flags();
+      } else {
+        row.shrink_to_fit();
+      }
+
+      // Brute-force models straight off the dense arrays.
+      std::vector<VertexId> want_dirty;
+      std::size_t want_finite = 0;
+      for (VertexId c = 0; c < n; ++c) {
+        if (row.test_flag(c, DvRow::kDirty)) want_dirty.push_back(c);
+        if (c != row.self() && row.dist(c) != kInfDist) ++want_finite;
+      }
+
+      ASSERT_EQ(row.dirty_count(), want_dirty.size());
+      std::vector<VertexId> got_dirty;
+      row.sorted_dirty(got_dirty);
+      ASSERT_EQ(got_dirty, want_dirty);
+
+      std::vector<VertexId> got_finite;
+      row.for_each_finite([&](VertexId c) { got_finite.push_back(c); });
+      std::sort(got_finite.begin(), got_finite.end());
+      ASSERT_EQ(got_finite.size(), want_finite);
+      ASSERT_TRUE(std::adjacent_find(got_finite.begin(), got_finite.end()) ==
+                  got_finite.end())
+          << "duplicate visit";
+      for (const VertexId c : got_finite) {
+        ASSERT_NE(c, row.self());
+        ASSERT_NE(row.dist(c), kInfDist);
+      }
+    }
+  }
 }
 
 TEST(DvRow, ResetFlagsClearsEverything) {

@@ -68,5 +68,163 @@ TEST(Serialize, TakeResetsWriter) {
   EXPECT_EQ(w.size(), 0u);
 }
 
+// ---------------------------------------------------------------- wire v2
+
+TEST(Varint, SingleByteBoundary) {
+  // 0 and 127 fit one byte; 128 needs two.
+  for (const std::uint64_t v : {0ull, 1ull, 127ull}) {
+    ByteWriter w;
+    w.write_varint(v);
+    EXPECT_EQ(w.size(), 1u) << v;
+    const auto buf = w.take();
+    ByteReader r(buf);
+    EXPECT_EQ(r.read_varint(), v);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Varint, TwoByteBoundary) {
+  for (const std::uint64_t v : {128ull, 255ull, 16383ull}) {
+    ByteWriter w;
+    w.write_varint(v);
+    EXPECT_EQ(w.size(), 2u) << v;
+    const auto buf = w.take();
+    ByteReader r(buf);
+    EXPECT_EQ(r.read_varint(), v);
+  }
+}
+
+TEST(Varint, FiveByteBoundary) {
+  // 2^28 .. 2^35-1 take five bytes; the full u32 range (incl. the kInfDist
+  // bit pattern) must round-trip.
+  for (const std::uint64_t v :
+       {1ull << 28, 0xffffffffull, (1ull << 35) - 1}) {
+    ByteWriter w;
+    w.write_varint(v);
+    EXPECT_EQ(w.size(), 5u) << v;
+    const auto buf = w.take();
+    ByteReader r(buf);
+    EXPECT_EQ(r.read_varint(), v);
+  }
+}
+
+TEST(Varint, FullU64RoundTrip) {
+  ByteWriter w;
+  w.write_varint(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(w.size(), 10u);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.read_varint(), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(WireV2, SentinelMapping) {
+  EXPECT_EQ(encode_u32_sentinel(kInfDist), kSentinelCode);
+  EXPECT_EQ(decode_u32_sentinel(kSentinelCode), kInfDist);
+  EXPECT_EQ(decode_u32_sentinel(encode_u32_sentinel(0u)), 0u);
+  // The largest finite value (saturating arithmetic caps at kInfDist - 1).
+  EXPECT_EQ(decode_u32_sentinel(encode_u32_sentinel(kInfDist - 1)),
+            kInfDist - 1);
+}
+
+TEST(WireV2, PackedU32RoundTrip) {
+  const std::vector<std::uint32_t> v{0, 1, kInfDist, 127, 128, kInfDist - 1};
+  ByteWriter w;
+  write_packed_u32s(w, v);
+  // count byte + codes {1, 2, 0, 128, 129, 2^32-1} = 1 + 1+1+1+2+2+5
+  EXPECT_EQ(w.size(), 13u);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(read_packed_u32s(r), v);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WireV2, AscendingIdsRoundTrip) {
+  const std::vector<VertexId> ids{3, 4, 5, 100, 70000};
+  ByteWriter w;
+  write_ascending_ids(w, ids);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(read_ascending_ids(r), ids);
+  EXPECT_TRUE(r.done());
+
+  ByteWriter we;
+  write_ascending_ids(we, {});
+  const auto bufe = we.take();
+  ByteReader re(bufe);
+  EXPECT_TRUE(read_ascending_ids(re).empty());
+}
+
+TEST(WireV2, DenseAscendingRunIsOneBytePerId) {
+  // Consecutive ids delta-encode to 0x00 bytes.
+  std::vector<VertexId> ids(100);
+  for (VertexId i = 0; i < 100; ++i) ids[i] = 1000 + i;
+  ByteWriter w;
+  write_ascending_ids(w, ids);
+  EXPECT_EQ(w.size(), 1u + 2u + 99u);  // count + first id + 99 zero deltas
+}
+
+TEST(DvRecord, V2RoundTrip) {
+  const std::vector<std::pair<VertexId, Dist>> entries{
+      {2, 1}, {3, 7}, {9, kInfDist}, {70000, 130}};
+  ByteWriter w;
+  write_dv_record(w, 42, entries);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  DvRecordReader rec(r);
+  EXPECT_EQ(rec.vid(), 42u);
+  ASSERT_EQ(rec.count(), entries.size());
+  for (const auto& e : entries) EXPECT_EQ(rec.next(), e);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(DvRecord, V1BlobDecodesUnderV2Reader) {
+  const std::vector<std::pair<VertexId, Dist>> entries{
+      {5, 2}, {6, kInfDist}, {1000, 44}};
+  ByteWriter w;
+  write_dv_record(w, 7, entries, kDvRecordV1);
+  write_dv_record(w, 8, entries, kDvRecordV2);  // mixed-version stream
+  const auto buf = w.take();
+  ByteReader r(buf);
+  DvRecordReader v1(r);
+  EXPECT_EQ(v1.vid(), 7u);
+  ASSERT_EQ(v1.count(), entries.size());
+  for (const auto& e : entries) EXPECT_EQ(v1.next(), e);
+  DvRecordReader v2(r);
+  EXPECT_EQ(v2.vid(), 8u);
+  ASSERT_EQ(v2.count(), entries.size());
+  for (const auto& e : entries) EXPECT_EQ(v2.next(), e);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(DvRecord, V2IsSmallerThanV1) {
+  std::vector<std::pair<VertexId, Dist>> entries;
+  for (VertexId t = 0; t < 256; ++t) entries.emplace_back(t * 3, t % 30);
+  ByteWriter w1;
+  write_dv_record(w1, 9, entries, kDvRecordV1);
+  ByteWriter w2;
+  write_dv_record(w2, 9, entries, kDvRecordV2);
+  // v1: 9 + 8 per entry. v2 here: header + 2 bytes per entry.
+  EXPECT_LT(w2.size() * 2, w1.size());
+}
+
+TEST(DvRecord, UnknownVersionRejected) {
+  ByteWriter w;
+  w.write(std::uint8_t{9});
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_THROW(DvRecordReader rec(r), std::logic_error);
+}
+
+TEST(DvRecord, EmptyRecordRoundTrip) {
+  ByteWriter w;
+  write_dv_record(w, 3, {});
+  const auto buf = w.take();
+  ByteReader r(buf);
+  DvRecordReader rec(r);
+  EXPECT_EQ(rec.vid(), 3u);
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_TRUE(r.done());
+}
+
 }  // namespace
 }  // namespace aacc::rt
