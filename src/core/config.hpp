@@ -3,6 +3,7 @@
 
 #include "common/types.hpp"
 #include "partition/partition.hpp"
+#include "runtime/faults.hpp"
 #include "runtime/logp.hpp"
 
 namespace aacc {
@@ -77,6 +78,19 @@ struct EngineConfig {
   /// this threshold the engine repartitions the whole graph and migrates
   /// DV rows (same machinery as Repartition-S). 0 disables.
   double rebalance_threshold = 0.0;
+  /// Fault tolerance (docs/FAULTS.md). Transport hardening is off by
+  /// default so the fault-free fast path costs nothing; it is forced on
+  /// whenever `faults` injects anything.
+  rt::TransportConfig transport;
+  /// Deterministic fault schedule for chaos testing; inert when empty.
+  rt::FaultPlan faults;
+  /// Periodic recovery checkpoints: every rank snapshots its state each k
+  /// RC steps; on a rank failure the supervisor rolls every rank back to
+  /// the newest common snapshot and replays (bit-identical results).
+  /// 0 disables — failures then fall back to degraded mode.
+  std::size_t checkpoint_every = 0;
+  /// Supervised relaunch budget per run (recoveries + degraded restarts).
+  std::size_t max_recoveries = 4;
 };
 
 }  // namespace aacc

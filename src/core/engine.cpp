@@ -1,12 +1,14 @@
 #include "core/engine.hpp"
 
 #include <memory>
+#include <optional>
 
 #include "analysis/closeness.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "core/rank_engine.hpp"
 #include "runtime/comm.hpp"
+#include "runtime/serialize.hpp"
 
 namespace aacc {
 
@@ -19,10 +21,13 @@ void RunStats::accumulate(const RunStats& other) {
   for (const auto& [phase, secs] : other.cpu_by_phase) cpu_by_phase[phase] += secs;
   total_bytes += other.total_bytes;
   total_messages += other.total_messages;
+  frame_overhead_bytes += other.frame_overhead_bytes;
+  retransmits += other.retransmits;
   modeled_network_seconds_serialized += other.modeled_network_seconds_serialized;
   modeled_network_seconds_shifted += other.modeled_network_seconds_shifted;
   modeled_network_seconds_flood += other.modeled_network_seconds_flood;
   rc_steps += other.rc_steps;
+  recoveries += other.recoveries;
   cut_edges_initial = other.cut_edges_initial;  // latest run's view
   cut_edges_final = other.cut_edges_final;
   imbalance_final = other.imbalance_final;
@@ -36,9 +41,10 @@ AnytimeEngine::AnytimeEngine(Graph g, EngineConfig cfg)
 AnytimeEngine::AnytimeEngine(Graph g, Checkpoint checkpoint, EngineConfig cfg)
     : graph_(std::move(g)), cfg_(cfg), resume_(std::move(checkpoint)),
       resuming_(true) {
-  AACC_CHECK_MSG(resume_.valid(), "invalid checkpoint");
-  AACC_CHECK_MSG(resume_.num_ranks == cfg_.num_ranks,
-                 "checkpoint was taken with a different world size");
+  // Structural validation up front (CheckpointError on shape/world-size
+  // mismatch, bad magic header, unknown version); deep blob truncation is
+  // caught on restore inside the rank threads.
+  validate_checkpoint(resume_, cfg_.num_ranks);
   // Don't immediately re-checkpoint at the same step on resume.
   if (cfg_.checkpoint_at_step <= resume_.step) {
     cfg_.checkpoint_at_step = kNoCheckpointStep;
@@ -86,35 +92,188 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
   std::vector<std::vector<std::byte>> slots(
       static_cast<std::size_t>(cfg_.num_ranks));
 
-  // ---- IA + RC on the rank world ----
-  rt::World world(cfg_.num_ranks, cfg_.logp);
+  // ---- IA + RC on the rank world, under supervision ----
+  // One World is reused across supervised attempts so ledgers accumulate:
+  // work wasted by a failed attempt is honestly charged, and the
+  // injector's one-shot crash flags keep a replay from re-dying at the
+  // same point.
+  std::optional<rt::FaultInjector> injector;
+  if (cfg_.faults.any()) injector.emplace(cfg_.faults);
+  std::optional<PeriodicCheckpoints> periodic;
+  if (cfg_.checkpoint_every > 0) periodic.emplace(cfg_.num_ranks);
+
+  rt::World world(cfg_.num_ranks, cfg_.logp, cfg_.transport);
+  if (injector) world.install_faults(&*injector);
+
   std::vector<std::unique_ptr<RankEngine>> engines(
       static_cast<std::size_t>(cfg_.num_ranks));
   std::vector<std::size_t> rc_steps(static_cast<std::size_t>(cfg_.num_ranks), 0);
 
-  world.run([&](rt::Comm& comm) {
+  // Supervision state, rewritten between attempts and read-only while rank
+  // threads run.
+  enum class Mode { kFresh, kResume, kDegraded };
+  Mode mode = resuming_ ? Mode::kResume : Mode::kFresh;
+  Checkpoint restart = resume_;  // used in kResume
+  std::vector<bool> dead(static_cast<std::size_t>(cfg_.num_ranks), false);
+  std::vector<Rank> newly_dead;  // poison targets of the next degraded attempt
+  std::vector<std::vector<std::byte>> stash(
+      static_cast<std::size_t>(cfg_.num_ranks));
+  std::size_t degraded_step = 0;
+  std::size_t degraded_batch = 0;
+  std::vector<Rank> ghost_owner;
+  std::uint64_t ghost_vertices_added = 0;
+
+  const auto attempt_fn = [&](rt::Comm& comm) {
+    const auto me = static_cast<std::size_t>(comm.rank());
     RankEngine::Init init;
     init.me = comm.rank();
     init.world = cfg_.num_ranks;
     init.schedule = &schedule;
     init.cfg = cfg_;
-    init.checkpoint_slot = &slots[static_cast<std::size_t>(comm.rank())];
-    if (resuming_) {
-      init.restore_blob = &resume_.rank_blobs[static_cast<std::size_t>(comm.rank())];
-      init.start_step = resume_.step + 1;
-      init.start_batch = resume_.next_batch;
-    } else {
-      init.owner = part.assignment;
-      init.edges = &edges;
+    init.checkpoint_slot = &slots[me];
+    init.injector = injector ? &*injector : nullptr;
+    bool fresh = false;
+    switch (mode) {
+      case Mode::kFresh:
+        init.owner = part.assignment;
+        init.edges = &edges;
+        init.periodic = periodic ? &*periodic : nullptr;
+        fresh = true;
+        break;
+      case Mode::kResume:
+        init.restore_blob = &restart.rank_blobs[me];
+        init.start_step = restart.step + 1;
+        init.start_batch = restart.next_batch;
+        init.periodic = periodic ? &*periodic : nullptr;
+        break;
+      case Mode::kDegraded:
+        init.start_step = degraded_step;
+        init.start_batch = degraded_batch;
+        if (dead[me]) {
+          // A ghost keeps the dead rank's seat in the SPMD collectives: it
+          // owns no rows but tracks the owner map and consumes the event
+          // feed so the survivors' protocol is undisturbed.
+          init.ghost = true;
+          init.owner = ghost_owner;
+          init.edges = &edges;
+          init.start_vertices_added = ghost_vertices_added;
+        } else {
+          init.restore_blob = &stash[me];
+          init.poison_ranks = newly_dead;
+        }
+        break;
     }
-    auto engine = std::make_unique<RankEngine>(init, comm);
-    if (!resuming_) {
-      engine->run_ia();
+    // Constructed into the shared slot immediately so a failing rank's
+    // partial state is stashed for the supervisor (survivors' pending sends
+    // and cursors seed the next attempt).
+    engines[me] = std::make_unique<RankEngine>(init, comm);
+    RankEngine& engine = *engines[me];
+    if (fresh) {
+      engine.run_ia();
       comm.barrier();  // IA/RC phase boundary
     }
-    rc_steps[static_cast<std::size_t>(comm.rank())] = engine->run_rc();
-    engines[static_cast<std::size_t>(comm.rank())] = std::move(engine);
-  });
+    rc_steps[me] = engine.run_rc();
+  };
+
+  const auto rethrow_root = [](const rt::World::RunReport& report) {
+    for (const Rank r : report.failed) {
+      try {
+        std::rethrow_exception(report.errors[static_cast<std::size_t>(r)]);
+      } catch (const rt::PeerFailedError&) {
+        // collateral; keep looking for the root cause
+      }
+    }
+    std::rethrow_exception(
+        report.errors[static_cast<std::size_t>(report.failed.front())]);
+  };
+
+  for (;;) {
+    const rt::World::RunReport report = world.run_contained(attempt_fn);
+    if (report.ok()) break;
+
+    // Classify: injected crashes and transport failures are recoverable
+    // roots; PeerFailedError is collateral damage on survivors; anything
+    // else (CheckpointError, logic errors) is a real bug and propagates.
+    std::vector<Rank> roots;
+    for (const Rank r : report.failed) {
+      try {
+        std::rethrow_exception(report.errors[static_cast<std::size_t>(r)]);
+      } catch (const rt::InjectedCrash&) {
+        roots.push_back(r);
+      } catch (const rt::PeerFailedError&) {
+        // survivor interrupted by a failed peer
+      } catch (const rt::TransportError&) {
+        roots.push_back(r);
+      }
+    }
+    if (roots.empty()) rethrow_root(report);
+    if (out.stats.recoveries >= cfg_.max_recoveries) rethrow_root(report);
+    ++out.stats.recoveries;
+
+    if (periodic) {
+      // ---- checkpoint rollback: replay from the newest snapshot every
+      // rank holds; replay is deterministic, so the final state is
+      // bit-identical to a fault-free run. No snapshot yet -> restart the
+      // whole run from scratch (also bit-identical). ----
+      if (auto ck = periodic->latest_consistent()) {
+        ck->next_batch = 0;
+        for (const EventBatch& b : schedule) {
+          if (b.at_step <= ck->step) ++ck->next_batch;
+        }
+        restart = std::move(*ck);
+        mode = Mode::kResume;
+      } else {
+        mode = resuming_ ? Mode::kResume : Mode::kFresh;
+        restart = resume_;
+      }
+      continue;
+    }
+
+    // ---- degraded fallback: no recovery checkpoints. The root ranks'
+    // rows are lost; survivors carry on and the result reports the exact
+    // coverage gap. ----
+    AACC_CHECK_MSG(cfg_.add_mode != EdgeAddMode::kEager &&
+                       cfg_.assign != AssignStrategy::kRepartition &&
+                       cfg_.rebalance_threshold == 0.0,
+                   "degraded fallback requires seeded adds and a fixed "
+                   "partition (enable checkpoint_every for full recovery)");
+    for (const Rank r : roots) dead[static_cast<std::size_t>(r)] = true;
+    newly_dead = roots;
+
+    // Every survivor stopped blocked in the same step's first collective
+    // (crashes fire at the step top), so their cursors agree; verify, then
+    // stash their state for restore.
+    const RankEngine* witness = nullptr;
+    for (Rank r = 0; r < cfg_.num_ranks; ++r) {
+      const auto idx = static_cast<std::size_t>(r);
+      if (dead[idx]) continue;
+      AACC_CHECK_MSG(engines[idx] != nullptr,
+                     "survivor rank " << r << " has no stashed engine");
+      const RankEngine& eng = *engines[idx];
+      if (witness == nullptr) {
+        witness = &eng;
+      } else {
+        AACC_CHECK_MSG(eng.current_step() == witness->current_step() &&
+                           eng.current_batch() == witness->current_batch(),
+                       "survivors stopped at different cursors; degraded "
+                       "restart would be incoherent (rank "
+                           << r << " at step " << eng.current_step()
+                           << " batch " << eng.current_batch()
+                           << ", witness at step " << witness->current_step()
+                           << " batch " << witness->current_batch() << ")");
+      }
+      rt::ByteWriter w;
+      eng.serialize_state(w);
+      stash[idx] = w.take();
+    }
+    AACC_CHECK_MSG(witness != nullptr, "all ranks failed; nothing to degrade to");
+    degraded_step = witness->current_step();
+    degraded_batch = witness->current_batch();
+    ghost_owner = witness->local_graph().owner_map();
+    ghost_vertices_added = witness->vertices_added();
+    mode = Mode::kDegraded;
+    out.degraded = true;
+  }
 
   if (want_checkpoint && !slots[0].empty()) {
     out.checkpoint.rank_blobs = std::move(slots);
@@ -173,6 +332,17 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
     out.stats.imbalance_final = m.imbalance;
   }
 
+  if (out.degraded) {
+    // Exact coverage gap: every alive vertex whose row died with its rank
+    // (including vertices round-robined onto a ghost after the failure).
+    for (VertexId v = 0; v < n; ++v) {
+      if (graph_.is_alive(v) &&
+          dead[static_cast<std::size_t>(out.final_owner[v])]) {
+        out.lost_vertices.push_back(v);
+      }
+    }
+  }
+
   for (const auto& engine : engines) {
     out.stats.invariant_violations += engine->invariant_violations();
   }
@@ -223,6 +393,8 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
     for (const auto& [phase, secs] : ledger.cpu_seconds) {
       out.stats.cpu_by_phase[phase] += secs;
     }
+    out.stats.frame_overhead_bytes += ledger.frame_overhead_bytes;
+    out.stats.retransmits += ledger.retransmits;
   }
   out.stats.modeled_network_seconds_serialized =
       world.modeled_network_seconds(rt::SchedulePolicy::kSerialized);

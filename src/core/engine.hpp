@@ -50,10 +50,18 @@ struct RunStats {
   std::map<std::string, double> cpu_by_phase;  ///< Σ over ranks per phase
   std::uint64_t total_bytes = 0;
   std::uint64_t total_messages = 0;
+  /// Reliable-transport costs folded into the totals above: frame-header
+  /// bytes (seqno + CRC32) and retransmitted frames. Zero when
+  /// TransportConfig::reliable is off (docs/FAULTS.md).
+  std::uint64_t frame_overhead_bytes = 0;
+  std::uint64_t retransmits = 0;
   double modeled_network_seconds_serialized = 0.0;  ///< the paper's schedule
   double modeled_network_seconds_shifted = 0.0;
   double modeled_network_seconds_flood = 0.0;
   std::size_t rc_steps = 0;
+  /// Supervised relaunches after injected/transport failures (both
+  /// checkpoint rollbacks and degraded restarts; see docs/FAULTS.md).
+  std::size_t recoveries = 0;
   /// Σ DVR-invariant violations across ranks and steps (counted only when
   /// EngineConfig::validate_each_step; must be zero).
   std::size_t invariant_violations = 0;
@@ -86,6 +94,12 @@ struct RunResult {
   /// Filled when EngineConfig::checkpoint_at_step fired: the run stopped
   /// there and this snapshot resumes it (see checkpoint.hpp).
   Checkpoint checkpoint;
+  /// Degraded "anytime" fallback (docs/FAULTS.md): a rank died with no
+  /// recovery checkpoint available, so its rows are lost. The run completed
+  /// on the survivors; `lost_vertices` is the exact coverage gap — alive
+  /// vertices whose closeness could not be computed (reported as 0).
+  bool degraded = false;
+  std::vector<VertexId> lost_vertices;
   RunStats stats;
 };
 

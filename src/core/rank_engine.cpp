@@ -23,12 +23,8 @@ double thread_cpu_now() {
   return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
-// Checkpoint blob header (wire format v2). Legacy v1 blobs have no header:
-// they open directly with the owner-map length, so restore_state dispatches
-// on the magic bytes. See docs/PROTOCOL.md §"Wire format v2".
-constexpr std::uint8_t kCkptMagic0 = 0xAA;
-constexpr std::uint8_t kCkptMagic1 = 0xCC;
-constexpr std::uint8_t kCkptVersion2 = 2;
+// Checkpoint blob magic/version constants live in core/checkpoint.hpp
+// (shared with validate_checkpoint).
 
 struct HeapItem {
   Dist d;
@@ -49,15 +45,46 @@ RankEngine::RankEngine(const Init& init, rt::Comm& comm)
       start_step_(init.start_step),
       start_batch_(init.start_batch),
       checkpoint_slot_(init.checkpoint_slot),
-      lg_(init.me, init.restore_blob != nullptr ? std::vector<Rank>{} : init.owner,
+      periodic_(init.periodic),
+      injector_(init.injector),
+      ghost_(init.ghost),
+      cur_step_(init.start_step),
+      cur_batch_(init.start_batch),
+      // A ghost impersonates a dead rank in the collectives but owns no
+      // rows: its LocalGraph `me` is an impossible rank, so is_local() is
+      // false for every vertex and num_local() == 0.
+      lg_(init.ghost ? static_cast<Rank>(init.world) : init.me,
+          init.restore_blob != nullptr ? std::vector<Rank>{} : init.owner,
           init.restore_blob != nullptr ? kNoEdges : *init.edges) {
   if (init.restore_blob != nullptr) {
     restore_state(*init.restore_blob);
-    return;
+  } else {
+    rows_.reserve(lg_.num_local());
+    for (std::size_t r = 0; r < lg_.num_local(); ++r) {
+      rows_.emplace_back(lg_.vertex_of(r), lg_.n());
+    }
+    vertices_added_ = init.start_vertices_added;
   }
-  rows_.reserve(lg_.num_local());
-  for (std::size_t r = 0; r < lg_.num_local(); ++r) {
-    rows_.emplace_back(lg_.vertex_of(r), lg_.n());
+  if (!init.poison_ranks.empty()) {
+    // Degraded restart: the rows these ranks owned are gone, so every
+    // portal-cache value they published is a dead witness. Poison the
+    // cached entries; the cascade invalidates every local entry routed
+    // through them and queues repairs over surviving routes.
+    std::vector<bool> dead(static_cast<std::size_t>(init.world), false);
+    for (const Rank d : init.poison_ranks) {
+      dead[static_cast<std::size_t>(d)] = true;
+    }
+    const auto& owner = lg_.owner_map();
+    for (const auto& [portal, adj] : lg_.portals()) {
+      (void)adj;
+      if (!dead[static_cast<std::size_t>(owner[portal])]) continue;
+      auto it = caches_.find(portal);
+      if (it == caches_.end()) continue;
+      const auto& cache = it->second;
+      for (VertexId t = 0; t < static_cast<VertexId>(cache.size()); ++t) {
+        if (cache[t] != kInfDist) apply_portal_value(portal, t, kInfDist);
+      }
+    }
   }
 }
 
@@ -109,12 +136,32 @@ void RankEngine::serialize_state(rt::ByteWriter& w) const {
 }
 
 void RankEngine::restore_state(std::span<const std::byte> blob) {
+  try {
+    restore_state_impl(blob);
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const std::logic_error& e) {
+    // The bounds-checked reader reports truncation/corruption as
+    // logic_error ("message underflow" etc.); re-raise with rank context
+    // as the typed restore failure.
+    throw CheckpointError("rank " + std::to_string(comm_.rank()) +
+                          " checkpoint blob is malformed: " + e.what());
+  }
+}
+
+void RankEngine::restore_state_impl(std::span<const std::byte> blob) {
   const bool v2 = blob.size() >= 3 &&
                   std::to_integer<std::uint8_t>(blob[0]) == kCkptMagic0 &&
                   std::to_integer<std::uint8_t>(blob[1]) == kCkptMagic1;
-  if (v2) {
-    AACC_CHECK_MSG(std::to_integer<std::uint8_t>(blob[2]) == kCkptVersion2,
-                   "unknown checkpoint version");
+  if (blob.size() >= 2 && !v2 &&
+      std::to_integer<std::uint8_t>(blob[0]) == kCkptMagic0 &&
+      std::to_integer<std::uint8_t>(blob[1]) == kCkptMagic1) {
+    throw CheckpointError("checkpoint blob truncated inside the header");
+  }
+  if (v2 && std::to_integer<std::uint8_t>(blob[2]) != kCkptVersion2) {
+    throw CheckpointError(
+        "unknown checkpoint version " +
+        std::to_string(std::to_integer<std::uint8_t>(blob[2])));
   }
   rt::ByteReader r(v2 ? blob.subspan(3) : blob);
 
@@ -164,7 +211,34 @@ void RankEngine::restore_state(std::span<const std::byte> blob) {
     caches_[portal] = v2 ? rt::read_packed_u32s(r) : r.read_vec<Dist>();
   }
   vertices_added_ = r.read<std::uint64_t>();
-  AACC_CHECK_MSG(r.done(), "trailing bytes in checkpoint blob");
+  if (!r.done()) {
+    throw CheckpointError("trailing bytes in checkpoint blob");
+  }
+
+  // Re-arm the local queues from the restored dirty flags. On a quiesced
+  // checkpoint the worklist entries are no-ops (the values are already at
+  // their fixpoint), but a crash-time stash may hold changes whose *local*
+  // propagation was lost with the dying step: finite dirty entries re-enter
+  // the relaxation worklist, poison markers re-enter the deferred-repair
+  // queue (they run after the next poison barrier drains, as always).
+  for (std::size_t ri = 0; ri < rows_.size(); ++ri) {
+    DvRow& row = rows_[ri];
+    if (row.dirty_count() == 0) continue;
+    std::vector<VertexId> dirty;
+    row.sorted_dirty(dirty);
+    const VertexId x = row.self();
+    for (const VertexId t : dirty) {
+      if (row.dist(t) == kInfDist) {
+        // The marker itself goes out with the next exchange() (it is still
+        // dirty); the repair then runs at that step's drain, after the
+        // barrier — the same ordering an undisturbed run follows.
+        repairs_.emplace_back(x, t);
+      } else if (!row.test_flag(t, DvRow::kQueued)) {
+        row.set_flag(t, DvRow::kQueued);
+        worklist_.emplace_back(x, t);
+      }
+    }
+  }
 }
 
 // --------------------------------------------------------------------- IA
@@ -432,6 +506,7 @@ void RankEngine::exchange() {
   std::vector<Rank> subs;
   std::vector<VertexId> dirty_cols;
   std::vector<std::pair<VertexId, Dist>> entries;
+  std::vector<std::size_t> sent_rows;
   rt::ByteWriter record;
 
   for (std::size_t r = 0; r < rows_.size(); ++r) {
@@ -452,13 +527,21 @@ void RankEngine::exchange() {
         writers[static_cast<std::size_t>(q)].write_bytes(bytes);
       }
     }
-    dirty_entries_ -= row.clear_all_dirty();
+    sent_rows.push_back(r);
   }
 
   std::vector<std::vector<std::byte>> out;
   out.reserve(static_cast<std::size_t>(P));
   for (auto& w : writers) out.push_back(w.take());
   auto in = comm_.all_to_all(std::move(out));
+  // Dirty flags are retired only once the collective has returned: if the
+  // exchange throws (a peer died mid-step), the pending sends stay dirty in
+  // this rank's state and survive into the recovery stash — subscribers
+  // will still receive them after the restart. Cleared before
+  // apply_incoming so entries re-dirtied by the incoming values are kept.
+  for (const std::size_t r : sent_rows) {
+    dirty_entries_ -= rows_[r].clear_all_dirty();
+  }
   apply_incoming(in);
 }
 
@@ -485,6 +568,7 @@ bool RankEngine::poison_sync_round() {
   std::vector<Rank> subs;
   std::vector<VertexId> dirty_cols;
   std::vector<std::pair<VertexId, Dist>> dead;
+  std::vector<std::pair<std::size_t, VertexId>> sent_markers;
   rt::ByteWriter record;
 
   for (std::size_t r = 0; r < rows_.size(); ++r) {
@@ -514,7 +598,7 @@ bool RankEngine::poison_sync_round() {
       writers[static_cast<std::size_t>(q)].write_bytes(bytes);
     }
     for (const auto& [t, d] : dead) {
-      if (row.clear_dirty(t)) --dirty_entries_;
+      sent_markers.emplace_back(r, t);
     }
   }
 
@@ -522,6 +606,12 @@ bool RankEngine::poison_sync_round() {
   out.reserve(static_cast<std::size_t>(P));
   for (auto& w : writers) out.push_back(w.take());
   auto in = comm_.all_to_all(std::move(out));
+  // As in exchange(): markers are retired only after the collective
+  // returns, so an aborted round leaves them pending for the recovery
+  // stash instead of silently un-sent.
+  for (const auto& [r, t] : sent_markers) {
+    if (rows_[r].clear_dirty(t)) --dirty_entries_;
+  }
   apply_incoming(in);
 
   const bool mine = poison_pending_;
@@ -1118,6 +1208,17 @@ std::size_t RankEngine::run_rc() {
   const std::size_t num_batches = schedule_ != nullptr ? schedule_->size() : 0;
 
   for (;;) {
+    cur_step_ = step;
+    // Chaos hook: a scheduled crash fires at the top of the RC step, before
+    // this rank enters the step's first collective. Every survivor then
+    // blocks inside that exchange (the all_to_all needs the dead rank) and
+    // is interrupted there, so all survivors stop with the *same* (step,
+    // batch) cursors — which is what makes the degraded restart coherent.
+    if (!ghost_ && injector_ != nullptr &&
+        injector_->should_crash(comm_.rank(), step)) {
+      throw rt::InjectedCrash(comm_.rank(), step);
+    }
+
     exchange();
 
     bool ingested = false;
@@ -1134,6 +1235,7 @@ std::size_t RankEngine::run_rc() {
       ingest_batch(events);
       ingested = true;
       ++next_batch;
+      cur_batch_ = next_batch;
     }
 
     // Extension: automatic rebalancing when dynamic changes (typically
@@ -1194,6 +1296,16 @@ std::size_t RankEngine::run_rc() {
       step_quality_.push_back(std::move(snap));
     }
     record_step(step);
+
+    if (!ghost_ && periodic_ != nullptr && cfg_.checkpoint_every > 0 &&
+        step % cfg_.checkpoint_every == 0) {
+      // Recovery snapshot: taken after drain, so the local queues are empty
+      // and the blob captures a step boundary. Each rank writes only its
+      // own slot (no locking; see PeriodicCheckpoints).
+      rt::ByteWriter w;
+      serialize_state(w);
+      periodic_->store(comm_.rank(), step, w.take());
+    }
 
     if (step == cfg_.checkpoint_at_step) {
       // Fault-tolerance drill: persist and stop. All ranks share `step`,

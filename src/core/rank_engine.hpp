@@ -24,11 +24,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/config.hpp"
 #include "core/dv_matrix.hpp"
 #include "core/events.hpp"
 #include "core/local_graph.hpp"
 #include "runtime/comm.hpp"
+#include "runtime/faults.hpp"
 
 namespace aacc {
 
@@ -64,6 +66,24 @@ class RankEngine {
     /// Checkpoint path: when the RC loop reaches cfg.checkpoint_at_step it
     /// serializes into this slot and stops.
     std::vector<std::byte>* checkpoint_slot = nullptr;
+    /// Recovery checkpointing: with cfg.checkpoint_every > 0, the rank
+    /// snapshots its state into this store each k RC steps.
+    PeriodicCheckpoints* periodic = nullptr;
+    /// Chaos hook: polled at each RC step boundary; a scheduled crash
+    /// throws rt::InjectedCrash out of run_rc. Non-owning.
+    rt::FaultInjector* injector = nullptr;
+    /// Degraded mode (docs/FAULTS.md): a ghost stands in for a dead rank so
+    /// the SPMD collectives stay in lockstep. It owns no rows (its
+    /// LocalGraph `me` is an impossible rank) but tracks the owner map and
+    /// consumes the event feed like everyone else.
+    bool ghost = false;
+    /// Degraded mode: on construction, poison every portal-cache entry
+    /// owned by these (dead) ranks — their rows are lost, so every value
+    /// routed through them must be re-derived from surviving routes.
+    std::vector<Rank> poison_ranks;
+    /// Round-robin assignment cursor for a ghost (survivors restore theirs
+    /// from the blob; the ghost must agree or owner maps diverge).
+    std::uint64_t start_vertices_added = 0;
   };
 
   RankEngine(const Init& init, rt::Comm& comm);
@@ -104,6 +124,12 @@ class RankEngine {
   step_quality() const {
     return step_quality_;
   }
+  /// Supervision hooks: loop cursors at the moment run_rc stopped (used to
+  /// stash survivor state after a peer failure) and the round-robin cursor
+  /// (used to seed a ghost).
+  [[nodiscard]] std::size_t current_step() const { return cur_step_; }
+  [[nodiscard]] std::size_t current_batch() const { return cur_batch_; }
+  [[nodiscard]] std::uint64_t vertices_added() const { return vertices_added_; }
 
  private:
   // ---- relaxation machinery ----
@@ -161,7 +187,11 @@ class RankEngine {
                  std::uint64_t& dirty_added);
   [[nodiscard]] std::size_t ia_thread_count() const;
 
+  /// Deserializes a checkpoint blob; malformed/truncated input raises
+  /// CheckpointError with rank context (restore_state wraps the reader's
+  /// logic_errors; _impl does the parsing).
   void restore_state(std::span<const std::byte> blob);
+  void restore_state_impl(std::span<const std::byte> blob);
 
   rt::Comm& comm_;
   EngineConfig cfg_;
@@ -169,6 +199,11 @@ class RankEngine {
   std::size_t start_step_ = 0;
   std::size_t start_batch_ = 0;
   std::vector<std::byte>* checkpoint_slot_ = nullptr;
+  PeriodicCheckpoints* periodic_ = nullptr;
+  rt::FaultInjector* injector_ = nullptr;
+  bool ghost_ = false;
+  std::size_t cur_step_ = 0;
+  std::size_t cur_batch_ = 0;
   LocalGraph lg_;
   std::vector<DvRow> rows_;
   std::unordered_map<VertexId, std::vector<Dist>> caches_;

@@ -1,11 +1,42 @@
 #include "runtime/comm.hpp"
 
+#include <algorithm>
 #include <ctime>
+#include <sstream>
 #include <thread>
 
 #include "runtime/serialize.hpp"
 
 namespace aacc::rt {
+
+// ----------------------------------------------------------------- framing
+
+namespace {
+
+std::uint32_t frame_checksum(Rank src, std::int32_t tag, std::uint32_t seqno,
+                             std::span<const std::byte> payload) {
+  // CRC over the logical header (src, tag, seqno) then the payload: a
+  // flipped header byte or a truncation is as detectable as a payload flip.
+  std::uint32_t crc = crc32_init();
+  const std::uint32_t fields[3] = {static_cast<std::uint32_t>(src),
+                                   static_cast<std::uint32_t>(tag), seqno};
+  crc = crc32_update(
+      crc, std::as_bytes(std::span<const std::uint32_t>(fields, 3)));
+  crc = crc32_update(crc, payload);
+  return crc32_final(crc);
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_frame(Rank src, std::int32_t tag,
+                                    std::uint32_t seqno,
+                                    std::span<const std::byte> payload) {
+  ByteWriter w;
+  w.write(seqno);
+  w.write(frame_checksum(src, tag, seqno, payload));
+  w.write_bytes(payload);
+  return w.take();
+}
 
 // ---------------------------------------------------------------- Mailbox
 
@@ -17,18 +48,120 @@ void Mailbox::put(Message m) {
   cv_.notify_all();
 }
 
+Mailbox::AdmitStatus Mailbox::admit_frame(Rank src, std::int32_t tag,
+                                          std::vector<std::byte> frame) {
+  if (frame.size() < kFrameHeaderBytes) return AdmitStatus::kCorrupt;
+  std::uint32_t seqno = 0;
+  std::uint32_t crc = 0;
+  std::memcpy(&seqno, frame.data(), sizeof(seqno));
+  std::memcpy(&crc, frame.data() + sizeof(seqno), sizeof(crc));
+  const std::span<const std::byte> payload(frame.data() + kFrameHeaderBytes,
+                                           frame.size() - kFrameHeaderBytes);
+  if (crc != frame_checksum(src, tag, seqno, payload)) {
+    return AdmitStatus::kCorrupt;
+  }
+
+  bool delivered = false;
+  {
+    const std::lock_guard lock(mu_);
+    Stream& st = streams_[src];
+    if (seqno < st.next || st.held.count(seqno) != 0) {
+      return AdmitStatus::kDuplicate;
+    }
+    Message m{src, tag, std::vector<std::byte>(payload.begin(), payload.end())};
+    if (seqno == st.next) {
+      queue_.push_back(std::move(m));
+      ++st.next;
+      delivered = true;
+      // Drain any buffered successors the gap was hiding.
+      for (auto it = st.held.find(st.next); it != st.held.end();
+           it = st.held.find(st.next)) {
+        queue_.push_back(std::move(it->second));
+        st.held.erase(it);
+        ++st.next;
+      }
+    } else {
+      st.held.emplace(seqno, std::move(m));
+    }
+  }
+  if (delivered) cv_.notify_all();
+  return AdmitStatus::kAccepted;
+}
+
 Message Mailbox::take(Rank src, std::int32_t tag) {
+  auto res = take_for(src, tag, std::chrono::milliseconds{0});
+  switch (res.status) {
+    case TakeStatus::kOk:
+      return std::move(res.msg);
+    case TakeStatus::kClosed:
+      throw MailboxClosedError("mailbox poisoned while waiting");
+    default:
+      throw MailboxClosedError("mailbox wait interrupted");
+  }
+}
+
+Mailbox::TakeResult Mailbox::take_for(Rank src, std::int32_t tag,
+                                      std::chrono::milliseconds timeout) {
+  const bool timed = timeout.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::unique_lock lock(mu_);
   for (;;) {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (it->tag == tag && (src == kAnySource || it->src == src)) {
-        Message m = std::move(*it);
+        TakeResult res{TakeStatus::kOk, std::move(*it)};
         queue_.erase(it);
-        return m;
+        return res;
       }
     }
-    cv_.wait(lock);
+    // Only after draining queued matches: shutdown and interrupt verdicts.
+    // The interrupt is consumed (the mailbox has a single owner thread):
+    // the caller decides whether its wait is genuinely stuck on a failed
+    // peer or should resume; a later mark_failed interrupts again.
+    if (closed_) return {TakeStatus::kClosed, {}};
+    if (interrupted_) {
+      interrupted_ = false;
+      return {TakeStatus::kInterrupted, {}};
+    }
+    if (timed) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        // Re-scan once: a message may have raced the timeout.
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+          if (it->tag == tag && (src == kAnySource || it->src == src)) {
+            TakeResult res{TakeStatus::kOk, std::move(*it)};
+            queue_.erase(it);
+            return res;
+          }
+        }
+        return {TakeStatus::kTimeout, {}};
+      }
+    } else {
+      cv_.wait(lock);
+    }
   }
+}
+
+void Mailbox::poison() {
+  {
+    const std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Mailbox::interrupt() {
+  {
+    const std::lock_guard lock(mu_);
+    interrupted_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Mailbox::reset() {
+  const std::lock_guard lock(mu_);
+  queue_.clear();
+  streams_.clear();
+  closed_ = false;
+  interrupted_ = false;
 }
 
 bool Mailbox::has(Rank src, std::int32_t tag) {
@@ -54,6 +187,9 @@ constexpr std::int32_t collective_tag(std::uint32_t op_seq) {
 
 Comm::Comm(World* world, Rank rank) : world_(world), rank_(rank) {
   last_cpu_mark_ = thread_cpu_seconds();
+  if (world_->transport().reliable) {
+    next_seq_.assign(static_cast<std::size_t>(world_->size()), 0);
+  }
 }
 
 Rank Comm::size() const { return world_->size(); }
@@ -80,24 +216,165 @@ void Comm::log_message(OpKind kind, Rank dst, std::uint64_t bytes,
   world_->append_log(MsgRecord{op_id, kind, rank_, dst, bytes});
 }
 
+void Comm::charge_send(Rank dst, std::int32_t tag, std::uint64_t wire_bytes,
+                       OpKind kind, std::uint32_t op_id, bool retransmit) {
+  ledger_.bytes_sent += wire_bytes;
+  ++ledger_.messages_sent;
+  if (retransmit) ++ledger_.retransmits;
+  if (tag >= 0 || kind != OpKind::kPointToPoint) {
+    // Collective traffic carries its op id; plain p2p with a negative tag
+    // (reserved) stays unlogged, matching the unhardened path.
+    log_message(kind, dst, wire_bytes, op_id);
+  }
+}
+
+void Comm::put_message(Rank dst, std::int32_t tag,
+                       std::vector<std::byte> payload, OpKind kind,
+                       std::uint32_t op_id) {
+  if (world_->transport().reliable) {
+    put_reliable(dst, tag, std::move(payload), kind, op_id);
+    return;
+  }
+  charge_send(dst, tag, payload.size(), kind, op_id, false);
+  world_->mailbox(dst).put(Message{rank_, tag, std::move(payload)});
+}
+
+void Comm::put_reliable(Rank dst, std::int32_t tag,
+                        std::vector<std::byte> payload, OpKind kind,
+                        std::uint32_t op_id) {
+  if (next_seq_.empty()) {
+    // Transport was enabled after this Comm was built (install_faults
+    // between runs); size lazily.
+    next_seq_.assign(static_cast<std::size_t>(size()), 0);
+  }
+  const std::uint32_t seq = next_seq_[static_cast<std::size_t>(dst)]++;
+  FaultInjector* inj = world_->injector();
+  Mailbox& box = world_->mailbox(dst);
+  const TransportConfig& tc = world_->transport();
+
+  for (std::uint32_t attempt = 0; attempt < tc.max_retries; ++attempt) {
+    auto frame = encode_frame(rank_, tag, seq, payload);
+    const FrameFate fate =
+        inj != nullptr ? inj->fate(rank_, dst, seq, attempt) : FrameFate::kDeliver;
+    ledger_.frame_overhead_bytes += kFrameHeaderBytes;
+    charge_send(dst, tag, frame.size(), kind, op_id, attempt > 0);
+
+    if (fate == FrameFate::kDrop) {
+      // The frame never reaches the receiver's NIC; back off and retry.
+    } else if (fate == FrameFate::kDelay) {
+      // Held "in the network": delivered after the next frame to this
+      // destination (genuine reordering) or at the next recv/rank exit.
+      delayed_[dst].push_back(DelayedFrame{tag, std::move(frame)});
+      return;
+    } else {
+      if (fate == FrameFate::kCorrupt) {
+        const std::size_t off =
+            inj->corrupt_offset(rank_, dst, seq, attempt, frame.size());
+        frame[off] ^= std::byte{0x40};
+      }
+      const bool duplicate = fate == FrameFate::kDuplicate;
+      std::vector<std::byte> copy;
+      if (duplicate) copy = frame;
+      const auto verdict = box.admit_frame(rank_, tag, std::move(frame));
+      if (duplicate) {
+        // The duplicate is wire traffic too; the receiver's seqno dedup
+        // discards it.
+        charge_send(dst, tag, copy.size(), kind, op_id, true);
+        ledger_.frame_overhead_bytes += kFrameHeaderBytes;
+        (void)box.admit_frame(rank_, tag, std::move(copy));
+      }
+      if (verdict != Mailbox::AdmitStatus::kCorrupt) {
+        flush_delayed(dst);
+        return;
+      }
+    }
+    const auto shift = std::min<std::uint32_t>(attempt, 6);
+    std::this_thread::sleep_for(tc.retry_backoff * (1U << shift));
+  }
+  std::ostringstream os;
+  os << "rank " << rank_ << ": frame (dst=" << dst << ", tag=" << tag
+     << ", seq=" << seq << ") rejected after " << tc.max_retries
+     << " attempts";
+  throw CorruptFrameError(os.str());
+}
+
+void Comm::flush_delayed(Rank dst) {
+  const auto it = delayed_.find(dst);
+  if (it == delayed_.end()) return;
+  auto frames = std::move(it->second);
+  delayed_.erase(it);
+  for (auto& f : frames) {
+    // Held frames are intact: admission can only accept or dedup them.
+    (void)world_->mailbox(dst).admit_frame(rank_, f.tag, std::move(f.frame));
+  }
+}
+
+void Comm::flush_all_delayed() {
+  while (!delayed_.empty()) flush_delayed(delayed_.begin()->first);
+}
+
 void Comm::send(Rank dst, std::int32_t tag, std::vector<std::byte> payload) {
   AACC_CHECK(dst >= 0 && dst < size());
   account_cpu();
-  ledger_.bytes_sent += payload.size();
-  ++ledger_.messages_sent;
-  if (tag >= 0) {
-    // Collective traffic is logged by the collective itself with its op id.
-    log_message(OpKind::kPointToPoint, dst, payload.size(), 0);
-  }
-  world_->mailbox(dst).put(Message{rank_, tag, std::move(payload)});
+  put_message(dst, tag, std::move(payload), OpKind::kPointToPoint, 0);
 }
 
 Message Comm::recv(Rank src, std::int32_t tag) {
   account_cpu();
-  Message m = world_->mailbox(rank_).take(src, tag);
-  ledger_.bytes_received += m.payload.size();
-  ++ledger_.messages_received;
-  return m;
+  flush_all_delayed();
+  const auto timeout = world_->transport().recv_timeout;
+  // Abort only a wait that is genuinely stuck: the awaited sender (or,
+  // for an any-source wait, anyone) is dead. A wait on a live peer
+  // resumes — its message is still coming, and letting every survivor
+  // run until it actually needs a dead rank is what parks them all in
+  // the same collective with identical cursors (docs/FAULTS.md).
+  const auto throw_if_stuck = [&] {
+    const auto failed = world_->failed_ranks();
+    const bool stuck =
+        src == kAnySource
+            ? !failed.empty()
+            : std::find(failed.begin(), failed.end(), src) != failed.end();
+    if (!stuck) return failed.empty();
+    std::ostringstream os;
+    os << "rank " << rank_ << ": wait for (src=" << src << ", tag=" << tag
+       << ") aborted; rank " << failed.front() << " failed first";
+    throw PeerFailedError(failed.front(), os.str());
+  };
+  for (;;) {
+    // Checked before every wait, not just on interrupt delivery: the
+    // mailbox interrupt is one-shot, and this rank may have consumed it
+    // inside an earlier (resumed) wait before reaching the recv that is
+    // actually stuck on the failed peer. Queued matches still win — a
+    // rank's sends all happen before it can be marked failed, so a
+    // message already admitted must be drained, not abandoned.
+    if (world_->any_failed() && !world_->mailbox(rank_).has(src, tag)) {
+      (void)throw_if_stuck();
+    }
+    auto res = world_->mailbox(rank_).take_for(src, tag, timeout);
+    switch (res.status) {
+      case Mailbox::TakeStatus::kOk: {
+        ledger_.bytes_received += res.msg.payload.size();
+        ++ledger_.messages_received;
+        return std::move(res.msg);
+      }
+      case Mailbox::TakeStatus::kInterrupted: {
+        if (!throw_if_stuck()) continue;  // awaited peer is alive; re-wait
+        // Interrupted outside the mark_failed protocol (direct
+        // Mailbox::interrupt, e.g. from a test): treat as shutdown.
+        throw MailboxClosedError("rank " + std::to_string(rank_) +
+                                 ": wait interrupted with no failed rank");
+      }
+      case Mailbox::TakeStatus::kClosed:
+        throw MailboxClosedError("rank " + std::to_string(rank_) +
+                                 ": mailbox closed while receiving");
+      case Mailbox::TakeStatus::kTimeout: {
+        std::ostringstream os;
+        os << "rank " << rank_ << ": recv (src=" << src << ", tag=" << tag
+           << ") timed out after " << timeout.count() << " ms";
+        throw TimeoutError(os.str());
+      }
+    }
+  }
 }
 
 std::vector<std::byte> Comm::broadcast(std::vector<std::byte> buf, Rank root) {
@@ -107,7 +384,15 @@ std::vector<std::byte> Comm::broadcast(std::vector<std::byte> buf, Rank root) {
   const Rank vr = ((rank_ - root) % P + P) % P;  // virtual rank, root at 0
 
   if (vr != 0) {
-    Message m = recv(kAnySource, tag);
+    // The binomial-tree parent is vr with its highest bit cleared. Naming
+    // it (instead of kAnySource) lets an interrupted wait distinguish "my
+    // parent died" from "some unrelated rank died while my copy is still
+    // in flight" — survivors of a crash must drain in-flight broadcasts
+    // and park in the next dense collective (docs/FAULTS.md).
+    Rank span = 1;
+    while (span * 2 <= vr) span *= 2;
+    const Rank parent = (vr - span + root) % P;
+    Message m = recv(parent, tag);
     buf = std::move(m.payload);
   }
   // Forward down the binomial tree: vr sends to vr + 2^s for every s with
@@ -115,10 +400,7 @@ std::vector<std::byte> Comm::broadcast(std::vector<std::byte> buf, Rank root) {
   for (Rank span = 1; span < P; span *= 2) {
     if (vr < span && vr + span < P) {
       const Rank dst = (vr + span + root) % P;
-      ledger_.bytes_sent += buf.size();
-      ++ledger_.messages_sent;
-      log_message(OpKind::kBroadcast, dst, buf.size(), op);
-      world_->mailbox(dst).put(Message{rank_, tag, buf});
+      put_message(dst, tag, buf, OpKind::kBroadcast, op);
     }
   }
   return buf;
@@ -139,11 +421,8 @@ std::vector<std::vector<std::byte>> Comm::all_to_all(
   for (Rank s = 1; s < P; ++s) {
     const Rank dst = (rank_ + s) % P;
     const Rank src = ((rank_ - s) % P + P) % P;
-    auto& payload = out[static_cast<std::size_t>(dst)];
-    ledger_.bytes_sent += payload.size();
-    ++ledger_.messages_sent;
-    log_message(OpKind::kAllToAll, dst, payload.size(), op);
-    world_->mailbox(dst).put(Message{rank_, tag, std::move(payload)});
+    put_message(dst, tag, std::move(out[static_cast<std::size_t>(dst)]),
+                OpKind::kAllToAll, op);
     Message m = recv(src, tag);
     in[static_cast<std::size_t>(src)] = std::move(m.payload);
   }
@@ -165,10 +444,7 @@ std::vector<std::vector<std::byte>> Comm::gather(std::vector<std::byte> buf,
       out[static_cast<std::size_t>(q)] = std::move(m.payload);
     }
   } else {
-    ledger_.bytes_sent += buf.size();
-    ++ledger_.messages_sent;
-    log_message(OpKind::kReduce, root, buf.size(), op);
-    world_->mailbox(root).put(Message{rank_, tag, std::move(buf)});
+    put_message(root, tag, std::move(buf), OpKind::kReduce, op);
   }
   return out;
 }
@@ -182,11 +458,8 @@ std::vector<std::byte> Comm::scatter(std::vector<std::vector<std::byte>> bufs,
     AACC_CHECK(static_cast<Rank>(bufs.size()) == P);
     for (Rank q = 0; q < P; ++q) {
       if (q == root) continue;
-      auto& payload = bufs[static_cast<std::size_t>(q)];
-      ledger_.bytes_sent += payload.size();
-      ++ledger_.messages_sent;
-      log_message(OpKind::kBroadcast, q, payload.size(), op);
-      world_->mailbox(q).put(Message{rank_, tag, std::move(payload)});
+      put_message(q, tag, std::move(bufs[static_cast<std::size_t>(q)]),
+                  OpKind::kBroadcast, op);
     }
     return std::move(bufs[static_cast<std::size_t>(root)]);
   }
@@ -210,12 +483,7 @@ std::uint64_t Comm::all_reduce(
     if ((rank_ & span) != 0) {
       ByteWriter w;
       w.write(value);
-      auto payload = w.take();
-      const Rank dst = rank_ - span;
-      ledger_.bytes_sent += payload.size();
-      ++ledger_.messages_sent;
-      log_message(OpKind::kReduce, dst, payload.size(), opid);
-      world_->mailbox(dst).put(Message{rank_, tag, std::move(payload)});
+      put_message(rank_ - span, tag, w.take(), OpKind::kReduce, opid);
       break;
     }
     if (rank_ + span < P) {
@@ -249,7 +517,8 @@ void Comm::barrier() { (void)all_reduce_sum(0); }
 
 // ------------------------------------------------------------------ World
 
-World::World(Rank size, LogGPParams params) : size_(size), params_(params) {
+World::World(Rank size, LogGPParams params, TransportConfig transport)
+    : size_(size), params_(params), transport_(transport) {
   AACC_CHECK(size >= 1);
   mailboxes_.reserve(static_cast<std::size_t>(size));
   for (Rank r = 0; r < size; ++r) {
@@ -258,9 +527,59 @@ World::World(Rank size, LogGPParams params) : size_(size), params_(params) {
   ledgers_.resize(static_cast<std::size_t>(size));
 }
 
+void World::install_faults(FaultInjector* injector) {
+  injector_ = injector;
+  if (injector_ != nullptr) transport_.reliable = true;
+}
+
+void World::mark_failed(Rank r) {
+  {
+    // Insertion order is failure order: front() is the first rank to die,
+    // so interrupted waits attribute their PeerFailedError to the root
+    // cause rather than a collateral casualty.
+    const std::lock_guard lock(failed_mu_);
+    failed_.push_back(r);
+  }
+  any_failed_.store(true, std::memory_order_release);
+  for (auto& box : mailboxes_) box->interrupt();
+}
+
+std::vector<Rank> World::failed_ranks() const {
+  const std::lock_guard lock(failed_mu_);
+  return failed_;
+}
+
 void World::run(const std::function<void(Comm&)>& fn) {
+  const RunReport report = run_contained(fn);
+  if (report.ok()) return;
+  // Prefer a root cause: collateral PeerFailedError just says "someone else
+  // died first".
+  for (const Rank r : report.failed) {
+    const auto& e = report.errors[static_cast<std::size_t>(r)];
+    try {
+      std::rethrow_exception(e);
+    } catch (const PeerFailedError&) {
+      continue;
+    } catch (...) {
+      std::rethrow_exception(e);
+    }
+  }
+  std::rethrow_exception(report.errors[static_cast<std::size_t>(report.failed.front())]);
+}
+
+World::RunReport World::run_contained(const std::function<void(Comm&)>& fn) {
+  // Fresh failure state and transport streams: Comm seqnos restart at zero
+  // each run, and a failed previous run may have left undelivered frames.
+  any_failed_.store(false, std::memory_order_release);
+  {
+    const std::lock_guard lock(failed_mu_);
+    failed_.clear();
+  }
+  for (auto& box : mailboxes_) box->reset();
+
   std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
+  RunReport report;
+  report.errors.resize(static_cast<std::size_t>(size_));
   std::vector<std::unique_ptr<Comm>> comms(static_cast<std::size_t>(size_));
   for (Rank r = 0; r < size_; ++r) {
     comms[static_cast<std::size_t>(r)] = std::make_unique<Comm>(this, r);
@@ -274,9 +593,15 @@ void World::run(const std::function<void(Comm&)>& fn) {
       comm.last_cpu_mark_ = comm.thread_cpu_seconds();
       try {
         fn(comm);
+        // Frames still held by delay injection leave the NIC now; a crashed
+        // rank (exception path) loses them, like real in-flight traffic.
+        comm.flush_all_delayed();
         comm.account_cpu();
       } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        report.errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Wake every peer blocked on this rank: they fail fast with
+        // PeerFailedError instead of deadlocking (or timing out).
+        mark_failed(r);
       }
     });
   }
@@ -290,13 +615,16 @@ void World::run(const std::function<void(Comm&)>& fn) {
     dst.bytes_received += src.bytes_received;
     dst.messages_sent += src.messages_sent;
     dst.messages_received += src.messages_received;
+    dst.frame_overhead_bytes += src.frame_overhead_bytes;
+    dst.retransmits += src.retransmits;
     for (const auto& [phase, secs] : src.cpu_seconds) {
       dst.cpu_seconds[phase] += secs;
     }
   }
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+  for (Rank r = 0; r < size_; ++r) {
+    if (report.errors[static_cast<std::size_t>(r)]) report.failed.push_back(r);
   }
+  return report;
 }
 
 void World::append_log(const MsgRecord& m) {

@@ -13,9 +13,19 @@
 // Every Comm records a per-rank ledger (bytes, messages, per-phase thread
 // CPU seconds) and appends to a message log that logp.hpp replays to model
 // network time under the paper's serialized schedule or alternatives.
+//
+// Fault tolerance (docs/FAULTS.md): with TransportConfig::reliable on (or a
+// FaultInjector installed), every payload travels as a checksummed frame
+// with a per-(src,dst) sequence number; admission validates the CRC, drops
+// duplicates, and reorders out-of-order frames; senders retry with
+// exponential backoff. Every blocking wait goes through a timed path, a
+// failed rank interrupts its peers' waits (PeerFailedError instead of a
+// deadlock), and run_contained() reports per-rank failures without
+// unwinding the driver.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -23,11 +33,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "runtime/faults.hpp"
 #include "runtime/logp.hpp"
 
 namespace aacc::rt {
@@ -40,21 +53,83 @@ struct Message {
   std::vector<std::byte> payload;
 };
 
+/// Reliable-frame layout: [seqno u32][crc u32][payload]. The CRC covers
+/// (src, tag, seqno, payload), so header corruption is detected too.
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Encodes a payload into a wire frame (exposed for frame-rejection tests).
+[[nodiscard]] std::vector<std::byte> encode_frame(
+    Rank src, std::int32_t tag, std::uint32_t seqno,
+    std::span<const std::byte> payload);
+
 /// Thread-safe mailbox with (source, tag) matching and per-sender FIFO.
 class Mailbox {
  public:
+  enum class TakeStatus : std::uint8_t {
+    kOk,
+    kTimeout,      ///< deadline expired with no matching message
+    kClosed,       ///< poison token: mailbox shut down
+    kInterrupted,  ///< a peer rank was marked failed
+  };
+  struct TakeResult {
+    TakeStatus status = TakeStatus::kOk;
+    Message msg;
+  };
+
+  enum class AdmitStatus : std::uint8_t {
+    kAccepted,   ///< in-order (or buffered out-of-order) delivery
+    kDuplicate,  ///< seqno already seen; frame discarded
+    kCorrupt,    ///< CRC mismatch or truncated header; frame discarded
+  };
+
+  /// Unframed fast path (TransportConfig::reliable off).
   void put(Message m);
 
+  /// Reliable path: validates the frame CRC, dedups on the per-source
+  /// sequence number, and delivers in order (out-of-order frames are held
+  /// in a reorder buffer until the gap fills). Runs on the *sender's*
+  /// thread — it models the receiving NIC, so the sender learns the
+  /// admission verdict synchronously and can retry without an ack round
+  /// trip that would deadlock symmetric exchanges.
+  AdmitStatus admit_frame(Rank src, std::int32_t tag,
+                          std::vector<std::byte> frame);
+
   /// Blocks until a message matching (src or kAnySource, tag) is available.
+  /// Throws MailboxClosedError if the mailbox is poisoned or interrupted.
   Message take(Rank src, std::int32_t tag);
+
+  /// Timed wait. A non-positive timeout waits indefinitely (still
+  /// interruptible via poison()/interrupt()). Matching messages already
+  /// queued are drained before an interrupt fires.
+  TakeResult take_for(Rank src, std::int32_t tag,
+                      std::chrono::milliseconds timeout);
+
+  /// Shutdown token: every pending and future wait returns kClosed.
+  void poison();
+
+  /// Sticky wake-up for peer-failure propagation: waits that would block
+  /// return kInterrupted (queued matches still drain first).
+  void interrupt();
+
+  /// Clears queue, sequence streams, and poison/interrupt flags (start of a
+  /// World run).
+  void reset();
 
   /// Non-blocking probe (used by tests).
   [[nodiscard]] bool has(Rank src, std::int32_t tag);
 
  private:
+  struct Stream {
+    std::uint32_t next = 0;                  ///< next expected seqno
+    std::map<std::uint32_t, Message> held;   ///< out-of-order reorder buffer
+  };
+
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  std::map<Rank, Stream> streams_;
+  bool closed_ = false;
+  bool interrupted_ = false;
 };
 
 /// Per-rank accounting.
@@ -63,6 +138,11 @@ struct RankLedger {
   std::uint64_t bytes_received = 0;
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_received = 0;
+  /// Reliable-transport costs (zero when TransportConfig::reliable is off):
+  /// frame-header bytes included in bytes_sent, and retransmitted frames
+  /// included in messages_sent.
+  std::uint64_t frame_overhead_bytes = 0;
+  std::uint64_t retransmits = 0;
   /// Thread-CPU seconds spent computing, keyed by phase label.
   std::map<std::string, double> cpu_seconds;
 
@@ -83,7 +163,9 @@ class Comm {
   [[nodiscard]] Rank rank() const { return rank_; }
   [[nodiscard]] Rank size() const;
 
-  /// Point-to-point. send() never blocks; recv() blocks until a match.
+  /// Point-to-point. send() never blocks; recv() blocks until a match, the
+  /// transport timeout (TimeoutError), a peer failure (PeerFailedError), or
+  /// shutdown (MailboxClosedError).
   void send(Rank dst, std::int32_t tag, std::vector<std::byte> payload);
   Message recv(Rank src, std::int32_t tag);
 
@@ -125,6 +207,20 @@ class Comm {
 
   std::uint64_t all_reduce(std::uint64_t value,
                            const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& op);
+  /// Single egress point: every send — user p2p and collective fan-out —
+  /// funnels through here so transport hardening and fault injection cover
+  /// all traffic uniformly.
+  void put_message(Rank dst, std::int32_t tag, std::vector<std::byte> payload,
+                   OpKind kind, std::uint32_t op_id);
+  void put_reliable(Rank dst, std::int32_t tag, std::vector<std::byte> payload,
+                    OpKind kind, std::uint32_t op_id);
+  void charge_send(Rank dst, std::int32_t tag, std::uint64_t wire_bytes,
+                   OpKind kind, std::uint32_t op_id, bool retransmit);
+  /// Releases frames held back by kDelay injection (to one destination, or
+  /// all). Called on the next send to the same destination — after the new
+  /// frame, producing genuine reordering — at every recv, and at rank exit.
+  void flush_delayed(Rank dst);
+  void flush_all_delayed();
   void account_cpu();
   void log_message(OpKind kind, Rank dst, std::uint64_t bytes, std::uint32_t op_id);
   [[nodiscard]] double thread_cpu_seconds() const;
@@ -135,20 +231,58 @@ class Comm {
   std::string phase_ = "init";
   double last_cpu_mark_ = 0.0;
   std::uint32_t op_seq_ = 0;  // collective sequence number (SPMD lockstep)
+  /// Reliable transport: next outbound seqno per destination, and frames
+  /// held in "the network" by delay injection.
+  std::vector<std::uint32_t> next_seq_;
+  struct DelayedFrame {
+    std::int32_t tag;
+    std::vector<std::byte> frame;
+  };
+  std::unordered_map<Rank, std::vector<DelayedFrame>> delayed_;
 };
 
 /// Spawns P rank threads, runs fn(Comm&) on each, joins, and keeps the
 /// merged ledgers/logs for post-run analysis. Exceptions thrown by rank
-/// code are rethrown from run().
+/// code are rethrown from run(); run_contained() reports them instead.
 class World {
  public:
-  explicit World(Rank size, LogGPParams params = {});
+  /// Per-rank outcome of a contained run.
+  struct RunReport {
+    /// One entry per rank; null where the rank completed normally.
+    std::vector<std::exception_ptr> errors;
+    /// Ranks with a non-null error, ascending.
+    std::vector<Rank> failed;
+    [[nodiscard]] bool ok() const { return failed.empty(); }
+  };
+
+  explicit World(Rank size, LogGPParams params = {},
+                 TransportConfig transport = {});
 
   /// Runs one SPMD program. May be called repeatedly; ledgers accumulate.
+  /// If any rank throws, rethrows one error (preferring a root cause over
+  /// collateral PeerFailedError).
   void run(const std::function<void(Comm&)>& fn);
+
+  /// Supervised variant: rank failures are contained and reported, the
+  /// World survives, and surviving ranks fail fast (PeerFailedError) on
+  /// their next blocking wait instead of deadlocking.
+  RunReport run_contained(const std::function<void(Comm&)>& fn);
+
+  /// Installs a fault injector (non-owning; must outlive runs). Forces the
+  /// reliable transport on — faults act on wire frames.
+  void install_faults(FaultInjector* injector);
+
+  /// Marks a rank failed mid-run and interrupts every blocking wait.
+  void mark_failed(Rank r);
+  [[nodiscard]] bool any_failed() const {
+    return any_failed_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::vector<Rank> failed_ranks() const;
 
   [[nodiscard]] Rank size() const { return size_; }
   [[nodiscard]] const LogGPParams& params() const { return params_; }
+  [[nodiscard]] const TransportConfig& transport() const { return transport_; }
+  [[nodiscard]] FaultInjector* injector() const { return injector_; }
 
   /// Per-rank ledgers, merged message log, and modeled network time.
   [[nodiscard]] const std::vector<RankLedger>& ledgers() const { return ledgers_; }
@@ -172,10 +306,15 @@ class World {
 
   Rank size_;
   LogGPParams params_;
+  TransportConfig transport_;
+  FaultInjector* injector_ = nullptr;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<RankLedger> ledgers_;
   std::vector<MsgRecord> log_;
   std::mutex log_mu_;
+  std::atomic<bool> any_failed_{false};
+  mutable std::mutex failed_mu_;
+  std::vector<Rank> failed_;
 };
 
 }  // namespace aacc::rt

@@ -1,0 +1,98 @@
+#include "runtime/faults.hpp"
+
+#include "common/check.hpp"
+
+namespace aacc::rt {
+
+namespace {
+
+// SplitMix64 (same mixer the repo's Rng uses for seeding): a full-avalanche
+// hash, so consecutive seqnos map to independent fates.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+double to_unit(std::uint64_t h) {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  AACC_CHECK_MSG(plan_.drop + plan_.duplicate + plan_.delay + plan_.corrupt <=
+                     1.0 + 1e-12,
+                 "FaultPlan probabilities must sum to <= 1");
+  crash_fired_.reserve(plan_.crashes.size());
+  for (std::size_t i = 0; i < plan_.crashes.size(); ++i) {
+    crash_fired_.push_back(std::make_unique<std::atomic<bool>>(false));
+  }
+}
+
+std::uint64_t FaultInjector::frame_hash(Rank src, Rank dst, std::uint32_t seqno,
+                                        std::uint32_t attempt) const {
+  std::uint64_t h = splitmix64(plan_.seed ^ 0xFA017EC7ULL);
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32 |
+                      static_cast<std::uint32_t>(dst)));
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(seqno) << 32 | attempt));
+  return h;
+}
+
+FrameFate FaultInjector::fate(Rank src, Rank dst, std::uint32_t seqno,
+                              std::uint32_t attempt) {
+  if (attempt >= plan_.fault_attempt_limit || !plan_.any_message_faults()) {
+    return FrameFate::kDeliver;
+  }
+  const double u = to_unit(frame_hash(src, dst, seqno, attempt));
+  double acc = plan_.drop;
+  if (u < acc) {
+    counters_.dropped.fetch_add(1, std::memory_order_relaxed);
+    return FrameFate::kDrop;
+  }
+  acc += plan_.duplicate;
+  if (u < acc) {
+    counters_.duplicated.fetch_add(1, std::memory_order_relaxed);
+    return FrameFate::kDuplicate;
+  }
+  acc += plan_.delay;
+  if (u < acc) {
+    counters_.delayed.fetch_add(1, std::memory_order_relaxed);
+    return FrameFate::kDelay;
+  }
+  acc += plan_.corrupt;
+  if (u < acc) {
+    counters_.corrupted.fetch_add(1, std::memory_order_relaxed);
+    return FrameFate::kCorrupt;
+  }
+  return FrameFate::kDeliver;
+}
+
+std::size_t FaultInjector::corrupt_offset(Rank src, Rank dst,
+                                          std::uint32_t seqno,
+                                          std::uint32_t attempt,
+                                          std::size_t frame_size) const {
+  AACC_DCHECK(frame_size > 0);
+  // Re-hash with a distinct salt so the offset is independent of the fate.
+  const std::uint64_t h =
+      splitmix64(frame_hash(src, dst, seqno, attempt) ^ 0x0FF5E7ULL);
+  return static_cast<std::size_t>(h % frame_size);
+}
+
+bool FaultInjector::should_crash(Rank rank, std::size_t step) {
+  for (std::size_t i = 0; i < plan_.crashes.size(); ++i) {
+    const CrashPoint& c = plan_.crashes[i];
+    if (c.rank == rank && c.at_step == step) {
+      bool expected = false;
+      if (crash_fired_[i]->compare_exchange_strong(expected, true)) {
+        counters_.crashes.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace aacc::rt

@@ -6,7 +6,9 @@
 // can observe another's memory.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <limits>
 #include <span>
@@ -69,6 +71,48 @@ class ByteWriter {
  private:
   std::vector<std::byte> buf_;
 };
+
+// ------------------------------------------------------------------- CRC32
+//
+// Software CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected) for the
+// reliable-transport frame checksum (wire format v2.1, docs/PROTOCOL.md).
+// Table-driven; the table is built at compile time so the header stays
+// dependency-free.
+
+namespace detail {
+consteval std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+/// Incremental update: feed buffers in sequence, starting from
+/// crc32_init() and finishing with crc32_final().
+[[nodiscard]] constexpr std::uint32_t crc32_init() { return 0xFFFFFFFFU; }
+[[nodiscard]] inline std::uint32_t crc32_update(std::uint32_t crc,
+                                                std::span<const std::byte> data) {
+  for (const std::byte b : data) {
+    crc = detail::kCrc32Table[(crc ^ std::to_integer<std::uint32_t>(b)) & 0xFFU] ^
+          (crc >> 8);
+  }
+  return crc;
+}
+[[nodiscard]] constexpr std::uint32_t crc32_final(std::uint32_t crc) {
+  return crc ^ 0xFFFFFFFFU;
+}
+
+/// One-shot convenience.
+[[nodiscard]] inline std::uint32_t crc32(std::span<const std::byte> data) {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
 
 class ByteReader {
  public:

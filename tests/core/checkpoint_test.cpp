@@ -207,6 +207,80 @@ TEST(Checkpoint, WorldSizeMismatchRejected) {
   EXPECT_THROW(AnytimeEngine(g, interim.checkpoint, other), std::logic_error);
 }
 
+// ----------------------------------- restore validation (typed errors)
+
+/// A structurally plausible checkpoint for pure validation tests.
+Checkpoint tiny_checkpoint(Rank ranks) {
+  Checkpoint ck;
+  ck.num_ranks = ranks;
+  ck.rank_blobs.assign(static_cast<std::size_t>(ranks),
+                       std::vector<std::byte>(8, std::byte{0x01}));
+  return ck;
+}
+
+TEST(CheckpointValidation, RejectsEmptyAndMismatchedShapes) {
+  EXPECT_THROW(validate_checkpoint(Checkpoint{}, 4), CheckpointError);
+
+  Checkpoint wrong_count = tiny_checkpoint(4);
+  wrong_count.rank_blobs.pop_back();
+  EXPECT_THROW(validate_checkpoint(wrong_count, 4), CheckpointError);
+
+  EXPECT_THROW(validate_checkpoint(tiny_checkpoint(4), 6), CheckpointError);
+
+  Checkpoint empty_blob = tiny_checkpoint(3);
+  empty_blob.rank_blobs[1].clear();
+  EXPECT_THROW(validate_checkpoint(empty_blob, 3), CheckpointError);
+
+  EXPECT_NO_THROW(validate_checkpoint(tiny_checkpoint(3), 3));
+}
+
+TEST(CheckpointValidation, RejectsUnknownVersionAndTruncatedHeader) {
+  Checkpoint future = tiny_checkpoint(2);
+  future.rank_blobs[0] = {std::byte{kCkptMagic0}, std::byte{kCkptMagic1},
+                          std::byte{99}};
+  EXPECT_THROW(validate_checkpoint(future, 2), CheckpointError);
+
+  Checkpoint cut = tiny_checkpoint(2);
+  cut.rank_blobs[0] = {std::byte{kCkptMagic0}, std::byte{kCkptMagic1}};
+  EXPECT_THROW(validate_checkpoint(cut, 2), CheckpointError);
+}
+
+TEST(CheckpointValidation, TruncatedBlobFailsRestoreWithRankContext) {
+  const Graph g = make_ba(80, 2, 15);
+  EngineConfig cfg = base_cfg(3);
+  cfg.checkpoint_at_step = 1;
+  AnytimeEngine first(g, cfg);
+  const RunResult interim = first.run();
+  ASSERT_TRUE(interim.checkpoint.valid());
+
+  // Deep truncation: the header validates, the bounds-checked reader
+  // catches the cut mid-blob and the engine re-raises it typed.
+  Checkpoint cut = interim.checkpoint;
+  cut.rank_blobs[2].resize(cut.rank_blobs[2].size() / 2);
+  AnytimeEngine resumed(g, cut, cfg);
+  try {
+    (void)resumed.run();
+    FAIL() << "truncated blob must not restore";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 2"), std::string::npos)
+        << "error should carry rank context: " << e.what();
+  }
+}
+
+TEST(CheckpointValidation, TrailingGarbageFailsRestore) {
+  const Graph g = make_ba(80, 2, 16);
+  EngineConfig cfg = base_cfg(3);
+  cfg.checkpoint_at_step = 1;
+  AnytimeEngine first(g, cfg);
+  const RunResult interim = first.run();
+  ASSERT_TRUE(interim.checkpoint.valid());
+
+  Checkpoint padded = interim.checkpoint;
+  padded.rank_blobs[0].push_back(std::byte{0x7F});
+  AnytimeEngine resumed(g, padded, cfg);
+  EXPECT_THROW((void)resumed.run(), CheckpointError);
+}
+
 TEST(Checkpoint, NoCheckpointPastConvergence) {
   const Graph g = make_ba(80, 2, 14);
   EngineConfig cfg = base_cfg(4);
