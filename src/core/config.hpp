@@ -56,6 +56,15 @@ struct EngineConfig {
   /// Any value produces bit-identical rows and ledgers: sources are
   /// disjoint rows and per-row counters merge in row order.
   std::size_t ia_threads = 0;
+  /// Intra-rank worker threads for the RC recombination drain. Queued
+  /// (vertex, target) work shards by target column (t mod shards) — columns
+  /// are independent relaxation problems, so shards share nothing — and
+  /// each shard replays the serial schedule restricted to its columns, so
+  /// any value produces bit-identical matrices, results and ledgers (see
+  /// DESIGN.md §"Column-sharded parallel recombination drain"). Also sizes
+  /// the parallel send-assembly pass in exchange(). 0 = auto, like
+  /// ia_threads (hardware_concurrency / num_ranks, clamped to [1, 8]).
+  std::size_t rc_threads = 0;
   std::uint64_t seed = 1;
   rt::LogGPParams logp;
   /// Record per-step closeness snapshots (E3 quality curves). Adds one

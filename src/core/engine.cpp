@@ -27,6 +27,8 @@ void RunStats::accumulate(const RunStats& other) {
   modeled_network_seconds_shifted += other.modeled_network_seconds_shifted;
   modeled_network_seconds_flood += other.modeled_network_seconds_flood;
   rc_steps += other.rc_steps;
+  rc_drain_cpu_seconds += other.rc_drain_cpu_seconds;
+  rc_drain_modeled_seconds += other.rc_drain_modeled_seconds;
   recoveries += other.recoveries;
   cut_edges_initial = other.cut_edges_initial;  // latest run's view
   cut_edges_final = other.cut_edges_final;
@@ -367,8 +369,17 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
       const double cpu = log[s].cpu_seconds - prev.cpu_seconds;
       agg.sum_cpu_seconds += cpu;
       agg.max_cpu_seconds = std::max(agg.max_cpu_seconds, cpu);
+      agg.sum_drain_cpu_seconds +=
+          log[s].drain_cpu_seconds - prev.drain_cpu_seconds;
+      agg.max_drain_modeled_seconds =
+          std::max(agg.max_drain_modeled_seconds,
+                   log[s].drain_modeled_seconds - prev.drain_modeled_seconds);
       prev = log[s];
     }
+  }
+  for (const StepStats& s : out.stats.steps) {
+    out.stats.rc_drain_cpu_seconds += s.sum_drain_cpu_seconds;
+    out.stats.rc_drain_modeled_seconds += s.max_drain_modeled_seconds;
   }
 
   // Anytime quality snapshots.

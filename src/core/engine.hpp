@@ -36,6 +36,11 @@ struct StepStats {
   std::uint64_t relaxations = 0;
   std::uint64_t poisons = 0;
   std::uint64_t repairs = 0;
+  /// RC drain cost this step: Σ CPU across ranks (and their drain shards),
+  /// and the slowest rank's modeled parallel-drain makespan (serial
+  /// partition/merge + slowest shard; see StepLocal).
+  double sum_drain_cpu_seconds = 0.0;
+  double max_drain_modeled_seconds = 0.0;
 };
 
 struct RunStats {
@@ -59,6 +64,11 @@ struct RunStats {
   double modeled_network_seconds_shifted = 0.0;
   double modeled_network_seconds_flood = 0.0;
   std::size_t rc_steps = 0;
+  /// RC drain totals: CPU actually burnt in drain() across all ranks and
+  /// shards, and the modeled makespan (Σ over steps of the slowest rank's
+  /// modeled drain) — the multicore analogue of modeled_makespan_seconds.
+  double rc_drain_cpu_seconds = 0.0;
+  double rc_drain_modeled_seconds = 0.0;
   /// Supervised relaunches after injected/transport failures (both
   /// checkpoint rollbacks and degraded restarts; see docs/FAULTS.md).
   std::size_t recoveries = 0;

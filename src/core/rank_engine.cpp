@@ -343,7 +343,23 @@ static void watch(const char* what, Rank rank, VertexId x, VertexId t, Dist d,
 #define AACC_WATCH_HIT(what, x, t, d, nh)
 #endif
 
+RankEngine::ShardCtx RankEngine::serial_ctx() {
+  ShardCtx ctx;
+  ctx.worklist = &worklist_;
+  ctx.repairs = &repairs_;
+  ctx.relaxations = &relaxations_;
+  ctx.dirty_entries = &dirty_entries_;
+  ctx.repairs_run = &repair_count_;
+  return ctx;
+}
+
 void RankEngine::relax(VertexId x, VertexId t, Dist nd, VertexId nh) {
+  ShardCtx ctx = serial_ctx();
+  relax(ctx, x, t, nd, nh);
+}
+
+void RankEngine::relax(ShardCtx& ctx, VertexId x, VertexId t, Dist nd,
+                       VertexId nh) {
   if (nd == kInfDist || !lg_.is_alive(t)) return;
   const std::int32_t ri = lg_.row_of(x);
   AACC_DCHECK(ri >= 0);
@@ -354,22 +370,32 @@ void RankEngine::relax(VertexId x, VertexId t, Dist nd, VertexId nh) {
     // ingesting a later event of the same batch) would silently revoke the
     // invalidation and leave remote dependents holding stale-low values.
     // Defer: repairs run only after the poison barrier has drained.
-    repairs_.emplace_back(x, t);
+    ctx.repairs->emplace_back(x, t);
     return;
   }
   if (nd < row.dist(t)) {
     AACC_WATCH_HIT("relax", x, t, nd, nh);
-    row.set(t, nd, nh);
-    if (row.mark_dirty(t)) ++dirty_entries_;
-    ++relaxations_;
+    if (ctx.deltas == nullptr) {
+      row.set(t, nd, nh);
+      if (row.mark_dirty(t)) ++*ctx.dirty_entries;
+    } else {
+      DvRowDelta& delta = (*ctx.deltas)[static_cast<std::size_t>(ri)];
+      if (!delta.live) {
+        delta.live = true;
+        ctx.touched->push_back(static_cast<std::uint32_t>(ri));
+      }
+      row.set_sharded(t, nd, nh, delta);
+      if (row.mark_dirty_sharded(t, delta)) ++*ctx.dirty_entries;
+    }
+    ++*ctx.relaxations;
     if (!row.test_flag(t, DvRow::kQueued)) {
       row.set_flag(t, DvRow::kQueued);
-      worklist_.emplace_back(x, t);
+      ctx.worklist->emplace_back(x, t);
     }
   }
 }
 
-void RankEngine::propagate(VertexId x, VertexId t) {
+void RankEngine::propagate(ShardCtx& ctx, VertexId x, VertexId t) {
   const std::int32_t ri = lg_.row_of(x);
   if (ri < 0) return;  // migrated or deleted since queueing
   DvRow& row = rows_[static_cast<std::size_t>(ri)];
@@ -378,13 +404,13 @@ void RankEngine::propagate(VertexId x, VertexId t) {
   if (base == kInfDist) return;  // poisoned since queueing
   for (const Edge& e : lg_.adj(static_cast<std::size_t>(ri))) {
     if (lg_.is_local(e.to)) {
-      relax(e.to, t, dist_add(base, e.w), x);
+      relax(ctx, e.to, t, dist_add(base, e.w), x);
     }
   }
 }
 
-void RankEngine::repair(VertexId x, VertexId t) {
-  ++repair_count_;
+void RankEngine::repair(ShardCtx& ctx, VertexId x, VertexId t) {
+  ++*ctx.repairs_run;
   const std::int32_t ri = lg_.row_of(x);
   if (ri < 0 || !lg_.is_alive(t) || x == t) return;
   Dist best = kInfDist;
@@ -405,23 +431,129 @@ void RankEngine::repair(VertexId x, VertexId t) {
       best_hop = e.to;
     }
   }
-  relax(x, t, best, best_hop);
+  relax(ctx, x, t, best, best_hop);
+}
+
+namespace {
+/// Below this many queued items a parallel drain costs more in thread
+/// start/join than it saves; the shard count scales with the work so small
+/// drains stay serial. Purely a performance knob: serial and sharded drains
+/// produce bit-identical state, so the branch cannot change results.
+constexpr std::size_t kDrainShardGrain = 128;
+}  // namespace
+
+std::size_t RankEngine::rc_thread_count() const {
+  if (cfg_.rc_threads != 0) return cfg_.rc_threads;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const auto ranks = static_cast<unsigned>(std::max<Rank>(comm_.size(), 1));
+  return std::clamp<std::size_t>(hw / ranks, 1, 8);
 }
 
 void RankEngine::drain() {
-  // Repairs first: they re-derive poisoned entries, whose improvements then
-  // flow through the worklist.
+  const double t0 = thread_cpu_now();
+  const std::size_t queued = repairs_.size() + worklist_.size();
+  const std::size_t shards =
+      std::min(rc_thread_count(), queued / kDrainShardGrain);
+  if (shards > 1) {
+    drain_parallel(shards);
+    return;
+  }
+  // Serial path. Repairs first: they re-derive poisoned entries, whose
+  // improvements then flow through the worklist.
+  ShardCtx ctx = serial_ctx();
   while (!repairs_.empty() || !worklist_.empty()) {
     if (!repairs_.empty()) {
       const auto [x, t] = repairs_.front();
       repairs_.pop_front();
-      repair(x, t);
+      repair(ctx, x, t);
     } else {
       const auto [x, t] = worklist_.front();
       worklist_.pop_front();
-      propagate(x, t);
+      propagate(ctx, x, t);
     }
   }
+  const double dt = thread_cpu_now() - t0;
+  drain_cpu_seconds_ += dt;
+  drain_modeled_seconds_ += dt;
+}
+
+void RankEngine::drain_parallel(std::size_t shards) {
+  // Column-sharded drain (DESIGN.md §"Column-sharded parallel recombination
+  // drain"). Every queued (x, t) item reads and writes column t only —
+  // propagation enqueues (neighbour, t), a deferred repair re-enqueues
+  // (x, t), and repair() reads neighbour rows and portal caches at column t
+  // — so partitioning by t mod shards yields shard-disjoint work. The
+  // partition below is a stable filter of the FIFO queues, each shard runs
+  // the same repairs-first FIFO rule, and no item ever changes shard, so
+  // every shard replays exactly the serial schedule restricted to its
+  // columns: distances, next hops, flag bytes, queue contents and counter
+  // totals come out bit-identical to the serial drain for any shard count.
+  const double part0 = thread_cpu_now();
+  if (rc_shards_.size() < shards) rc_shards_.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    rc_shards_[s].deltas.resize(rows_.size());
+  }
+  for (const auto& [x, t] : repairs_) {
+    rc_shards_[t % shards].repairs.emplace_back(x, t);
+  }
+  for (const auto& [x, t] : worklist_) {
+    rc_shards_[t % shards].worklist.emplace_back(x, t);
+  }
+  repairs_.clear();
+  worklist_.clear();
+  const double partition_cpu = thread_cpu_now() - part0;
+
+  run_workers(shards, [&](std::size_t s) {
+    const double w0 = thread_cpu_now();
+    RcShard& sh = rc_shards_[s];
+    ShardCtx ctx;
+    ctx.worklist = &sh.worklist;
+    ctx.repairs = &sh.repairs;
+    ctx.relaxations = &sh.relaxations;
+    ctx.dirty_entries = &sh.dirty_entries;
+    ctx.repairs_run = &sh.repairs_run;
+    ctx.deltas = &sh.deltas;
+    ctx.touched = &sh.touched;
+    while (!sh.repairs.empty() || !sh.worklist.empty()) {
+      if (!sh.repairs.empty()) {
+        const auto [x, t] = sh.repairs.front();
+        sh.repairs.pop_front();
+        repair(ctx, x, t);
+      } else {
+        const auto [x, t] = sh.worklist.front();
+        sh.worklist.pop_front();
+        propagate(ctx, x, t);
+      }
+    }
+    sh.cpu_seconds = thread_cpu_now() - w0;
+  });
+
+  // Deterministic merge, in shard-id order: row aggregates and index-list
+  // appends fold in via apply_delta, counters sum. The append order differs
+  // from the serial drain's interleaving, but list order is unobservable —
+  // every consumer sorts, clears, or filters by the per-column flags.
+  const double merge0 = thread_cpu_now();
+  double max_shard_cpu = 0.0;
+  double sum_shard_cpu = 0.0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    RcShard& sh = rc_shards_[s];
+    for (const std::uint32_t ri : sh.touched) {
+      rows_[ri].apply_delta(sh.deltas[ri]);
+    }
+    sh.touched.clear();
+    relaxations_ += sh.relaxations;
+    dirty_entries_ += sh.dirty_entries;
+    repair_count_ += sh.repairs_run;
+    sh.relaxations = 0;
+    sh.dirty_entries = 0;
+    sh.repairs_run = 0;
+    max_shard_cpu = std::max(max_shard_cpu, sh.cpu_seconds);
+    sum_shard_cpu += sh.cpu_seconds;
+    sh.cpu_seconds = 0.0;
+  }
+  const double merge_cpu = thread_cpu_now() - merge0;
+  drain_cpu_seconds_ += partition_cpu + sum_shard_cpu + merge_cpu;
+  drain_modeled_seconds_ += partition_cpu + max_shard_cpu + merge_cpu;
 }
 
 // ------------------------------------------------------------- poisoning
@@ -457,11 +589,16 @@ void RankEngine::poison_first_hops(
     const std::int32_t ri = lg_.row_of(a);
     if (ri < 0) return;
     DvRow& row = rows_[static_cast<std::size_t>(ri)];
-    for (VertexId t = 0; t < row.size(); ++t) {
-      if (row.next_hop(t) == b && row.dist(t) != kInfDist) {
+    // Only ever-finite columns can hold a witness through b, so the reach
+    // list is a complete candidate set — O(finite), not an O(n) column
+    // scan. poison_entry only writes the visited column (never the reach
+    // list itself), so mutating under the walk is safe and the poisoned
+    // set matches the full scan's.
+    row.for_each_finite([&](VertexId t) {
+      if (row.next_hop(t) == b) {
         poison_entry(static_cast<std::size_t>(ri), t, seeds);
       }
-    }
+    });
   };
   scan(u, v);
   scan(v, u);
@@ -501,46 +638,79 @@ void RankEngine::apply_portal_value(VertexId b, VertexId t, Dist d) {
 // --------------------------------------------------------------- exchange
 
 void RankEngine::exchange() {
-  const Rank P = comm_.size();
-  std::vector<rt::ByteWriter> writers(static_cast<std::size_t>(P));
-  std::vector<Rank> subs;
-  std::vector<VertexId> dirty_cols;
-  std::vector<std::pair<VertexId, Dist>> entries;
-  std::vector<std::size_t> sent_rows;
-  rt::ByteWriter record;
-
-  for (std::size_t r = 0; r < rows_.size(); ++r) {
-    DvRow& row = rows_[r];
-    if (row.dirty_count() == 0) continue;
-    subs.clear();
-    lg_.subscribers(r, subs);
-    if (!subs.empty()) {
-      // Send assembly walks the sparse dirty list (sorted, as the delta
-      // codec requires); the record is encoded once and fanned out.
-      row.sorted_dirty(dirty_cols);
-      entries.clear();
-      entries.reserve(dirty_cols.size());
-      for (const VertexId t : dirty_cols) entries.emplace_back(t, row.dist(t));
-      rt::write_dv_record(record, row.self(), entries);
-      const auto bytes = record.take();
-      for (const Rank q : subs) {
-        writers[static_cast<std::size_t>(q)].write_bytes(bytes);
-      }
-    }
-    sent_rows.push_back(r);
+  const auto P = static_cast<std::size_t>(comm_.size());
+  const std::size_t num_rows = rows_.size();
+  // Send assembly only reads shared state (rows, dirty lists, subscriber
+  // index) and writes per-shard buffers, so contiguous row blocks fan out
+  // across the worker pool. As with the drain, the shard count scales with
+  // the pending work so small steps stay on one (inline) worker.
+  const std::size_t shards = std::clamp<std::size_t>(
+      std::min(rc_thread_count(),
+               static_cast<std::size_t>(dirty_entries_) / kDrainShardGrain),
+      1, std::max<std::size_t>(num_rows, 1));
+  if (send_shards_.size() < shards) send_shards_.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    SendShard& sh = send_shards_[s];
+    if (sh.writers.size() < P) sh.writers.resize(P);
+    for (auto& w : sh.writers) w.clear();
+    sh.sent_rows.clear();
   }
 
-  std::vector<std::vector<std::byte>> out;
-  out.reserve(static_cast<std::size_t>(P));
-  for (auto& w : writers) out.push_back(w.take());
+  run_workers(shards, [&](std::size_t s) {
+    SendShard& sh = send_shards_[s];
+    const std::size_t begin = num_rows * s / shards;
+    const std::size_t end = num_rows * (s + 1) / shards;
+    for (std::size_t r = begin; r < end; ++r) {
+      DvRow& row = rows_[r];
+      if (row.dirty_count() == 0) continue;
+      sh.subs.clear();
+      lg_.subscribers(r, sh.subs);
+      if (!sh.subs.empty()) {
+        // Send assembly walks the sparse dirty list (sorted, as the delta
+        // codec requires); the record is encoded once and fanned out.
+        row.sorted_dirty(sh.dirty_cols);
+        sh.entries.clear();
+        sh.entries.reserve(sh.dirty_cols.size());
+        for (const VertexId t : sh.dirty_cols) {
+          sh.entries.emplace_back(t, row.dist(t));
+        }
+        sh.record.clear();
+        rt::write_dv_record(sh.record, row.self(), sh.entries);
+        for (const Rank q : sh.subs) {
+          sh.writers[static_cast<std::size_t>(q)].write_bytes(
+              sh.record.view());
+        }
+      }
+      sh.sent_rows.push_back(r);
+    }
+  });
+
+  // Concatenating each destination's shard buffers in shard-id order yields
+  // exactly the bytes a serial ascending-row walk produces, for any shard
+  // count.
+  std::vector<std::vector<std::byte>> out(P);
+  for (std::size_t q = 0; q < P; ++q) {
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      total += send_shards_[s].writers[q].size();
+    }
+    out[q].reserve(total);
+    for (std::size_t s = 0; s < shards; ++s) {
+      const auto v = send_shards_[s].writers[q].view();
+      out[q].insert(out[q].end(), v.begin(), v.end());
+    }
+  }
   auto in = comm_.all_to_all(std::move(out));
   // Dirty flags are retired only once the collective has returned: if the
   // exchange throws (a peer died mid-step), the pending sends stay dirty in
   // this rank's state and survive into the recovery stash — subscribers
   // will still receive them after the restart. Cleared before
   // apply_incoming so entries re-dirtied by the incoming values are kept.
-  for (const std::size_t r : sent_rows) {
-    dirty_entries_ -= rows_[r].clear_all_dirty();
+  // Shard-id order over contiguous blocks = ascending row order, as before.
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (const std::size_t r : send_shards_[s].sent_rows) {
+      dirty_entries_ -= rows_[r].clear_all_dirty();
+    }
   }
   apply_incoming(in);
 }
@@ -565,11 +735,10 @@ void RankEngine::apply_incoming(const std::vector<std::vector<std::byte>>& in) {
 bool RankEngine::poison_sync_round() {
   const Rank P = comm_.size();
   std::vector<rt::ByteWriter> writers(static_cast<std::size_t>(P));
-  std::vector<Rank> subs;
-  std::vector<VertexId> dirty_cols;
-  std::vector<std::pair<VertexId, Dist>> dead;
+  std::vector<Rank>& subs = exch_subs_;
+  std::vector<VertexId>& dirty_cols = exch_dirty_cols_;
+  std::vector<std::pair<VertexId, Dist>>& dead = exch_entries_;
   std::vector<std::pair<std::size_t, VertexId>> sent_markers;
-  rt::ByteWriter record;
 
   for (std::size_t r = 0; r < rows_.size(); ++r) {
     DvRow& row = rows_[r];
@@ -592,10 +761,10 @@ bool RankEngine::poison_sync_round() {
       continue;
     }
     if (dead.empty()) continue;
-    rt::write_dv_record(record, row.self(), dead);
-    const auto bytes = record.take();
+    exch_record_.clear();
+    rt::write_dv_record(exch_record_, row.self(), dead);
     for (const Rank q : subs) {
-      writers[static_cast<std::size_t>(q)].write_bytes(bytes);
+      writers[static_cast<std::size_t>(q)].write_bytes(exch_record_.view());
     }
     for (const auto& [t, d] : dead) {
       sent_markers.emplace_back(r, t);
@@ -1198,6 +1367,8 @@ void RankEngine::record_step(std::size_t step) {
   rec.poisons = poisons_;
   rec.repairs = repair_count_;
   rec.cpu_seconds = thread_cpu_now();
+  rec.drain_cpu_seconds = drain_cpu_seconds_;
+  rec.drain_modeled_seconds = drain_modeled_seconds_;
   step_log_.push_back(rec);
 }
 

@@ -31,6 +31,7 @@
 #include "core/local_graph.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/faults.hpp"
+#include "runtime/serialize.hpp"
 
 namespace aacc {
 
@@ -42,6 +43,12 @@ struct StepLocal {
   std::uint64_t poisons = 0;      ///< entries invalidated
   std::uint64_t repairs = 0;      ///< repair attempts processed
   double cpu_seconds = 0.0;
+  /// CPU spent inside drain(): Σ over shard workers (the work), and the
+  /// modeled parallel makespan (serial partition/merge + slowest shard) —
+  /// the single-core stand-in for multicore drain wall time, mirroring the
+  /// LogGP treatment of ranks. Equal on the serial path.
+  double drain_cpu_seconds = 0.0;
+  double drain_modeled_seconds = 0.0;
 };
 
 class RankEngine {
@@ -133,10 +140,49 @@ class RankEngine {
 
  private:
   // ---- relaxation machinery ----
+  /// Mutation sink for the relaxation kernel. Serial entry points bind it
+  /// to the engine-level queues/counters and mutate rows directly
+  /// (deltas == nullptr); each drain shard binds its own queues, counters
+  /// and per-row delta buffers, so the parallel hot path takes no locks and
+  /// touches no shared aggregate.
+  struct ShardCtx {
+    std::deque<std::pair<VertexId, VertexId>>* worklist = nullptr;
+    std::deque<std::pair<VertexId, VertexId>>* repairs = nullptr;
+    std::uint64_t* relaxations = nullptr;
+    std::uint64_t* dirty_entries = nullptr;
+    std::uint64_t* repairs_run = nullptr;
+    std::vector<DvRowDelta>* deltas = nullptr;   // null => direct row mutation
+    std::vector<std::uint32_t>* touched = nullptr;  // rows with live deltas
+  };
+  /// Reusable per-shard drain state (worklists keyed by t mod shards).
+  struct RcShard {
+    std::deque<std::pair<VertexId, VertexId>> worklist;
+    std::deque<std::pair<VertexId, VertexId>> repairs;
+    std::vector<DvRowDelta> deltas;      // one slot per local row
+    std::vector<std::uint32_t> touched;  // rows whose delta is live
+    std::uint64_t relaxations = 0;
+    std::uint64_t dirty_entries = 0;
+    std::uint64_t repairs_run = 0;
+    double cpu_seconds = 0.0;
+  };
+  /// Reusable per-worker send-assembly state for exchange().
+  struct SendShard {
+    std::vector<rt::ByteWriter> writers;  // one per destination rank
+    std::vector<std::size_t> sent_rows;
+    std::vector<Rank> subs;
+    std::vector<VertexId> dirty_cols;
+    std::vector<std::pair<VertexId, Dist>> entries;
+    rt::ByteWriter record;
+  };
+
+  [[nodiscard]] ShardCtx serial_ctx();
+  void relax(ShardCtx& ctx, VertexId x, VertexId t, Dist nd, VertexId nh);
   void relax(VertexId x, VertexId t, Dist nd, VertexId nh);
   void drain();
-  void propagate(VertexId x, VertexId t);
-  void repair(VertexId x, VertexId t);
+  void drain_parallel(std::size_t shards);
+  void propagate(ShardCtx& ctx, VertexId x, VertexId t);
+  void repair(ShardCtx& ctx, VertexId x, VertexId t);
+  [[nodiscard]] std::size_t rc_thread_count() const;
   /// Transitively invalidates every local entry whose next-hop chain passes
   /// through a seed; seeds are (vertex, target) pairs already known bad.
   void poison_cascade(std::deque<std::pair<VertexId, VertexId>> seeds);
@@ -213,11 +259,23 @@ class RankEngine {
   std::uint64_t vertices_added_ = 0;  // round-robin cursor (globally consistent)
   bool poison_pending_ = false;       // new poisons since the last sync round
 
+  // Reusable scratch, cleared in place each step instead of reallocated:
+  // drain shards, exchange() send-assembly shards (one in the serial case),
+  // and the poison_sync_round() buffers.
+  std::vector<RcShard> rc_shards_;
+  std::vector<SendShard> send_shards_;
+  std::vector<Rank> exch_subs_;
+  std::vector<VertexId> exch_dirty_cols_;
+  std::vector<std::pair<VertexId, Dist>> exch_entries_;
+  rt::ByteWriter exch_record_;
+
   // step accounting
   std::size_t invariant_violations_ = 0;
   std::uint64_t relaxations_ = 0;
   std::uint64_t poisons_ = 0;
   std::uint64_t repair_count_ = 0;
+  double drain_cpu_seconds_ = 0.0;      // cumulative, see StepLocal
+  double drain_modeled_seconds_ = 0.0;  // cumulative, see StepLocal
   std::vector<StepLocal> step_log_;
   std::vector<std::vector<std::pair<VertexId, double>>> step_quality_;
 };

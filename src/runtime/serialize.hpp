@@ -65,6 +65,13 @@ class ByteWriter {
 
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
 
+  /// Borrowed view of the accumulated bytes (valid until the next write).
+  [[nodiscard]] std::span<const std::byte> view() const { return buf_; }
+
+  /// Drops the contents but keeps the capacity — per-step scratch writers
+  /// reuse their allocation across RC steps.
+  void clear() { buf_.clear(); }
+
   /// Moves the accumulated bytes out; the writer is reusable afterwards.
   [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
 
