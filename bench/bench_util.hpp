@@ -112,6 +112,9 @@ struct Row {
   std::size_t rc_steps = 0;
   double extra = 0;    // figure-specific column (e.g. new cut edges)
   double poisons = 0;  // invalidated entries (deletion figures)
+  /// Full RunStats::to_json object for the measurement (canonical schema,
+  /// EXPERIMENTS.md); embedded verbatim in the per-bench JSON file.
+  std::string stats_json;
 };
 
 class Table {
@@ -161,6 +164,7 @@ class Table {
            << ",\"mbytes\":" << r.mbytes << ",\"rc_steps\":" << r.rc_steps
            << ",\"poisons\":" << r.poisons;
       if (!extra_.empty()) json << ",\"extra\":" << r.extra;
+      if (!r.stats_json.empty()) json << ",\"stats\":" << r.stats_json;
       json << '}';
     }
     json << "]}\n";
@@ -191,6 +195,7 @@ inline Row measure(const std::string& label, double x, const Graph& g,
   for (const StepStats& s : r.stats.steps) {
     row.poisons += static_cast<double>(s.poisons);
   }
+  row.stats_json = r.stats.to_json(/*include_steps=*/false);
   return row;
 }
 
@@ -205,6 +210,7 @@ inline Row measure_baseline(const std::string& label, double x, const Graph& g,
   row.modeled_seconds = r.stats.modeled_makespan_seconds;
   row.mbytes = static_cast<double>(r.stats.total_bytes) / 1e6;
   row.rc_steps = r.stats.rc_steps;
+  row.stats_json = r.stats.to_json(/*include_steps=*/false);
   return row;
 }
 

@@ -62,6 +62,7 @@ struct Case {
   double net_seconds = 0.0;
   double bytes_ratio = 1.0;  // vs the raw transport
   double net_ratio = 1.0;
+  std::string stats_json;  // canonical RunStats::to_json (EXPERIMENTS.md)
 };
 
 Case run_case(const std::string& label, const Graph& g,
@@ -79,6 +80,7 @@ Case run_case(const std::string& label, const Graph& g,
   c.frame_bytes = r.stats.frame_overhead_bytes;
   c.retransmits = r.stats.retransmits;
   c.net_seconds = r.stats.modeled_network_seconds_serialized;
+  c.stats_json = r.stats.to_json(/*include_steps=*/false);
   return c;
 }
 
@@ -115,6 +117,7 @@ int main() {
     c.bytes = r.stats.total_bytes;
     c.messages = r.stats.total_messages;
     c.net_seconds = r.stats.modeled_network_seconds_serialized;
+    c.stats_json = r.stats.to_json(/*include_steps=*/false);
     cases.push_back(c);
     cases.push_back(run_case("framed", g, framed, r.closeness));
     cases.push_back(run_case("faulted", g, stormy, r.closeness));
@@ -169,7 +172,9 @@ int main() {
          << ",\"retransmits\":" << c.retransmits
          << ",\"modeled_network_seconds\":" << c.net_seconds
          << ",\"bytes_over_raw\":" << c.bytes_ratio
-         << ",\"net_over_raw\":" << c.net_ratio << '}';
+         << ",\"net_over_raw\":" << c.net_ratio;
+    if (!c.stats_json.empty()) json << ",\"stats\":" << c.stats_json;
+    json << '}';
   }
   json << "],\"crc32\":[";
   for (std::size_t i = 0; i < crc_sizes.size(); ++i) {

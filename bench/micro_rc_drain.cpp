@@ -17,6 +17,7 @@
 // Prints a table and writes AACC_OUT_DIR/micro_rc_drain.json (schema:
 // EXPERIMENTS.md §M5). Knobs: AACC_N (vertices, default 8000 — the paper
 // scale is AACC_N=50000), AACC_P (ranks, default 4), AACC_SEED.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -93,6 +94,42 @@ int main() {
     }
   }
 
+  // ---- tracing-overhead section (CI gate, docs/OBSERVABILITY.md) ----
+  // There is no un-instrumented binary to compare against, so the
+  // "disabled" overhead is measured as reproducibility of trace-off runs:
+  // if the null-track branches cost anything measurable, the drain CPU
+  // could not reproduce within the gate. The metric is
+  // rc_drain_cpu_seconds — thread-CPU spent inside drain() — which is
+  // immune to wall-clock scheduler noise; the spread is taken between the
+  // two fastest of five runs (benchstat-style), because a single
+  // preempted run would otherwise dominate (max-min) with cache-eviction
+  // noise that has nothing to do with the hooks. enabled_overhead_pct
+  // compares the best trace-on run against the best trace-off run.
+  const auto traced_run = [&](bool trace_on) {
+    EngineConfig cfg;
+    cfg.num_ranks = ranks;
+    cfg.seed = seed;
+    cfg.rc_threads = 2;
+    cfg.transport.recv_timeout = std::chrono::hours{6};
+    cfg.trace.enabled = trace_on;
+    AnytimeEngine engine(g, cfg);
+    return engine.run().stats.rc_drain_cpu_seconds;
+  };
+  std::vector<double> off;
+  for (int i = 0; i < 5; ++i) off.push_back(traced_run(false));
+  std::sort(off.begin(), off.end());
+  const double off_min = off[0];
+  const double off_second = off[1];
+  double on_min = 0.0;
+  for (int i = 0; i < 2; ++i) {
+    const double c = traced_run(true);
+    on_min = i == 0 ? c : std::min(on_min, c);
+  }
+  const double disabled_overhead_pct =
+      off_min > 0.0 ? 100.0 * (off_second - off_min) / off_min : 0.0;
+  const double enabled_overhead_pct =
+      off_min > 0.0 ? 100.0 * std::max(0.0, on_min - off_min) / off_min : 0.0;
+
   std::printf("\n== micro_rc_drain (n=%u vertices, P=%d ranks) ==\n", n, ranks);
   std::printf("%10s %9s %15s %19s %9s %10s\n", "rc_threads", "rc_steps",
               "drain_cpu_s", "drain_modeled_s", "speedup", "identical");
@@ -101,6 +138,9 @@ int main() {
                 c.rc_steps, c.drain_cpu, c.drain_modeled, c.speedup,
                 c.identical ? "yes" : "NO");
   }
+  std::printf("trace overhead: disabled %.2f%% (spread of 2 fastest of 5 off"
+              " runs), enabled %.2f%% (drain CPU, best off vs best of 2 on)\n",
+              disabled_overhead_pct, enabled_overhead_pct);
 
   const std::string dir = env_str("AACC_OUT_DIR", "/tmp/aacc_bench");
   (void)std::system(("mkdir -p " + dir).c_str());
@@ -116,7 +156,11 @@ int main() {
          << ",\"modeled_speedup\":" << c.speedup
          << ",\"identical\":" << (c.identical ? "true" : "false") << '}';
   }
-  json << "]}\n";
+  json << "],\"trace_overhead\":{\"drain_cpu_off_min\":" << off_min
+       << ",\"drain_cpu_off_second\":" << off_second
+       << ",\"drain_cpu_on_min\":" << on_min
+       << ",\"disabled_overhead_pct\":" << disabled_overhead_pct
+       << ",\"enabled_overhead_pct\":" << enabled_overhead_pct << "}}\n";
   std::printf("[json] %s/micro_rc_drain.json\n", dir.c_str());
   return 0;
 }

@@ -8,10 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "common/rng.hpp"
-#include "common/timer.hpp"
-#include "core/engine.hpp"
-#include "graph/generators.hpp"
+#include "aacc/aacc.hpp"
 
 int main(int argc, char** argv) {
   using namespace aacc;
@@ -58,6 +55,7 @@ int main(int argc, char** argv) {
 
   std::printf("%-16s %10s %10s %10s %14s %10s\n", "strategy", "wall_s",
               "MB_sent", "rc_steps", "new_cut_edges", "imbalance");
+  RunStats last;
   for (const AssignStrategy strat :
        {AssignStrategy::kRoundRobin, AssignStrategy::kCutEdge,
         AssignStrategy::kRepartition}) {
@@ -75,6 +73,12 @@ int main(int argc, char** argv) {
                 static_cast<long long>(r.stats.cut_edges_final) -
                     static_cast<long long>(r.stats.cut_edges_initial),
                 r.stats.imbalance_final);
+    last = r.stats;
+  }
+
+  std::printf("\nlast strategy (Repartition-S):\n%s\n", last.summary().c_str());
+  if (const char* p = std::getenv("AACC_STATS_JSON")) {
+    write_stats_json(p, last);
   }
   return 0;
 }

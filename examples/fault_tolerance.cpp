@@ -7,9 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "common/rng.hpp"
-#include "core/engine.hpp"
-#include "graph/generators.hpp"
+#include "aacc/aacc.hpp"
 
 int main(int argc, char** argv) {
   using namespace aacc;
@@ -74,5 +72,10 @@ int main(int argc, char** argv) {
               "uninterrupted run = %.3g %s\n",
               recovered.stats.rc_steps - cp_step, max_diff,
               max_diff == 0.0 ? "(identical)" : "");
+
+  std::printf("\n%s\n", recovered.stats.summary().c_str());
+  if (const char* p = std::getenv("AACC_STATS_JSON")) {
+    write_stats_json(p, recovered.stats);
+  }
   return max_diff == 0.0 ? 0 : 1;
 }

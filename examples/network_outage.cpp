@@ -8,10 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "analysis/closeness.hpp"
-#include "common/rng.hpp"
-#include "core/engine.hpp"
-#include "graph/generators.hpp"
+#include "aacc/aacc.hpp"
 
 int main(int argc, char** argv) {
   using namespace aacc;
@@ -81,5 +78,9 @@ int main(int argc, char** argv) {
   }
   std::printf("\ndead relay %u closeness after: %.6g (expected 0)\n", lost,
               result.closeness[lost]);
+  std::printf("\n%s\n", result.stats.summary().c_str());
+  if (const char* p = std::getenv("AACC_STATS_JSON")) {
+    write_stats_json(p, result.stats);
+  }
   return 0;
 }

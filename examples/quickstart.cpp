@@ -3,13 +3,14 @@
 // the most central actors before and after.
 //
 //   ./quickstart [n] [ranks]
+//
+// Set AACC_TRACE=<path> to record a span trace of the run and write it as
+// Chrome trace-event JSON (open in chrome://tracing or
+// https://ui.perfetto.dev; see docs/OBSERVABILITY.md).
 #include <cstdio>
 #include <cstdlib>
 
-#include "analysis/closeness.hpp"
-#include "common/rng.hpp"
-#include "core/engine.hpp"
-#include "graph/generators.hpp"
+#include "aacc/aacc.hpp"
 
 int main(int argc, char** argv) {
   using namespace aacc;
@@ -34,15 +35,19 @@ int main(int argc, char** argv) {
   EngineConfig cfg;
   cfg.num_ranks = ranks;
   cfg.assign = AssignStrategy::kRoundRobin;
+  if (const char* trace_path = std::getenv("AACC_TRACE")) {
+    cfg.trace.enabled = true;
+    cfg.trace.path = trace_path;
+  }
   AnytimeEngine engine(g, cfg);
   const RunResult result = engine.run(schedule);
 
   // 4. Inspect the result.
-  std::printf("\nconverged in %zu RC steps | %.2f MB exchanged | "
-              "modeled cluster time %.3f s\n",
-              result.stats.rc_steps,
-              static_cast<double>(result.stats.total_bytes) / 1e6,
-              result.stats.modeled_makespan_seconds);
+  std::printf("\n%s\n", result.stats.summary().c_str());
+  if (cfg.trace.enabled) {
+    std::printf("trace: %s (%zu events)\n", cfg.trace.path.c_str(),
+                result.trace.events.size());
+  }
 
   const auto top = top_k(result.closeness, 5);
   std::printf("\ntop-5 closeness centrality (after the change):\n");

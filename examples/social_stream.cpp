@@ -8,11 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "analysis/closeness.hpp"
-#include "analysis/quality.hpp"
-#include "common/rng.hpp"
-#include "core/engine.hpp"
-#include "graph/generators.hpp"
+#include "aacc/aacc.hpp"
 
 int main(int argc, char** argv) {
   using namespace aacc;
@@ -85,5 +81,10 @@ int main(int argc, char** argv) {
               restart.stats.total_cpu_seconds,
               static_cast<double>(restart.stats.total_bytes) / 1e6,
               restart.stats.rc_steps);
+
+  std::printf("\nlive run:\n%s\n", live.stats.summary().c_str());
+  if (const char* p = std::getenv("AACC_STATS_JSON")) {
+    write_stats_json(p, live.stats);
+  }
   return 0;
 }

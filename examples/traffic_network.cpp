@@ -8,10 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "analysis/closeness.hpp"
-#include "common/rng.hpp"
-#include "core/engine.hpp"
-#include "graph/generators.hpp"
+#include "aacc/aacc.hpp"
 
 int main(int argc, char** argv) {
   using namespace aacc;
@@ -83,6 +80,10 @@ int main(int argc, char** argv) {
   for (const VertexId v : depots) {
     std::printf("  cell (%u,%u): closeness %.6g\n", v / side, v % side,
                 r.closeness[v]);
+  }
+  std::printf("\n%s\n", r.stats.summary().c_str());
+  if (const char* p = std::getenv("AACC_STATS_JSON")) {
+    write_stats_json(p, r.stats);
   }
   return 0;
 }

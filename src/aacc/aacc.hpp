@@ -1,0 +1,34 @@
+// Umbrella header: the whole public API in one include.
+//
+//   #include "aacc/aacc.hpp"
+//
+//   aacc::Rng rng(42);
+//   aacc::Graph g = aacc::barabasi_albert(5000, 3, rng);
+//   aacc::EngineConfig cfg;
+//   aacc::AnytimeEngine engine(g, cfg);
+//   aacc::RunResult r = engine.run();
+//   std::puts(r.stats.summary().c_str());
+//
+// Fine-grained headers remain available for code that wants to limit its
+// include surface; this header is the recommended entry point for
+// applications (see docs/API.md).
+#pragma once
+
+#include "analysis/centrality_extra.hpp"
+#include "analysis/closeness.hpp"
+#include "analysis/quality.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "core/checkpoint.hpp"
+#include "core/config.hpp"
+#include "core/engine.hpp"
+#include "core/events.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "partition/partition.hpp"
+#include "runtime/faults.hpp"
+#include "runtime/logp.hpp"

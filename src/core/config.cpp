@@ -1,0 +1,83 @@
+#include "core/config.hpp"
+
+#include <sstream>
+
+namespace aacc {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw ConfigError(what); }
+
+}  // namespace
+
+void EngineConfig::validate() const {
+  // Thread/rank caps exist to catch sign bugs: a negative count cast into
+  // an unsigned field shows up as an absurdly large value.
+  constexpr std::size_t kMaxThreads = 4096;
+  constexpr Rank kMaxRanks = 4096;
+  if (num_ranks < 1 || num_ranks > kMaxRanks) {
+    std::ostringstream os;
+    os << "EngineConfig::num_ranks must be in [1, " << kMaxRanks << "], got "
+       << num_ranks;
+    fail(os.str());
+  }
+  if (ia_threads > kMaxThreads) {
+    std::ostringstream os;
+    os << "EngineConfig::ia_threads must be at most " << kMaxThreads
+       << " (0 = auto), got " << ia_threads
+       << " — was a negative value cast to size_t?";
+    fail(os.str());
+  }
+  if (rc_threads > kMaxThreads) {
+    std::ostringstream os;
+    os << "EngineConfig::rc_threads must be at most " << kMaxThreads
+       << " (0 = auto), got " << rc_threads
+       << " — was a negative value cast to size_t?";
+    fail(os.str());
+  }
+  if (rebalance_threshold != 0.0 && rebalance_threshold < 1.0) {
+    std::ostringstream os;
+    os << "EngineConfig::rebalance_threshold must be 0 (off) or >= 1.0 "
+          "(max/ideal load never drops below 1), got "
+       << rebalance_threshold;
+    fail(os.str());
+  }
+  if (transport.max_retries < 1) {
+    fail("EngineConfig::transport.max_retries must be >= 1: with 0 the "
+         "reliable sender would give up before its first attempt");
+  }
+  const double probs[] = {faults.drop, faults.duplicate, faults.delay,
+                          faults.corrupt};
+  const char* prob_names[] = {"drop", "duplicate", "delay", "corrupt"};
+  double sum = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (probs[i] < 0.0 || probs[i] > 1.0) {
+      std::ostringstream os;
+      os << "EngineConfig::faults." << prob_names[i]
+         << " must be a probability in [0, 1], got " << probs[i];
+      fail(os.str());
+    }
+    sum += probs[i];
+  }
+  if (sum > 1.0) {
+    std::ostringstream os;
+    os << "EngineConfig::faults probabilities must sum to <= 1 (they are "
+          "evaluated as disjoint per-frame fates), got "
+       << sum;
+    fail(os.str());
+  }
+  for (const rt::CrashPoint& c : faults.crashes) {
+    if (c.rank < 0 || c.rank >= num_ranks) {
+      std::ostringstream os;
+      os << "EngineConfig::faults crash point targets rank " << c.rank
+         << " outside [0, " << num_ranks << ")";
+      fail(os.str());
+    }
+  }
+  if (trace.enabled && trace.track_capacity == 0) {
+    fail("EngineConfig::trace.track_capacity must be > 0 when tracing is "
+         "enabled");
+  }
+}
+
+}  // namespace aacc

@@ -1,12 +1,23 @@
 // Shared configuration enums for the anytime anywhere engine.
 #pragma once
 
+#include <stdexcept>
+
 #include "common/types.hpp"
+#include "obs/trace.hpp"
 #include "partition/partition.hpp"
 #include "runtime/faults.hpp"
 #include "runtime/logp.hpp"
 
 namespace aacc {
+
+/// Raised by EngineConfig::validate() (and therefore by the AnytimeEngine
+/// constructors) on a configuration that could not produce a meaningful
+/// run. Failing fast here beats a std::logic_error deep inside run().
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Sentinel for EngineConfig::checkpoint_at_step: checkpointing disabled.
 inline constexpr std::size_t kNoCheckpointStep = static_cast<std::size_t>(-1);
@@ -100,6 +111,25 @@ struct EngineConfig {
   std::size_t checkpoint_every = 0;
   /// Supervised relaunch budget per run (recoveries + degraded restarts).
   std::size_t max_recoveries = 4;
+  /// Observability (docs/OBSERVABILITY.md): when `trace.enabled`, the
+  /// engine records spans/instants into per-rank ring buffers and returns
+  /// the merged Chrome trace in RunResult::trace (also written to
+  /// `trace.path` when set). Off by default: every instrumentation site
+  /// then sees a null track and costs one predictable branch.
+  obs::TraceConfig trace;
+
+  /// Checks the configuration for values that cannot produce a meaningful
+  /// run and throws ConfigError naming the offending field. Called by the
+  /// AnytimeEngine constructors. The rules (see docs/API.md):
+  ///   * num_ranks in [1, 4096]
+  ///   * ia_threads / rc_threads at most 4096 (0 = auto; a negative count
+  ///     cast into these unsigned fields lands far above the cap)
+  ///   * rebalance_threshold is 0 (off) or >= 1.0 — max/ideal load is
+  ///     >= 1 by definition, so a lower bar would repartition every batch
+  ///   * transport.max_retries >= 1 (0 would silently never send)
+  ///   * fault probabilities each in [0, 1] and summing to <= 1
+  ///   * trace.track_capacity > 0 when tracing is enabled
+  void validate() const;
 };
 
 }  // namespace aacc

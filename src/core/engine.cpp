@@ -1,7 +1,10 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <optional>
+#include <thread>
 
 #include "analysis/closeness.hpp"
 #include "common/rng.hpp"
@@ -37,12 +40,13 @@ void RunStats::accumulate(const RunStats& other) {
 
 AnytimeEngine::AnytimeEngine(Graph g, EngineConfig cfg)
     : graph_(std::move(g)), cfg_(cfg) {
-  AACC_CHECK(cfg_.num_ranks >= 1);
+  cfg_.validate();
 }
 
 AnytimeEngine::AnytimeEngine(Graph g, Checkpoint checkpoint, EngineConfig cfg)
     : graph_(std::move(g)), cfg_(cfg), resume_(std::move(checkpoint)),
       resuming_(true) {
+  cfg_.validate();
   // Structural validation up front (CheckpointError on shape/world-size
   // mismatch, bad magic header, unknown version); deep blob truncation is
   // caught on restore inside the rank threads.
@@ -54,7 +58,12 @@ AnytimeEngine::AnytimeEngine(Graph g, Checkpoint checkpoint, EngineConfig cfg)
 }
 
 RunResult AnytimeEngine::run(const EventSchedule& schedule) {
-  AACC_CHECK_MSG(!ran_, "AnytimeEngine::run may be called once per instance");
+  if (ran_) {
+    throw EngineStateError(
+        "AnytimeEngine::run is one-shot: the distributed state was consumed "
+        "by the first run; construct a new engine (or resume from a "
+        "checkpoint) to run again");
+  }
   ran_ = true;
 
   // Validate schedule ordering and refine-mode soundness.
@@ -76,10 +85,36 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
   RunResult out;
   Timer wall;
 
+  // Observability. One Tracer spans all supervised attempts (failed
+  // attempts' spans stay in the rings, so the trace shows the whole
+  // recovery story), and one metrics registry per rank accumulates across
+  // attempts for honest failed-work accounting; both are merged after the
+  // rank world has joined.
+  std::unique_ptr<obs::Tracer> tracer;
+  if (cfg_.trace.enabled) {
+    // Subtrack count covers the widest worker pool either phase can open
+    // (the same auto rule as RankEngine::ia_thread_count / rc_thread_count).
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const auto resolve = [&](std::size_t configured) {
+      return configured != 0
+                 ? configured
+                 : std::clamp<std::size_t>(
+                       hw / static_cast<unsigned>(cfg_.num_ranks), 1, 8);
+    };
+    tracer = std::make_unique<obs::Tracer>(
+        cfg_.num_ranks,
+        std::max(resolve(cfg_.ia_threads), resolve(cfg_.rc_threads)),
+        cfg_.trace);
+  }
+  obs::TraceTrack* const drv = tracer ? &tracer->driver() : nullptr;
+  std::vector<obs::MetricsRegistry> rank_metrics(
+      static_cast<std::size_t>(cfg_.num_ranks));
+
   // ---- DD phase (driver side, like mpiexec distributing partitions).
   // A resumed run skips it: the data distribution lives in the blobs. ----
   Partition part;
   if (!resuming_) {
+    const obs::ScopedSpan dd_span(drv, "dd");
     Timer dd_timer;
     Rng rng(cfg_.seed);
     part = partition_graph(graph_, cfg_.num_ranks, cfg_.dd_partitioner, rng);
@@ -106,6 +141,7 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
 
   rt::World world(cfg_.num_ranks, cfg_.logp, cfg_.transport);
   if (injector) world.install_faults(&*injector);
+  if (tracer) world.install_tracer(tracer.get());
 
   std::vector<std::unique_ptr<RankEngine>> engines(
       static_cast<std::size_t>(cfg_.num_ranks));
@@ -134,6 +170,8 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
     init.cfg = cfg_;
     init.checkpoint_slot = &slots[me];
     init.injector = injector ? &*injector : nullptr;
+    init.tracer = tracer.get();
+    init.metrics = &rank_metrics[me];
     bool fresh = false;
     switch (mode) {
       case Mode::kFresh:
@@ -190,7 +228,10 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
   };
 
   for (;;) {
-    const rt::World::RunReport report = world.run_contained(attempt_fn);
+    const rt::World::RunReport report = [&] {
+      const obs::ScopedSpan attempt_span(drv, "attempt");
+      return world.run_contained(attempt_fn);
+    }();
     if (report.ok()) break;
 
     // Classify: injected crashes and transport failures are recoverable
@@ -227,6 +268,9 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
       } else {
         mode = resuming_ ? Mode::kResume : Mode::kFresh;
         restart = resume_;
+      }
+      if (drv != nullptr) {
+        drv->instant("recovery:rollback", "attempt", out.stats.recoveries);
       }
       continue;
     }
@@ -275,6 +319,9 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
     ghost_vertices_added = witness->vertices_added();
     mode = Mode::kDegraded;
     out.degraded = true;
+    if (drv != nullptr) {
+      drv->instant("recovery:degraded", "attempt", out.stats.recoveries);
+    }
   }
 
   if (want_checkpoint && !slots[0].empty()) {
@@ -288,6 +335,7 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
   }
 
   // ---- driver-side ground truth and result assembly ----
+  if (drv != nullptr) drv->begin("result_assembly");
   if (out.checkpoint.valid()) {
     // The run stopped at the checkpoint: only the consumed batches are in
     // the distributed state.
@@ -395,30 +443,77 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
     }
   }
 
-  // World-level accounting.
-  out.stats.total_cpu_seconds = world.total_cpu_seconds();
-  out.stats.max_rank_cpu_seconds = world.max_rank_cpu_seconds();
-  out.stats.total_bytes = world.total_bytes();
-  out.stats.total_messages = world.total_messages();
-  for (const auto& ledger : world.ledgers()) {
+  if (drv != nullptr) drv->end("result_assembly");
+
+  // ---- world-level accounting, folded through the metrics registry ----
+  // The runtime ledgers land in each rank's registry first and RunStats
+  // reads the merged registry back, so the two views cannot disagree
+  // (docs/OBSERVABILITY.md: the registry is the single source of truth).
+  // Gauges fold per rank in rank order, replicating the double-summation
+  // order of the World::total_* helpers bit for bit.
+  const auto& ledgers = world.ledgers();
+  for (Rank r = 0; r < cfg_.num_ranks; ++r) {
+    const rt::RankLedger& ledger = ledgers[static_cast<std::size_t>(r)];
+    obs::MetricsRegistry& reg = rank_metrics[static_cast<std::size_t>(r)];
+    reg.counter("transport/bytes_sent").add(ledger.bytes_sent);
+    reg.counter("transport/bytes_received").add(ledger.bytes_received);
+    reg.counter("transport/messages_sent").add(ledger.messages_sent);
+    reg.counter("transport/messages_received").add(ledger.messages_received);
+    reg.counter("transport/frame_overhead_bytes")
+        .add(ledger.frame_overhead_bytes);
+    reg.counter("transport/retransmits").add(ledger.retransmits);
     for (const auto& [phase, secs] : ledger.cpu_seconds) {
-      out.stats.cpu_by_phase[phase] += secs;
+      reg.gauge("cpu/phase/" + phase).add(secs);
     }
-    out.stats.frame_overhead_bytes += ledger.frame_overhead_bytes;
-    out.stats.retransmits += ledger.retransmits;
+    reg.gauge("cpu/total").add(ledger.total_cpu_seconds());
+  }
+  obs::MetricsRegistry merged;
+  for (const obs::MetricsRegistry& reg : rank_metrics) merged.merge(reg);
+  merged.gauge("cpu/max_rank").set(world.max_rank_cpu_seconds());
+  merged.gauge("net/modeled_serialized")
+      .set(world.modeled_network_seconds(rt::SchedulePolicy::kSerialized));
+  merged.gauge("net/modeled_shifted")
+      .set(world.modeled_network_seconds(rt::SchedulePolicy::kShifted));
+  merged.gauge("net/modeled_flood")
+      .set(world.modeled_network_seconds(rt::SchedulePolicy::kFlood));
+  merged.gauge("time/dd_seconds").set(out.stats.dd_seconds);
+
+  out.stats.total_cpu_seconds = merged.gauge_value("cpu/total");
+  out.stats.max_rank_cpu_seconds = merged.gauge_value("cpu/max_rank");
+  out.stats.total_bytes = merged.counter_value("transport/bytes_sent");
+  out.stats.total_messages = merged.counter_value("transport/messages_sent");
+  out.stats.frame_overhead_bytes =
+      merged.counter_value("transport/frame_overhead_bytes");
+  out.stats.retransmits = merged.counter_value("transport/retransmits");
+  static constexpr const char* kPhasePrefix = "cpu/phase/";
+  for (const auto& [name, gauge] : merged.gauges()) {
+    if (name.rfind(kPhasePrefix, 0) == 0) {
+      out.stats.cpu_by_phase[name.substr(10)] = gauge.value;
+    }
   }
   out.stats.modeled_network_seconds_serialized =
-      world.modeled_network_seconds(rt::SchedulePolicy::kSerialized);
+      merged.gauge_value("net/modeled_serialized");
   out.stats.modeled_network_seconds_shifted =
-      world.modeled_network_seconds(rt::SchedulePolicy::kShifted);
+      merged.gauge_value("net/modeled_shifted");
   out.stats.modeled_network_seconds_flood =
-      world.modeled_network_seconds(rt::SchedulePolicy::kFlood);
+      merged.gauge_value("net/modeled_flood");
   double makespan = 0.0;
   for (const StepStats& s : out.stats.steps) makespan += s.max_cpu_seconds;
   out.stats.modeled_makespan_seconds =
       makespan + out.stats.modeled_network_seconds_serialized;
+  out.metrics = std::move(merged);
 
   out.stats.wall_seconds = wall.seconds();
+
+  if (tracer) {
+    out.trace = tracer->merge();
+    if (!cfg_.trace.path.empty() &&
+        !obs::write_chrome_trace_file(cfg_.trace.path, out.trace)) {
+      // Tracing is diagnostics: an unwritable path must not fail the run.
+      std::fprintf(stderr, "[aacc] warning: could not write trace to %s\n",
+                   cfg_.trace.path.c_str());
+    }
+  }
   return out;
 }
 

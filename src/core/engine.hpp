@@ -16,7 +16,9 @@
 //   r.stats.modeled_network_seconds_serialized;
 #pragma once
 
+#include <iosfwd>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -24,8 +26,18 @@
 #include "core/config.hpp"
 #include "core/events.hpp"
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace aacc {
+
+/// Raised when an AnytimeEngine is used against its lifecycle contract —
+/// currently: run() called a second time on the same instance (run() is
+/// one-shot; see docs/API.md §"Engine lifecycle").
+class EngineStateError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
 
 /// Per-RC-step aggregates across ranks.
 struct StepStats {
@@ -82,7 +94,24 @@ struct RunStats {
 
   /// Accumulates another run's costs (baseline restart sums whole reruns).
   void accumulate(const RunStats& other);
+
+  /// Canonical machine-readable form (the schema documented in
+  /// EXPERIMENTS.md §"Machine-readable output"): one JSON object, stable
+  /// field order, doubles printed round-trippably. Benches, examples and CI
+  /// artifacts all emit stats through here. `include_steps` controls the
+  /// per-step array (drop it when embedding stats in per-row bench output).
+  void to_json(std::ostream& os, bool include_steps = true) const;
+  [[nodiscard]] std::string to_json(bool include_steps = true) const;
+
+  /// Human-readable multi-line digest (what the examples print).
+  [[nodiscard]] std::string summary() const;
 };
+
+/// Writes stats.to_json() (with a trailing newline) to `path`. Returns
+/// false when the file cannot be opened. The canonical machine-readable
+/// emission every bench and example shares (schema: EXPERIMENTS.md);
+/// examples call it when AACC_STATS_JSON names a path.
+bool write_stats_json(const std::string& path, const RunStats& stats);
 
 struct RunResult {
   /// Final closeness per vertex id (0 for tombstoned vertices).
@@ -111,6 +140,13 @@ struct RunResult {
   bool degraded = false;
   std::vector<VertexId> lost_vertices;
   RunStats stats;
+  /// Merged metrics registry (counters/gauges/histograms from every rank
+  /// plus the runtime ledgers) — the source the `stats` ledger fields are
+  /// derived from. Always populated; see docs/OBSERVABILITY.md.
+  obs::MetricsRegistry metrics;
+  /// Merged span trace (only when EngineConfig::trace.enabled). Export
+  /// with obs::write_chrome_trace_file for chrome://tracing / Perfetto.
+  obs::Trace trace;
 };
 
 class AnytimeEngine {
@@ -125,8 +161,10 @@ class AnytimeEngine {
   /// must receive the same schedule (already-consumed batches are skipped).
   AnytimeEngine(Graph g, Checkpoint checkpoint, EngineConfig cfg);
 
-  /// Runs DD + IA + RC with the given dynamic-change schedule. May be
-  /// called once per engine instance.
+  /// Runs DD + IA + RC with the given dynamic-change schedule. One-shot:
+  /// a second call throws EngineStateError (the instance's distributed
+  /// state is consumed by the run; construct a new engine — or resume from
+  /// a checkpoint — to run again; docs/API.md §"Engine lifecycle").
   RunResult run(const EventSchedule& schedule = {});
 
   /// Ground-truth graph (after run(): with all events applied).

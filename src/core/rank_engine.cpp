@@ -56,7 +56,22 @@ RankEngine::RankEngine(const Init& init, rt::Comm& comm)
       lg_(init.ghost ? static_cast<Rank>(init.world) : init.me,
           init.restore_blob != nullptr ? std::vector<Rank>{} : init.owner,
           init.restore_blob != nullptr ? kNoEdges : *init.edges) {
+  if (init.tracer != nullptr) {
+    tracer_ = init.tracer;
+    trace_ = &tracer_->track(init.me);
+  }
+  if (init.metrics != nullptr) {
+    metrics_ = init.metrics;
+    m_relaxations_ = &metrics_->counter("rc/relaxations");
+    m_poisons_ = &metrics_->counter("rc/poisons");
+    m_repairs_ = &metrics_->counter("rc/repairs");
+    m_steps_ = &metrics_->counter("rc/steps");
+    m_drain_cpu_ = &metrics_->gauge("drain/cpu_seconds");
+    m_drain_modeled_ = &metrics_->gauge("drain/modeled_seconds");
+    m_queue_depth_ = &metrics_->histogram("rc/drain_queue_depth");
+  }
   if (init.restore_blob != nullptr) {
+    const obs::ScopedSpan span(trace_, "restore");
     restore_state(*init.restore_blob);
   } else {
     rows_.reserve(lg_.num_local());
@@ -293,6 +308,7 @@ std::size_t RankEngine::ia_thread_count() const {
 
 void RankEngine::run_ia() {
   comm_.set_phase("ia");
+  const obs::ScopedSpan span(trace_, "ia", "rows", rows_.size());
   const VertexId n = lg_.n();
 
   // The paper runs a multithreaded Dijkstra here (its MPI+OpenMP hybrid:
@@ -305,7 +321,12 @@ void RankEngine::run_ia() {
   std::atomic<std::size_t> cursor{0};
   constexpr std::size_t kChunk = 8;
   const std::size_t threads = std::min(ia_thread_count(), rows_.size());
-  run_workers(threads, [&](std::size_t) {
+  run_workers(threads, [&](std::size_t w) {
+    // One span per worker on its shard subtrack (chunk assignment races,
+    // but a single begin/end pair per worker stays deterministic).
+    const obs::ScopedSpan wspan(
+        tracer_ != nullptr ? &tracer_->subtrack(comm_.rank(), w) : nullptr,
+        "ia_shard");
     // Scratch reused across this worker's sources; `touched` resets only
     // what a source actually visited.
     std::vector<Dist> dist(n, kInfDist);
@@ -323,6 +344,11 @@ void RankEngine::run_ia() {
     }
   });
   for (const std::uint64_t d : dirty_added) dirty_entries_ += d;
+  if (metrics_ != nullptr) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t d : dirty_added) total += d;
+    metrics_->counter("ia/dirty_entries").add(total);
+  }
 }
 
 // ------------------------------------------------------ relaxation kernel
@@ -450,31 +476,40 @@ std::size_t RankEngine::rc_thread_count() const {
 }
 
 void RankEngine::drain() {
-  const double t0 = thread_cpu_now();
   const std::size_t queued = repairs_.size() + worklist_.size();
+  const obs::ScopedSpan span(trace_, "drain", "queued", queued);
+  if (m_queue_depth_ != nullptr) m_queue_depth_->record(queued);
+  const std::uint64_t repairs_before = repair_count_;
+  const double t0 = thread_cpu_now();
   const std::size_t shards =
       std::min(rc_thread_count(), queued / kDrainShardGrain);
   if (shards > 1) {
     drain_parallel(shards);
-    return;
-  }
-  // Serial path. Repairs first: they re-derive poisoned entries, whose
-  // improvements then flow through the worklist.
-  ShardCtx ctx = serial_ctx();
-  while (!repairs_.empty() || !worklist_.empty()) {
-    if (!repairs_.empty()) {
-      const auto [x, t] = repairs_.front();
-      repairs_.pop_front();
-      repair(ctx, x, t);
-    } else {
-      const auto [x, t] = worklist_.front();
-      worklist_.pop_front();
-      propagate(ctx, x, t);
+  } else {
+    // Serial path. Repairs first: they re-derive poisoned entries, whose
+    // improvements then flow through the worklist.
+    ShardCtx ctx = serial_ctx();
+    while (!repairs_.empty() || !worklist_.empty()) {
+      if (!repairs_.empty()) {
+        const auto [x, t] = repairs_.front();
+        repairs_.pop_front();
+        repair(ctx, x, t);
+      } else {
+        const auto [x, t] = worklist_.front();
+        worklist_.pop_front();
+        propagate(ctx, x, t);
+      }
     }
+    const double dt = thread_cpu_now() - t0;
+    drain_cpu_seconds_ += dt;
+    drain_modeled_seconds_ += dt;
   }
-  const double dt = thread_cpu_now() - t0;
-  drain_cpu_seconds_ += dt;
-  drain_modeled_seconds_ += dt;
+  // Repairs interleave with propagation inside the drain (FIFO, repairs
+  // first), so repair activity surfaces as one counted instant per drain
+  // rather than per-item spans.
+  if (trace_ != nullptr && repair_count_ > repairs_before) {
+    trace_->instant("repairs", "count", repair_count_ - repairs_before);
+  }
 }
 
 void RankEngine::drain_parallel(std::size_t shards) {
@@ -504,6 +539,10 @@ void RankEngine::drain_parallel(std::size_t shards) {
   const double partition_cpu = thread_cpu_now() - part0;
 
   run_workers(shards, [&](std::size_t s) {
+    const obs::ScopedSpan wspan(
+        tracer_ != nullptr ? &tracer_->subtrack(comm_.rank(), s) : nullptr,
+        "drain_shard", "queued",
+        rc_shards_[s].repairs.size() + rc_shards_[s].worklist.size());
     const double w0 = thread_cpu_now();
     RcShard& sh = rc_shards_[s];
     ShardCtx ctx;
@@ -638,6 +677,7 @@ void RankEngine::apply_portal_value(VertexId b, VertexId t, Dist d) {
 // --------------------------------------------------------------- exchange
 
 void RankEngine::exchange() {
+  const obs::ScopedSpan span(trace_, "exchange", "dirty", dirty_entries_);
   const auto P = static_cast<std::size_t>(comm_.size());
   const std::size_t num_rows = rows_.size();
   // Send assembly only reads shared state (rows, dirty lists, subscriber
@@ -656,34 +696,40 @@ void RankEngine::exchange() {
     sh.sent_rows.clear();
   }
 
-  run_workers(shards, [&](std::size_t s) {
-    SendShard& sh = send_shards_[s];
-    const std::size_t begin = num_rows * s / shards;
-    const std::size_t end = num_rows * (s + 1) / shards;
-    for (std::size_t r = begin; r < end; ++r) {
-      DvRow& row = rows_[r];
-      if (row.dirty_count() == 0) continue;
-      sh.subs.clear();
-      lg_.subscribers(r, sh.subs);
-      if (!sh.subs.empty()) {
-        // Send assembly walks the sparse dirty list (sorted, as the delta
-        // codec requires); the record is encoded once and fanned out.
-        row.sorted_dirty(sh.dirty_cols);
-        sh.entries.clear();
-        sh.entries.reserve(sh.dirty_cols.size());
-        for (const VertexId t : sh.dirty_cols) {
-          sh.entries.emplace_back(t, row.dist(t));
+  {
+    const obs::ScopedSpan assembly(trace_, "send_assembly");
+    run_workers(shards, [&](std::size_t s) {
+      const obs::ScopedSpan wspan(
+          tracer_ != nullptr ? &tracer_->subtrack(comm_.rank(), s) : nullptr,
+          "send_shard");
+      SendShard& sh = send_shards_[s];
+      const std::size_t begin = num_rows * s / shards;
+      const std::size_t end = num_rows * (s + 1) / shards;
+      for (std::size_t r = begin; r < end; ++r) {
+        DvRow& row = rows_[r];
+        if (row.dirty_count() == 0) continue;
+        sh.subs.clear();
+        lg_.subscribers(r, sh.subs);
+        if (!sh.subs.empty()) {
+          // Send assembly walks the sparse dirty list (sorted, as the delta
+          // codec requires); the record is encoded once and fanned out.
+          row.sorted_dirty(sh.dirty_cols);
+          sh.entries.clear();
+          sh.entries.reserve(sh.dirty_cols.size());
+          for (const VertexId t : sh.dirty_cols) {
+            sh.entries.emplace_back(t, row.dist(t));
+          }
+          sh.record.clear();
+          rt::write_dv_record(sh.record, row.self(), sh.entries);
+          for (const Rank q : sh.subs) {
+            sh.writers[static_cast<std::size_t>(q)].write_bytes(
+                sh.record.view());
+          }
         }
-        sh.record.clear();
-        rt::write_dv_record(sh.record, row.self(), sh.entries);
-        for (const Rank q : sh.subs) {
-          sh.writers[static_cast<std::size_t>(q)].write_bytes(
-              sh.record.view());
-        }
+        sh.sent_rows.push_back(r);
       }
-      sh.sent_rows.push_back(r);
-    }
-  });
+    });
+  }
 
   // Concatenating each destination's shard buffers in shard-id order yields
   // exactly the bytes a serial ascending-row walk produces, for any shard
@@ -1067,6 +1113,7 @@ void RankEngine::apply_vertex_delete(const VertexDeleteEvent& e) {
 // ------------------------------------------------------------- repartition
 
 void RankEngine::apply_repartition(const std::vector<VertexAddEvent>& batch) {
+  const obs::ScopedSpan span(trace_, "repartition", "added", batch.size());
   const Rank P = comm_.size();
   const Rank me = comm_.rank();
   const VertexId n_old = lg_.n();
@@ -1078,6 +1125,7 @@ void RankEngine::apply_repartition(const std::vector<VertexAddEvent>& batch) {
   // has not reached its cross-rank dependents yet would otherwise be lost
   // and a stale (too small) value would survive.
   {
+    const obs::ScopedSpan sync_span(trace_, "poison_sync");
     bool mine = poison_pending_;
     poison_pending_ = false;
     while (comm_.all_reduce_or(mine)) {
@@ -1370,6 +1418,20 @@ void RankEngine::record_step(std::size_t step) {
   rec.drain_cpu_seconds = drain_cpu_seconds_;
   rec.drain_modeled_seconds = drain_modeled_seconds_;
   step_log_.push_back(rec);
+  if (metrics_ != nullptr) {
+    // Fold cumulative algorithm counters into the registry once per step
+    // (the hot loops bump plain members; folded_ remembers what has already
+    // been pushed). cpu_seconds is absolute thread time, not folded here —
+    // the driver derives CPU gauges from the world's phase ledgers instead.
+    m_relaxations_->add(relaxations_ - folded_.relaxations);
+    m_poisons_->add(poisons_ - folded_.poisons);
+    m_repairs_->add(repair_count_ - folded_.repairs);
+    m_steps_->add(1);
+    m_drain_cpu_->add(drain_cpu_seconds_ - folded_.drain_cpu_seconds);
+    m_drain_modeled_->add(drain_modeled_seconds_ -
+                          folded_.drain_modeled_seconds);
+    folded_ = rec;
+  }
 }
 
 std::size_t RankEngine::run_rc() {
@@ -1380,6 +1442,9 @@ std::size_t RankEngine::run_rc() {
 
   for (;;) {
     cur_step_ = step;
+    // Opened before the crash hook so a mid-step InjectedCrash unwinds
+    // through the span and the trace still shows the truncated step.
+    const obs::ScopedSpan step_span(trace_, "rc_step", "step", step);
     // Chaos hook: a scheduled crash fires at the top of the RC step, before
     // this rank enters the step's first collective. Every survivor then
     // blocks inside that exchange (the all_to_all needs the dead rank) and
@@ -1395,6 +1460,7 @@ std::size_t RankEngine::run_rc() {
     bool ingested = false;
     while (next_batch < num_batches &&
            (*schedule_)[next_batch].at_step <= step) {
+      const obs::ScopedSpan ingest_span(trace_, "ingest", "batch", next_batch);
       // Rank 0 broadcasts the batch contents (accounted change feed).
       rt::ByteWriter w;
       if (comm_.rank() == 0) {
@@ -1433,6 +1499,7 @@ std::size_t RankEngine::run_rc() {
     // every rank before any repair runs, otherwise two ranks can re-derive
     // distances from each other's stale entries and count to infinity.
     {
+      const obs::ScopedSpan sync_span(trace_, "poison_sync");
       bool mine = poison_pending_;
       poison_pending_ = false;
       while (comm_.all_reduce_or(mine)) {
@@ -1473,6 +1540,7 @@ std::size_t RankEngine::run_rc() {
       // Recovery snapshot: taken after drain, so the local queues are empty
       // and the blob captures a step boundary. Each rank writes only its
       // own slot (no locking; see PeriodicCheckpoints).
+      const obs::ScopedSpan ckpt_span(trace_, "checkpoint", "step", step);
       rt::ByteWriter w;
       serialize_state(w);
       periodic_->store(comm_.rank(), step, w.take());
@@ -1483,6 +1551,7 @@ std::size_t RankEngine::run_rc() {
       // so the exit is collective without extra messages.
       AACC_CHECK_MSG(checkpoint_slot_ != nullptr,
                      "checkpoint_at_step set without a checkpoint slot");
+      const obs::ScopedSpan ckpt_span(trace_, "checkpoint", "step", step);
       rt::ByteWriter w;
       serialize_state(w);
       *checkpoint_slot_ = w.take();

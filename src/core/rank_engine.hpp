@@ -29,6 +29,8 @@
 #include "core/dv_matrix.hpp"
 #include "core/events.hpp"
 #include "core/local_graph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/faults.hpp"
 #include "runtime/serialize.hpp"
@@ -91,6 +93,12 @@ class RankEngine {
     /// Round-robin assignment cursor for a ghost (survivors restore theirs
     /// from the blob; the ghost must agree or owner maps diverge).
     std::uint64_t start_vertices_added = 0;
+    /// Observability (non-owning, both nullable). The tracer provides this
+    /// rank's main track and drain-shard subtracks; the registry receives
+    /// per-step counter folds (owned by the driver so it survives
+    /// supervised attempts, like the runtime ledgers).
+    obs::Tracer* tracer = nullptr;
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   RankEngine(const Init& init, rt::Comm& comm);
@@ -268,6 +276,23 @@ class RankEngine {
   std::vector<VertexId> exch_dirty_cols_;
   std::vector<std::pair<VertexId, Dist>> exch_entries_;
   rt::ByteWriter exch_record_;
+
+  // Observability. trace_ is this rank's main track (null = off); shard
+  // workers fetch their subtrack from tracer_. The cached instrument
+  // pointers make the once-per-step metric folds map-lookup-free;
+  // folded_ holds the cumulative counter values already pushed to the
+  // registry (record_step folds the delta).
+  obs::Tracer* tracer_ = nullptr;
+  obs::TraceTrack* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_relaxations_ = nullptr;
+  obs::Counter* m_poisons_ = nullptr;
+  obs::Counter* m_repairs_ = nullptr;
+  obs::Counter* m_steps_ = nullptr;
+  obs::Gauge* m_drain_cpu_ = nullptr;
+  obs::Gauge* m_drain_modeled_ = nullptr;
+  obs::Histogram* m_queue_depth_ = nullptr;
+  StepLocal folded_{};
 
   // step accounting
   std::size_t invariant_violations_ = 0;

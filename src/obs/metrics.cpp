@@ -1,0 +1,122 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <ostream>
+
+namespace aacc::obs {
+
+void Histogram::record(std::uint64_t v) {
+  if (count == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+  sum += v;
+  const int b = v <= 1 ? 0 : std::bit_width(v);  // 2^(b-1) <= v < 2^b
+  ++buckets[std::min(b, kBuckets - 1)];
+}
+
+void Histogram::merge(const Histogram& o) {
+  if (o.count == 0) return;
+  if (count == 0) {
+    min = o.min;
+    max = o.max;
+  } else {
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+  }
+  count += o.count;
+  sum += o.sum;
+  for (int b = 0; b < kBuckets; ++b) buckets[b] += o.buckets[b];
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value;
+}
+
+double MetricsRegistry::gauge_value(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second.value;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& o) {
+  for (const auto& [name, c] : o.counters_) counters_[name].add(c.value);
+  for (const auto& [name, g] : o.gauges_) gauges_[name].add(g.value);
+  for (const auto& [name, h] : o.histograms_) histograms_[name].merge(h);
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      os << buf;
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+void write_double(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::to_json(std::ostream& os) const {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    write_json_string(os, name);
+    os << ":" << c.value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    write_json_string(os, name);
+    os << ":";
+    write_double(os, g.value);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    write_json_string(os, name);
+    os << ":{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"min\":" << h.min << ",\"max\":" << h.max << ",\"buckets\":[";
+    int last = Histogram::kBuckets - 1;
+    while (last > 0 && h.buckets[last] == 0) --last;
+    for (int b = 0; b <= last; ++b) {
+      if (b != 0) os << ",";
+      os << h.buckets[b];
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+}  // namespace aacc::obs

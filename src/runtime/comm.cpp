@@ -221,6 +221,16 @@ void Comm::charge_send(Rank dst, std::int32_t tag, std::uint64_t wire_bytes,
   ledger_.bytes_sent += wire_bytes;
   ++ledger_.messages_sent;
   if (retransmit) ++ledger_.retransmits;
+  if (trace_ != nullptr) {
+    // One instant per wire frame on this rank's track. The name encodes
+    // kind (retransmits override it — they are the rare, interesting case)
+    // and the arg carries the wire size.
+    static constexpr const char* kKindName[] = {"msg:p2p", "msg:a2a",
+                                                "msg:bcast", "msg:reduce"};
+    trace_->instant(retransmit ? "msg:retransmit"
+                               : kKindName[static_cast<std::size_t>(kind)],
+                    "bytes", wire_bytes);
+  }
   if (tag >= 0 || kind != OpKind::kPointToPoint) {
     // Collective traffic carries its op id; plain p2p with a negative tag
     // (reserved) stays unlogged, matching the unhardened path.
@@ -583,6 +593,9 @@ World::RunReport World::run_contained(const std::function<void(Comm&)>& fn) {
   std::vector<std::unique_ptr<Comm>> comms(static_cast<std::size_t>(size_));
   for (Rank r = 0; r < size_; ++r) {
     comms[static_cast<std::size_t>(r)] = std::make_unique<Comm>(this, r);
+    if (tracer_ != nullptr) {
+      comms[static_cast<std::size_t>(r)]->trace_ = &tracer_->track(r);
+    }
   }
   threads.reserve(static_cast<std::size_t>(size_));
   for (Rank r = 0; r < size_; ++r) {

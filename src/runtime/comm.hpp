@@ -40,6 +40,7 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "obs/trace.hpp"
 #include "runtime/faults.hpp"
 #include "runtime/logp.hpp"
 
@@ -227,6 +228,10 @@ class Comm {
 
   World* world_;
   Rank rank_;
+  /// This rank's main trace track (null = tracing off). Installed by
+  /// World::run_contained from the World's tracer; written only by the
+  /// rank thread that owns this Comm.
+  obs::TraceTrack* trace_ = nullptr;
   RankLedger ledger_;
   std::string phase_ = "init";
   double last_cpu_mark_ = 0.0;
@@ -272,6 +277,11 @@ class World {
   /// reliable transport on — faults act on wire frames.
   void install_faults(FaultInjector* injector);
 
+  /// Installs a span tracer (non-owning; must outlive runs; null to
+  /// detach). Each run's Comms then record per-message transport instants
+  /// on their rank's main track.
+  void install_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// Marks a rank failed mid-run and interrupts every blocking wait.
   void mark_failed(Rank r);
   [[nodiscard]] bool any_failed() const {
@@ -308,6 +318,7 @@ class World {
   LogGPParams params_;
   TransportConfig transport_;
   FaultInjector* injector_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<RankLedger> ledgers_;
   std::vector<MsgRecord> log_;

@@ -1,0 +1,134 @@
+// Typed API errors: EngineConfig::validate() / ConfigError rules and the
+// one-shot AnytimeEngine::run lifecycle (EngineStateError). See
+// docs/API.md.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+
+namespace aacc {
+namespace {
+
+Graph tiny_graph() {
+  Rng rng(1);
+  return barabasi_albert(40, 2, rng);
+}
+
+std::string config_error_message(const EngineConfig& cfg) {
+  try {
+    cfg.validate();
+  } catch (const ConfigError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(ConfigValidate, DefaultConfigIsValid) {
+  const EngineConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ConfigValidate, NumRanksBounds) {
+  EngineConfig cfg;
+  cfg.num_ranks = 0;
+  EXPECT_NE(config_error_message(cfg).find("num_ranks"), std::string::npos);
+  cfg.num_ranks = 5000;
+  EXPECT_NE(config_error_message(cfg).find("num_ranks"), std::string::npos);
+  cfg.num_ranks = 4096;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ConfigValidate, ThreadCapsCatchSignBugs) {
+  EngineConfig cfg;
+  cfg.ia_threads = static_cast<std::size_t>(-1);  // the bug the cap exists for
+  EXPECT_NE(config_error_message(cfg).find("ia_threads"), std::string::npos);
+  cfg = EngineConfig{};
+  cfg.rc_threads = 4097;
+  EXPECT_NE(config_error_message(cfg).find("rc_threads"), std::string::npos);
+}
+
+TEST(ConfigValidate, RebalanceThreshold) {
+  EngineConfig cfg;
+  cfg.rebalance_threshold = 0.5;  // max/ideal load is never below 1
+  EXPECT_NE(config_error_message(cfg).find("rebalance_threshold"),
+            std::string::npos);
+  cfg.rebalance_threshold = 1.25;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.rebalance_threshold = 0.0;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ConfigValidate, TransportRetries) {
+  EngineConfig cfg;
+  cfg.transport.max_retries = 0;
+  EXPECT_NE(config_error_message(cfg).find("max_retries"), std::string::npos);
+}
+
+TEST(ConfigValidate, FaultProbabilities) {
+  EngineConfig cfg;
+  cfg.faults.drop = 1.5;
+  EXPECT_NE(config_error_message(cfg).find("drop"), std::string::npos);
+  cfg.faults.drop = -0.1;
+  EXPECT_NE(config_error_message(cfg).find("drop"), std::string::npos);
+  cfg.faults.drop = 0.6;
+  cfg.faults.corrupt = 0.6;  // each valid, sum > 1
+  EXPECT_NE(config_error_message(cfg).find("sum"), std::string::npos);
+}
+
+TEST(ConfigValidate, CrashPointRankRange) {
+  EngineConfig cfg;
+  cfg.num_ranks = 4;
+  cfg.faults.crashes.push_back({7, 1});
+  EXPECT_NE(config_error_message(cfg).find("crash point"), std::string::npos);
+  cfg.faults.crashes[0].rank = 3;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ConfigValidate, TraceCapacity) {
+  EngineConfig cfg;
+  cfg.trace.track_capacity = 0;
+  EXPECT_NO_THROW(cfg.validate());  // irrelevant while tracing is off
+  cfg.trace.enabled = true;
+  EXPECT_NE(config_error_message(cfg).find("track_capacity"),
+            std::string::npos);
+}
+
+TEST(ConfigValidate, ConstructorsValidate) {
+  EngineConfig cfg;
+  cfg.num_ranks = 0;
+  EXPECT_THROW(AnytimeEngine(tiny_graph(), cfg), ConfigError);
+}
+
+TEST(ConfigValidate, ErrorTypeIsRuntimeError) {
+  EngineConfig cfg;
+  cfg.num_ranks = 0;
+  // Callers may catch std::runtime_error without naming the library type.
+  EXPECT_THROW(cfg.validate(), std::runtime_error);
+}
+
+TEST(EngineLifecycle, SecondRunThrowsEngineStateError) {
+  EngineConfig cfg;
+  cfg.num_ranks = 2;
+  AnytimeEngine engine(tiny_graph(), cfg);
+  EXPECT_NO_THROW(engine.run());
+  EXPECT_THROW(engine.run(), EngineStateError);
+  EXPECT_THROW(engine.run(), std::logic_error);  // the documented base
+}
+
+TEST(EngineLifecycle, FreshInstanceRunsAgain) {
+  EngineConfig cfg;
+  cfg.num_ranks = 2;
+  const Graph g = tiny_graph();
+  AnytimeEngine a(g, cfg);
+  AnytimeEngine b(g, cfg);
+  const RunResult ra = a.run();
+  const RunResult rb = b.run();
+  EXPECT_EQ(ra.closeness, rb.closeness);
+}
+
+}  // namespace
+}  // namespace aacc

@@ -12,16 +12,9 @@
 #include <cstring>
 #include <string>
 
-#include "analysis/centrality_extra.hpp"
-#include "analysis/closeness.hpp"
-#include "common/rng.hpp"
-#include "common/timer.hpp"
-#include "core/engine.hpp"
-#include "graph/generators.hpp"
-#include "graph/io.hpp"
+#include "aacc/aacc.hpp"
 #include "graph/louvain.hpp"
 #include "graph/metrics.hpp"
-#include "partition/partition.hpp"
 
 namespace {
 
@@ -72,7 +65,8 @@ int usage() {
                "  aacc partition <graph-file> --parts K [--kind KIND] [--seed S]\n"
                "  aacc analyze <graph-file> [--ranks N] [--top K] [--seed S]\n"
                "       [--measure closeness|harmonic|degree|betweenness|"
-               "eigenvector] [--exact]\n");
+               "eigenvector] [--exact]\n"
+               "       [--stats-json FILE] [--trace FILE]\n");
   return 2;
 }
 
@@ -183,14 +177,26 @@ int cmd_analyze(const Args& args) {
     EngineConfig cfg;
     cfg.num_ranks = ranks;
     cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    if (args.has("trace")) {
+      cfg.trace.enabled = true;
+      cfg.trace.path = args.get("trace", "trace.json");
+    }
     AnytimeEngine engine(g, cfg);
     const RunResult r = engine.run();
     scores = measure == "harmonic" ? r.harmonic : r.closeness;
-    std::printf("engine: %d ranks, %zu RC steps, %.2f MB exchanged, modeled "
-                "cluster time %.3fs\n",
-                ranks, r.stats.rc_steps,
-                static_cast<double>(r.stats.total_bytes) / 1e6,
-                r.stats.modeled_makespan_seconds);
+    std::printf("engine: %d ranks\n%s\n", ranks, r.stats.summary().c_str());
+    if (args.has("stats-json")) {
+      const std::string path = args.get("stats-json", "stats.json");
+      if (!write_stats_json(path, r.stats)) {
+        std::fprintf(stderr, "error: could not write %s\n", path.c_str());
+        return 1;
+      }
+      std::printf("stats json: %s\n", path.c_str());
+    }
+    if (cfg.trace.enabled) {
+      std::printf("trace: %s (%zu events)\n", cfg.trace.path.c_str(),
+                  r.trace.events.size());
+    }
     if (args.has("exact")) {
       const auto exact =
           measure == "harmonic" ? harmonic_exact(g) : closeness_exact(g);
