@@ -7,8 +7,12 @@
 //   AACC_P     logical processors     (default 16, the paper's count)
 //   AACC_SEED  RNG seed               (default 1)
 //   AACC_SCALE multiply change-batch sizes (default 1.0)
+//   AACC_RECV_TIMEOUT_MS  recv watchdog for the bench configs (default 0 =
+//              disabled: benches are fault-free, and the watchdog's default
+//              2-minute trip can fire spuriously on oversubscribed CI boxes)
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -214,11 +218,20 @@ inline Row measure_baseline(const std::string& label, double x, const Graph& g,
   return row;
 }
 
+/// Recv-watchdog budget for bench configs: AACC_RECV_TIMEOUT_MS, default 0
+/// (disabled). Benches run fault-free transports, so a watchdog trip can
+/// only be a false positive from an oversubscribed machine descheduling a
+/// rank thread past the default 2-minute deadline.
+inline std::chrono::milliseconds watchdog_timeout() {
+  return std::chrono::milliseconds(env_int("AACC_RECV_TIMEOUT_MS", 0));
+}
+
 inline EngineConfig make_cfg(const Scale& s, AssignStrategy assign) {
   EngineConfig cfg;
   cfg.num_ranks = s.p;
   cfg.seed = s.seed;
   cfg.assign = assign;
+  cfg.transport.recv_timeout = watchdog_timeout();
   return cfg;
 }
 

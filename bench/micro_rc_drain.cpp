@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/env.hpp"
 #include "common/rng.hpp"
 #include "core/engine.hpp"
@@ -66,8 +67,9 @@ int main() {
     // on an oversubscribed box a large-AACC_N step keeps one rank computing
     // for longer than that while its peers block in the collective, and the
     // misfired timeout is escalated to a rank failure. Fault tolerance is
-    // not under test here, so wait as long as the step takes.
-    cfg.transport.recv_timeout = std::chrono::hours{6};
+    // not under test here — the shared bench default disables the watchdog
+    // (AACC_RECV_TIMEOUT_MS overrides).
+    cfg.transport.recv_timeout = bench::watchdog_timeout();
     AnytimeEngine engine(g, cfg);
     const RunResult r = engine.run();
 
@@ -110,7 +112,7 @@ int main() {
     cfg.num_ranks = ranks;
     cfg.seed = seed;
     cfg.rc_threads = 2;
-    cfg.transport.recv_timeout = std::chrono::hours{6};
+    cfg.transport.recv_timeout = bench::watchdog_timeout();
     cfg.trace.enabled = trace_on;
     AnytimeEngine engine(g, cfg);
     return engine.run().stats.rc_drain_cpu_seconds;
@@ -130,6 +132,35 @@ int main() {
   const double enabled_overhead_pct =
       off_min > 0.0 ? 100.0 * std::max(0.0, on_min - off_min) / off_min : 0.0;
 
+  // ---- progress-feed overhead section (report-only, EXPERIMENTS.md §M6) --
+  // Same methodology as the trace section: the feed disabled is a single
+  // boolean test per step (covered by the trace-off spread above, since
+  // those runs have the feed off too); enabled adds one bounded gather per
+  // RC step plus estimator work on the driver, measured on drain CPU
+  // against the best feed-off run. Not a CI gate — the enabled cost is an
+  // honest feature cost, not an instrumentation leak.
+  std::uint64_t progress_events = 0;
+  const auto progress_run = [&] {
+    EngineConfig cfg;
+    cfg.num_ranks = ranks;
+    cfg.seed = seed;
+    cfg.rc_threads = 2;
+    cfg.transport.recv_timeout = bench::watchdog_timeout();
+    progress_events = 0;
+    cfg.progress.callback = [&](const obs::ProgressEvent&) {
+      ++progress_events;
+    };
+    AnytimeEngine engine(g, cfg);
+    return engine.run().stats.rc_drain_cpu_seconds;
+  };
+  double prog_min = 0.0;
+  for (int i = 0; i < 2; ++i) {
+    const double c = progress_run();
+    prog_min = i == 0 ? c : std::min(prog_min, c);
+  }
+  const double progress_overhead_pct =
+      off_min > 0.0 ? 100.0 * std::max(0.0, prog_min - off_min) / off_min : 0.0;
+
   std::printf("\n== micro_rc_drain (n=%u vertices, P=%d ranks) ==\n", n, ranks);
   std::printf("%10s %9s %15s %19s %9s %10s\n", "rc_threads", "rc_steps",
               "drain_cpu_s", "drain_modeled_s", "speedup", "identical");
@@ -141,6 +172,10 @@ int main() {
   std::printf("trace overhead: disabled %.2f%% (spread of 2 fastest of 5 off"
               " runs), enabled %.2f%% (drain CPU, best off vs best of 2 on)\n",
               disabled_overhead_pct, enabled_overhead_pct);
+  std::printf("progress feed:  enabled %.2f%% drain CPU (%llu events/run; "
+              "disabled cost is the boolean-test spread above)\n",
+              progress_overhead_pct,
+              static_cast<unsigned long long>(progress_events));
 
   const std::string dir = env_str("AACC_OUT_DIR", "/tmp/aacc_bench");
   (void)std::system(("mkdir -p " + dir).c_str());
@@ -160,7 +195,10 @@ int main() {
        << ",\"drain_cpu_off_second\":" << off_second
        << ",\"drain_cpu_on_min\":" << on_min
        << ",\"disabled_overhead_pct\":" << disabled_overhead_pct
-       << ",\"enabled_overhead_pct\":" << enabled_overhead_pct << "}}\n";
+       << ",\"enabled_overhead_pct\":" << enabled_overhead_pct
+       << "},\"progress_overhead\":{\"drain_cpu_on_min\":" << prog_min
+       << ",\"enabled_overhead_pct\":" << progress_overhead_pct
+       << ",\"events_per_run\":" << progress_events << "}}\n";
   std::printf("[json] %s/micro_rc_drain.json\n", dir.c_str());
   return 0;
 }

@@ -7,6 +7,9 @@
 // Set AACC_TRACE=<path> to record a span trace of the run and write it as
 // Chrome trace-event JSON (open in chrome://tracing or
 // https://ui.perfetto.dev; see docs/OBSERVABILITY.md).
+// Set AACC_PROGRESS=<path> to stream the live NDJSON progress feed there
+// (replay it with `aacc tail <path>`; docs/OBSERVABILITY.md §Progress
+// events).
 #include <cstdio>
 #include <cstdlib>
 
@@ -39,6 +42,9 @@ int main(int argc, char** argv) {
     cfg.trace.enabled = true;
     cfg.trace.path = trace_path;
   }
+  if (const char* progress_path = std::getenv("AACC_PROGRESS")) {
+    cfg.progress.path = progress_path;
+  }
   AnytimeEngine engine(g, cfg);
   const RunResult result = engine.run(schedule);
 
@@ -47,6 +53,10 @@ int main(int argc, char** argv) {
   if (cfg.trace.enabled) {
     std::printf("trace: %s (%zu events)\n", cfg.trace.path.c_str(),
                 result.trace.events.size());
+  }
+  if (!cfg.progress.path.empty()) {
+    std::printf("progress feed: %s (replay with `aacc tail`)\n",
+                cfg.progress.path.c_str());
   }
 
   const auto top = top_k(result.closeness, 5);

@@ -28,6 +28,7 @@
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "partition/partition.hpp"
 #include "runtime/faults.hpp"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_set>
 
 #include "analysis/closeness.hpp"
@@ -36,7 +37,7 @@ double max_abs_error(const std::vector<double>& exact,
 double top_k_overlap(const std::vector<double>& exact,
                      const std::vector<double>& estimate, std::size_t k) {
   AACC_CHECK(exact.size() == estimate.size());
-  if (k == 0) return 1.0;
+  if (k == 0 || exact.empty()) return 1.0;  // trivially identical rankings
   const auto te = top_k(exact, k);
   const auto ts = top_k(estimate, k);
   const std::unordered_set<VertexId> set(te.begin(), te.end());
@@ -54,12 +55,17 @@ double kendall_tau(const std::vector<double>& a, const std::vector<double>& b,
 
   std::int64_t concordant = 0;
   std::int64_t discordant = 0;
-  std::int64_t tied = 0;
+  std::int64_t tied_a = 0;  // tied in a only
+  std::int64_t tied_b = 0;  // tied in b only
   auto consider = [&](std::size_t i, std::size_t j) {
     const double da = a[i] - a[j];
     const double db = b[i] - b[j];
-    if (da == 0.0 || db == 0.0) {
-      ++tied;
+    if (da == 0.0 && db == 0.0) {
+      // Tied in both: excluded from every tau-b term.
+    } else if (da == 0.0) {
+      ++tied_a;
+    } else if (db == 0.0) {
+      ++tied_b;
     } else if ((da > 0) == (db > 0)) {
       ++concordant;
     } else {
@@ -82,12 +88,71 @@ double kendall_tau(const std::vector<double>& a, const std::vector<double>& b,
       consider(i, j);
     }
   }
-  const std::int64_t total = concordant + discordant + tied;
-  if (total == 0) return 1.0;
-  const std::int64_t effective = concordant + discordant;
-  if (effective == 0) return 1.0;
-  return static_cast<double>(concordant - discordant) /
-         static_cast<double>(effective);
+  const double s_a = static_cast<double>(concordant + discordant + tied_a);
+  const double s_b = static_cast<double>(concordant + discordant + tied_b);
+  if (s_a == 0.0 && s_b == 0.0) return 1.0;  // both constant: identical ranking
+  if (s_a == 0.0 || s_b == 0.0) return 0.0;  // one constant: no information
+  return static_cast<double>(concordant - discordant) / std::sqrt(s_a * s_b);
+}
+
+namespace {
+
+/// Orders (id, score) pairs best-first: score descending, id ascending as
+/// the deterministic tie break (the same rule top_k uses).
+bool better_pair(const std::pair<VertexId, double>& a,
+                 const std::pair<VertexId, double>& b) {
+  return a.second != b.second ? a.second > b.second : a.first < b.first;
+}
+
+std::unordered_set<VertexId> top_id_set(
+    std::vector<std::pair<VertexId, double>> list, std::size_t k) {
+  std::sort(list.begin(), list.end(), better_pair);
+  if (list.size() > k) list.resize(k);
+  std::unordered_set<VertexId> ids;
+  for (const auto& [v, s] : list) ids.insert(v);
+  return ids;
+}
+
+}  // namespace
+
+double top_k_overlap(const std::vector<std::pair<VertexId, double>>& a,
+                     const std::vector<std::pair<VertexId, double>>& b,
+                     std::size_t k) {
+  const std::size_t n = std::max(a.size(), b.size());
+  if (k == 0 || n == 0) return 1.0;
+  const std::size_t kk = std::min(k, n);
+  const auto sa = top_id_set(a, kk);
+  const auto sb = top_id_set(b, kk);
+  std::size_t hits = 0;
+  for (const VertexId v : sb) hits += sa.count(v);
+  return static_cast<double>(hits) / static_cast<double>(kk);
+}
+
+double kendall_tau(const std::vector<std::pair<VertexId, double>>& a,
+                   const std::vector<std::pair<VertexId, double>>& b) {
+  // Align over the union of ids (sorted, so the pair enumeration is
+  // deterministic); an id missing from one list scores 0 there.
+  std::vector<std::pair<VertexId, std::pair<double, double>>> joined;
+  joined.reserve(a.size() + b.size());
+  for (const auto& [v, s] : a) joined.push_back({v, {s, 0.0}});
+  for (const auto& [v, s] : b) joined.push_back({v, {0.0, s}});
+  std::sort(joined.begin(), joined.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  std::vector<double> va;
+  std::vector<double> vb;
+  va.reserve(joined.size());
+  vb.reserve(joined.size());
+  for (std::size_t i = 0; i < joined.size(); ++i) {
+    if (i > 0 && joined[i].first == joined[i - 1].first) {
+      va.back() += joined[i].second.first;
+      vb.back() += joined[i].second.second;
+    } else {
+      va.push_back(joined[i].second.first);
+      vb.push_back(joined[i].second.second);
+    }
+  }
+  // Bounded inputs (top-k slices): always take the exact pair loop.
+  return kendall_tau(va, vb, std::numeric_limits<std::size_t>::max());
 }
 
 }  // namespace aacc

@@ -5,6 +5,7 @@
 // whether the *ranking* (which is what analysts consume) has stabilized.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -20,13 +21,34 @@ double max_abs_error(const std::vector<double>& exact,
                      const std::vector<double>& estimate);
 
 /// |topk(exact) ∩ topk(estimate)| / k — the "did we find the right
-/// influencers" metric.
+/// influencers" metric. 1.0 when k == 0 or both vectors are empty; the
+/// denominator is min(k, n), so k > n compares the full rankings.
 double top_k_overlap(const std::vector<double>& exact,
                      const std::vector<double>& estimate, std::size_t k);
 
 /// Kendall rank-correlation tau-b between two score vectors, computed over
-/// sampled pairs when n is large (exact below the sample threshold).
+/// sampled pairs when n is large (exact below the sample threshold):
+///   tau_b = (C - D) / sqrt((C + D + Ta) (C + D + Tb))
+/// where Ta/Tb count pairs tied only in a / only in b (pairs tied in both
+/// are excluded, per tau-b). Conventions at the degenerate edges: n < 2 or
+/// both vectors constant -> 1.0 (identical trivial rankings); exactly one
+/// vector constant -> 0.0 (no rank information to correlate).
 double kendall_tau(const std::vector<double>& a, const std::vector<double>& b,
                    std::size_t max_pairs = 2'000'000);
+
+/// Sparse (id, score) list variants for the online anytime estimators
+/// (docs/OBSERVABILITY.md §Progress events): the two lists are bounded
+/// top-k slices of two score snapshots, not full vectors, and need not
+/// mention the same ids. An id absent from one list scores 0.0 there.
+
+/// Overlap of the top-min(k, max list size) id sets; 1.0 when both empty.
+double top_k_overlap(const std::vector<std::pair<VertexId, double>>& a,
+                     const std::vector<std::pair<VertexId, double>>& b,
+                     std::size_t k);
+
+/// Exact tau-b over the union of the two lists' ids (bounded inputs, so
+/// never sampled).
+double kendall_tau(const std::vector<std::pair<VertexId, double>>& a,
+                   const std::vector<std::pair<VertexId, double>>& b);
 
 }  // namespace aacc

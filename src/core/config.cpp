@@ -46,6 +46,19 @@ void EngineConfig::validate() const {
     fail("EngineConfig::transport.max_retries must be >= 1: with 0 the "
          "reliable sender would give up before its first attempt");
   }
+  if (transport.recv_timeout.count() < 0) {
+    std::ostringstream os;
+    os << "EngineConfig::transport.recv_timeout must be >= 0 ms (0 disables "
+          "the recv watchdog), got "
+       << transport.recv_timeout.count() << " ms";
+    fail(os.str());
+  }
+  if (transport.retry_backoff.count() < 0) {
+    std::ostringstream os;
+    os << "EngineConfig::transport.retry_backoff must be >= 0 us, got "
+       << transport.retry_backoff.count() << " us";
+    fail(os.str());
+  }
   const double probs[] = {faults.drop, faults.duplicate, faults.delay,
                           faults.corrupt};
   const char* prob_names[] = {"drop", "duplicate", "delay", "corrupt"};
@@ -77,6 +90,13 @@ void EngineConfig::validate() const {
   if (trace.enabled && trace.track_capacity == 0) {
     fail("EngineConfig::trace.track_capacity must be > 0 when tracing is "
          "enabled");
+  }
+  if (progress.active() &&
+      (progress.top_k < 1 || progress.top_k > kMaxThreads)) {
+    std::ostringstream os;
+    os << "EngineConfig::progress.top_k must be in [1, " << kMaxThreads
+       << "] when the progress feed is active, got " << progress.top_k;
+    fail(os.str());
   }
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/types.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "partition/partition.hpp"
 #include "runtime/faults.hpp"
@@ -81,6 +82,12 @@ struct EngineConfig {
   /// Record per-step closeness snapshots (E3 quality curves). Adds one
   /// gather per RC step.
   bool record_step_quality = false;
+  /// Bound for record_step_quality: each rank keeps only its top-k
+  /// (vertex, harmonic) pairs per step — memory O(k · steps) instead of
+  /// O(n · steps), and RunResult::step_harmonic reports 0 for vertices
+  /// outside the per-rank top-k. 0 = unbounded (full snapshots, the exact
+  /// E3 behavior).
+  std::size_t quality_top_k = 0;
   /// Gather the full APSP matrix into RunResult (tests; O(n^2) memory).
   bool gather_apsp = false;
   /// Safety cap on RC steps (0 = no cap). A converged static run needs at
@@ -117,6 +124,15 @@ struct EngineConfig {
   /// `trace.path` when set). Off by default: every instrumentation site
   /// then sees a null track and costs one predictable branch.
   obs::TraceConfig trace;
+  /// Live progress telemetry (docs/OBSERVABILITY.md §Progress events):
+  /// active when any sink is configured (NDJSON path, callback, or custom
+  /// sink). Each RC step then adds one deterministic gather of bounded
+  /// per-rank summaries to the driver rank, which emits one ProgressEvent
+  /// after the step's metrics fold. Closeness/harmonic results are
+  /// bit-identical with the feed on or off; the telemetry gather's traffic
+  /// is honestly accounted in the transport ledgers. When inactive the
+  /// per-step hook is a single boolean test.
+  obs::ProgressConfig progress;
 
   /// Checks the configuration for values that cannot produce a meaningful
   /// run and throws ConfigError naming the offending field. Called by the
@@ -127,8 +143,11 @@ struct EngineConfig {
   ///   * rebalance_threshold is 0 (off) or >= 1.0 — max/ideal load is
   ///     >= 1 by definition, so a lower bar would repartition every batch
   ///   * transport.max_retries >= 1 (0 would silently never send)
+  ///   * transport.recv_timeout / retry_backoff >= 0 (0 timeout disables
+  ///     the recv watchdog; negative durations are sign bugs)
   ///   * fault probabilities each in [0, 1] and summing to <= 1
   ///   * trace.track_capacity > 0 when tracing is enabled
+  ///   * progress.top_k in [1, 4096] when the progress feed is active
   void validate() const;
 };
 

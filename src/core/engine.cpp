@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "analysis/closeness.hpp"
+#include "analysis/quality.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "core/rank_engine.hpp"
@@ -110,6 +111,22 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
   std::vector<obs::MetricsRegistry> rank_metrics(
       static_cast<std::size_t>(cfg_.num_ranks));
 
+  // Progress feed (docs/OBSERVABILITY.md §Progress events). Driver-owned so
+  // the estimator state and sinks survive supervised attempts; rank 0 emits
+  // per-step events, this thread emits recovery/done events while the rank
+  // world is joined — never concurrently.
+  std::unique_ptr<obs::ProgressEmitter> progress;
+  if (cfg_.progress.active()) {
+    progress = std::make_unique<obs::ProgressEmitter>(cfg_.progress);
+    if (!progress->file_ok()) {
+      // Telemetry is diagnostics: an unwritable path must not fail the run
+      // (same policy as trace export).
+      std::fprintf(stderr,
+                   "[aacc] warning: could not open progress feed %s\n",
+                   cfg_.progress.path.c_str());
+    }
+  }
+
   // ---- DD phase (driver side, like mpiexec distributing partitions).
   // A resumed run skips it: the data distribution lives in the blobs. ----
   Partition part;
@@ -172,6 +189,10 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
     init.injector = injector ? &*injector : nullptr;
     init.tracer = tracer.get();
     init.metrics = &rank_metrics[me];
+    // The driver rank emits; everyone else only feeds the gather. Rank 0
+    // keeps the emitter even as a ghost — the merged survivor data still
+    // flows through its seat in the collectives.
+    init.progress = me == 0 ? progress.get() : nullptr;
     bool fresh = false;
     switch (mode) {
       case Mode::kFresh:
@@ -252,6 +273,19 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
     if (roots.empty()) rethrow_root(report);
     if (out.stats.recoveries >= cfg_.max_recoveries) rethrow_root(report);
     ++out.stats.recoveries;
+    // Recovery events are emitted from this (driver) thread; the rank
+    // world has joined, so sinks stay single-writer.
+    const auto emit_recovery = [&](const char* kind, std::size_t at_step) {
+      if (!progress) return;
+      progress->recoveries = out.stats.recoveries;
+      obs::ProgressEvent ev;
+      ev.phase = "recovery";
+      ev.detail = kind;
+      ev.step = at_step;
+      ev.ranks = cfg_.num_ranks;
+      ev.recoveries = out.stats.recoveries;
+      progress->emit(ev);
+    };
 
     if (periodic) {
       // ---- checkpoint rollback: replay from the newest snapshot every
@@ -272,6 +306,7 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
       if (drv != nullptr) {
         drv->instant("recovery:rollback", "attempt", out.stats.recoveries);
       }
+      emit_recovery("rollback", mode == Mode::kResume ? restart.step : 0);
       continue;
     }
 
@@ -322,6 +357,7 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
     if (drv != nullptr) {
       drv->instant("recovery:degraded", "attempt", out.stats.recoveries);
     }
+    emit_recovery("degraded", degraded_step);
   }
 
   if (want_checkpoint && !slots[0].empty()) {
@@ -504,6 +540,43 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
   out.metrics = std::move(merged);
 
   out.stats.wall_seconds = wall.seconds();
+
+  if (progress) {
+    // Terminal event: totals from the final RunStats plus the exact final
+    // top-k, so a consumer that only tails the feed ends with the same
+    // ranking RunResult::harmonic would give it.
+    obs::ProgressEvent ev;
+    ev.phase = "done";
+    ev.step = out.stats.rc_steps;
+    ev.ranks = cfg_.num_ranks;
+    ev.settled = 0;  // not re-gathered after teardown
+    ev.bytes = out.stats.total_bytes;
+    ev.retransmits = out.stats.retransmits;
+    ev.recoveries = out.stats.recoveries;
+    for (const StepStats& s : out.stats.steps) {
+      ev.relaxations += s.relaxations;
+      ev.poisons += s.poisons;
+      ev.repairs += s.repairs;
+    }
+    const std::size_t k = cfg_.progress.top_k;
+    std::vector<std::pair<VertexId, double>> final_top;
+    for (VertexId v : top_k(out.harmonic, k)) {
+      final_top.emplace_back(v, out.harmonic[v]);
+    }
+    if (!progress->prev_top.empty()) {
+      ev.has_estimators = true;
+      ev.topk_overlap =
+          top_k_overlap(progress->prev_top, final_top, k);
+      ev.kendall_tau = kendall_tau(progress->prev_top, final_top);
+    }
+    ev.top.reserve(final_top.size());
+    for (const auto& [v, score] : final_top) {
+      (void)score;
+      ev.top.push_back(v);
+    }
+    progress->prev_top = std::move(final_top);
+    progress->emit(ev);
+  }
 
   if (tracer) {
     out.trace = tracer->merge();

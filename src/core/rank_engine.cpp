@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <ctime>
 #include <queue>
 #include <sstream>
 #include <thread>
 
 #include "analysis/closeness.hpp"
+#include "analysis/quality.hpp"
 #include "common/parallel.hpp"
 #include "core/strategies.hpp"
 #include "partition/multilevel.hpp"
@@ -60,6 +62,8 @@ RankEngine::RankEngine(const Init& init, rt::Comm& comm)
     tracer_ = init.tracer;
     trace_ = &tracer_->track(init.me);
   }
+  progress_active_ = cfg_.progress.active();
+  progress_ = init.progress;
   if (init.metrics != nullptr) {
     metrics_ = init.metrics;
     m_relaxations_ = &metrics_->counter("rc/relaxations");
@@ -349,6 +353,10 @@ void RankEngine::run_ia() {
     for (const std::uint64_t d : dirty_added) total += d;
     metrics_->counter("ia/dirty_entries").add(total);
   }
+  // First progress event: the local APSP sweep is done, coverage is the
+  // intra-rank reachability (collective; run_ia is only called on fresh
+  // attempts, where every rank takes this path).
+  progress_step("ia", start_step_);
 }
 
 // ------------------------------------------------------ relaxation kernel
@@ -479,6 +487,7 @@ void RankEngine::drain() {
   const std::size_t queued = repairs_.size() + worklist_.size();
   const obs::ScopedSpan span(trace_, "drain", "queued", queued);
   if (m_queue_depth_ != nullptr) m_queue_depth_->record(queued);
+  queue_depth_step_ += queued;  // progress feed: frontier depth this step
   const std::uint64_t repairs_before = repair_count_;
   const double t0 = thread_cpu_now();
   const std::size_t shards =
@@ -1434,6 +1443,121 @@ void RankEngine::record_step(std::size_t step) {
   }
 }
 
+std::vector<std::pair<VertexId, double>> RankEngine::local_top_harmonic(
+    std::size_t k) const {
+  std::vector<std::pair<VertexId, double>> all;
+  all.reserve(rows_.size());
+  for (const DvRow& row : rows_) {
+    // Ascending-column summation order, exactly like the pre-bounded
+    // snapshots: the k = 0 path stays bit-identical to the historical E3
+    // output, and bounded runs agree with it on the surviving entries.
+    all.emplace_back(row.self(), harmonic_from_row(row.dists(), row.self()));
+  }
+  if (k > 0 && all.size() > k) {
+    const auto better = [](const std::pair<VertexId, double>& a,
+                           const std::pair<VertexId, double>& b) {
+      return a.second != b.second ? a.second > b.second : a.first < b.first;
+    };
+    std::partial_sort(all.begin(),
+                      all.begin() + static_cast<std::ptrdiff_t>(k), all.end(),
+                      better);
+    all.resize(k);
+  }
+  return all;
+}
+
+void RankEngine::progress_step(const char* phase, std::size_t step) {
+  if (!progress_active_) return;  // the whole feed costs this one test
+
+  // ---- bounded local summary ----
+  std::uint64_t settled = 0;
+  std::uint64_t columns = 0;
+  for (const DvRow& row : rows_) {
+    settled += row.finite_count();
+    columns += row.size();
+  }
+  // Per-step churn deltas from the cumulative step log (same derivation
+  // the driver uses for StepStats); empty log = the IA event, all zeros.
+  StepLocal cur{};
+  StepLocal prev{};
+  if (!step_log_.empty()) cur = step_log_.back();
+  if (step_log_.size() >= 2) prev = step_log_[step_log_.size() - 2];
+
+  rt::ByteWriter w;
+  w.write<std::uint64_t>(dirty_entries_);
+  w.write<std::uint64_t>(settled);
+  w.write<std::uint64_t>(columns);
+  w.write<std::uint64_t>(cur.relaxations - prev.relaxations);
+  w.write<std::uint64_t>(cur.poisons - prev.poisons);
+  w.write<std::uint64_t>(cur.repairs - prev.repairs);
+  w.write<std::uint64_t>(queue_depth_step_);
+  w.write<std::uint64_t>(comm_.ledger().bytes_sent);
+  w.write<std::uint64_t>(comm_.ledger().retransmits);
+  const std::size_t k = cfg_.progress.top_k;
+  const auto top = local_top_harmonic(k);
+  w.write<std::uint32_t>(static_cast<std::uint32_t>(top.size()));
+  for (const auto& [v, h] : top) {
+    w.write<VertexId>(v);
+    w.write<double>(h);
+  }
+  queue_depth_step_ = 0;
+
+  // Deterministic fold to the driver rank. The gather is real transport
+  // (ledger-accounted); a ghost contributes zero rows like any collective.
+  const auto bufs = comm_.gather(w.take(), 0);
+  if (progress_ == nullptr) return;  // non-driver ranks are done
+
+  // ---- driver rank: merge in rank order, estimate, emit ----
+  obs::ProgressEvent ev;
+  ev.phase = phase;
+  ev.step = step;
+  ev.ranks = comm_.size();
+  std::vector<std::pair<VertexId, double>> merged;
+  for (const auto& buf : bufs) {
+    rt::ByteReader r(buf);
+    ev.dirty += r.read<std::uint64_t>();
+    ev.settled += r.read<std::uint64_t>();
+    ev.columns += r.read<std::uint64_t>();
+    ev.relaxations += r.read<std::uint64_t>();
+    ev.poisons += r.read<std::uint64_t>();
+    ev.repairs += r.read<std::uint64_t>();
+    const auto queued = r.read<std::uint64_t>();
+    ev.queue_sum += queued;
+    ev.queue_max = std::max(ev.queue_max, queued);
+    ev.bytes += r.read<std::uint64_t>();
+    ev.retransmits += r.read<std::uint64_t>();
+    const auto count = r.read<std::uint32_t>();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto v = r.read<VertexId>();
+      const auto h = r.read<double>();
+      merged.emplace_back(v, h);
+    }
+  }
+  ev.dirty_fraction =
+      ev.columns == 0 ? 0.0
+                      : static_cast<double>(ev.dirty) /
+                            static_cast<double>(ev.columns);
+  ev.recoveries = progress_->recoveries;
+  // Vertices are uniquely owned, so the concatenation has no duplicate ids;
+  // one sort gives the global bounded top-k.
+  std::sort(merged.begin(), merged.end(),
+            [](const std::pair<VertexId, double>& a,
+               const std::pair<VertexId, double>& b) {
+              return a.second != b.second ? a.second > b.second
+                                          : a.first < b.first;
+            });
+  if (merged.size() > k) merged.resize(k);
+  if (std::strcmp(phase, "rc_step") == 0 && !progress_->prev_top.empty()) {
+    ev.has_estimators = true;
+    ev.topk_overlap = top_k_overlap(progress_->prev_top, merged, k);
+    ev.kendall_tau = kendall_tau(progress_->prev_top, merged);
+  }
+  ev.top.reserve(merged.size());
+  for (const auto& [v, h] : merged) ev.top.push_back(v);
+  progress_->prev_top = std::move(merged);
+  progress_->emit(ev);
+}
+
 std::size_t RankEngine::run_rc() {
   comm_.set_phase("rc");
   std::size_t step = start_step_;
@@ -1526,14 +1650,12 @@ std::size_t RankEngine::run_rc() {
       // Harmonic centrality is the anytime-safe quality metric: distance
       // upper bounds make it a monotone lower bound of the exact value,
       // whereas 1/Σ(known distances) overshoots while coverage is partial.
-      std::vector<std::pair<VertexId, double>> snap;
-      snap.reserve(rows_.size());
-      for (const DvRow& row : rows_) {
-        snap.emplace_back(row.self(), harmonic_from_row(row.dists(), row.self()));
-      }
-      step_quality_.push_back(std::move(snap));
+      // quality_top_k bounds the snapshot to the rank's best k vertices
+      // (memory O(k · steps)); 0 keeps the full per-vertex snapshot.
+      step_quality_.push_back(local_top_harmonic(cfg_.quality_top_k));
     }
     record_step(step);
+    progress_step("rc_step", step);
 
     if (!ghost_ && periodic_ != nullptr && cfg_.checkpoint_every > 0 &&
         step % cfg_.checkpoint_every == 0) {

@@ -99,6 +99,12 @@ class RankEngine {
     /// supervised attempts, like the runtime ledgers).
     obs::Tracer* tracer = nullptr;
     obs::MetricsRegistry* metrics = nullptr;
+    /// Progress feed (docs/OBSERVABILITY.md §Progress events): non-null on
+    /// the driver rank (rank 0) only, and only when cfg.progress is active.
+    /// Every rank still participates in the per-step telemetry gather
+    /// (cfg.progress.active() is the SPMD-consistent switch); rank 0 merges
+    /// and emits. Driver-owned so estimator state survives attempts.
+    obs::ProgressEmitter* progress = nullptr;
   };
 
   RankEngine(const Init& init, rt::Comm& comm);
@@ -214,6 +220,19 @@ class RankEngine {
   bool poison_sync_round();
   void ingest_batch(const std::vector<Event>& events);
   void record_step(std::size_t step);
+  /// Progress telemetry (collective when cfg.progress is active, no-op
+  /// otherwise): every rank gathers a bounded summary — dirty/settled
+  /// counts, per-step churn deltas, queue depth, transport health, local
+  /// top-k harmonic pairs — to the driver rank, which merges them in rank
+  /// order, computes the online estimators vs the previous step's top-k,
+  /// and emits one ProgressEvent. Called after record_step so the emitted
+  /// step matches the folded metrics.
+  void progress_step(const char* phase, std::size_t step);
+  /// Local (vertex, harmonic) pairs, truncated to the best k by
+  /// (score desc, id asc) when 0 < k < row count; unsorted row order
+  /// otherwise (k = 0 means unbounded).
+  [[nodiscard]] std::vector<std::pair<VertexId, double>> local_top_harmonic(
+      std::size_t k) const;
 
   // ---- event application ----
   void apply_edge_add(const EdgeAddEvent& e);
@@ -293,6 +312,14 @@ class RankEngine {
   obs::Gauge* m_drain_modeled_ = nullptr;
   obs::Histogram* m_queue_depth_ = nullptr;
   StepLocal folded_{};
+  // Progress feed. progress_active_ caches cfg_.progress.active() (the
+  // SPMD-consistent switch every rank tests once per step); progress_ is
+  // the driver rank's emitter (null elsewhere). queue_depth_step_
+  // accumulates drain()-entry queue depths within the current step and is
+  // reset by progress_step.
+  bool progress_active_ = false;
+  obs::ProgressEmitter* progress_ = nullptr;
+  std::uint64_t queue_depth_step_ = 0;
 
   // step accounting
   std::size_t invariant_violations_ = 0;

@@ -1,0 +1,151 @@
+// Edge-case coverage for analysis/quality.hpp: tau-b tie corrections, the
+// degenerate conventions, top-k overlap with duplicate scores / k > n /
+// empty inputs, and the sparse (id, score) variants driving the progress
+// feed's online estimators.
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/quality.hpp"
+
+namespace aacc {
+namespace {
+
+// ---- kendall_tau (dense) -------------------------------------------------
+
+TEST(KendallTau, TiesOnlyInA) {
+  // Pairs: (0,1) tied in a only -> Ta; (0,2) and (1,2) concordant.
+  // tau_b = (2 - 0) / sqrt((2 + 1)(2 + 0)) = 2 / sqrt(6).
+  const std::vector<double> a{1.0, 1.0, 2.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_NEAR(kendall_tau(a, b), 2.0 / std::sqrt(6.0), 1e-12);
+  // tau-b is symmetric in its tie corrections.
+  EXPECT_NEAR(kendall_tau(b, a), 2.0 / std::sqrt(6.0), 1e-12);
+}
+
+TEST(KendallTau, PairsTiedInBothAreExcluded) {
+  // (0,1) tied in both: excluded entirely. Remaining pairs concordant.
+  const std::vector<double> a{1.0, 1.0, 2.0};
+  const std::vector<double> b{5.0, 5.0, 7.0};
+  EXPECT_DOUBLE_EQ(kendall_tau(a, b), 1.0);
+}
+
+TEST(KendallTau, MixedTiesAndDiscordance) {
+  // a = {2, 2, 1, 3}, b = {1, 2, 3, 4}:
+  //   (0,1) Ta; (0,2) discordant; (0,3) concordant;
+  //   (1,2) discordant; (1,3) concordant; (2,3) concordant.
+  // tau_b = (3 - 2) / sqrt((3 + 2 + 1)(3 + 2 + 0)) = 1 / sqrt(30).
+  const std::vector<double> a{2.0, 2.0, 1.0, 3.0};
+  const std::vector<double> b{1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(kendall_tau(a, b), 1.0 / std::sqrt(30.0), 1e-12);
+}
+
+TEST(KendallTau, DegenerateConventions) {
+  // n < 2: trivially identical rankings.
+  const std::vector<double> none;
+  EXPECT_DOUBLE_EQ(kendall_tau(none, none), 1.0);
+  EXPECT_DOUBLE_EQ(kendall_tau(std::vector<double>{3.0},
+                               std::vector<double>{7.0}),
+                   1.0);
+  // Both constant: identical (trivial) rankings.
+  EXPECT_DOUBLE_EQ(kendall_tau({1.0, 1.0, 1.0}, {2.0, 2.0, 2.0}), 1.0);
+  // Exactly one constant: no rank information to correlate.
+  EXPECT_DOUBLE_EQ(kendall_tau({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(kendall_tau({1.0, 2.0, 3.0}, {9.0, 9.0, 9.0}), 0.0);
+}
+
+TEST(KendallTau, PerfectAndInvertedWithoutTies) {
+  const std::vector<double> up{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> down{4.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(kendall_tau(up, up), 1.0);
+  EXPECT_DOUBLE_EQ(kendall_tau(up, down), -1.0);
+}
+
+// ---- top_k_overlap (dense) -----------------------------------------------
+
+TEST(TopKOverlap, EmptyVectorsAndZeroK) {
+  const std::vector<double> none;
+  EXPECT_DOUBLE_EQ(top_k_overlap(none, none, 5), 1.0);
+  EXPECT_DOUBLE_EQ(top_k_overlap(std::vector<double>{1.0, 2.0},
+                                 std::vector<double>{2.0, 1.0}, 0),
+                   1.0);
+}
+
+TEST(TopKOverlap, KLargerThanNComparesFullRankings) {
+  // k = 10 > n = 3: denominator is min(k, n) = 3, and the full id sets
+  // coincide, so overlap is exactly 1 even though the orders differ.
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(top_k_overlap(a, b, 10), 1.0);
+}
+
+TEST(TopKOverlap, DuplicateScoresBreakTiesDeterministically) {
+  // Scores {5, 5, 5, 1}: top_k breaks ties by ascending id, so top-2 is
+  // {0, 1} for both orderings of the same multiset.
+  const std::vector<double> a{5.0, 5.0, 5.0, 1.0};
+  const std::vector<double> b{5.0, 5.0, 5.0, 2.0};
+  EXPECT_DOUBLE_EQ(top_k_overlap(a, b, 2), 1.0);
+}
+
+TEST(TopKOverlap, DisjointTopSets) {
+  // top-2(a) = {0, 1}, top-2(b) = {2, 3}.
+  const std::vector<double> a{9.0, 8.0, 1.0, 2.0};
+  const std::vector<double> b{1.0, 2.0, 9.0, 8.0};
+  EXPECT_DOUBLE_EQ(top_k_overlap(a, b, 2), 0.0);
+}
+
+// ---- sparse (id, score) variants -----------------------------------------
+
+using Pairs = std::vector<std::pair<VertexId, double>>;
+
+TEST(SparseTopKOverlap, BothEmptyIsPerfect) {
+  EXPECT_DOUBLE_EQ(top_k_overlap(Pairs{}, Pairs{}, 8), 1.0);
+}
+
+TEST(SparseTopKOverlap, DisjointIdsAndPartialOverlap) {
+  const Pairs a{{1, 9.0}, {2, 8.0}};
+  const Pairs b{{3, 9.0}, {4, 8.0}};
+  EXPECT_DOUBLE_EQ(top_k_overlap(a, b, 2), 0.0);
+  const Pairs c{{1, 9.0}, {4, 8.0}};
+  EXPECT_DOUBLE_EQ(top_k_overlap(a, c, 2), 0.5);
+}
+
+TEST(SparseTopKOverlap, KBoundsToLargestList) {
+  // k = 100 but the longer list has 3 entries: denominator is 3. b's id
+  // set {1, 2} intersects a's top-3 {1, 2, 3} in 2 ids... but b only
+  // contributes 2 ids, so overlap = 2/3.
+  const Pairs a{{1, 3.0}, {2, 2.0}, {3, 1.0}};
+  const Pairs b{{1, 3.0}, {2, 2.0}};
+  EXPECT_NEAR(top_k_overlap(a, b, 100), 2.0 / 3.0, 1e-12);
+}
+
+TEST(SparseTopKOverlap, DuplicateScoresUseIdTieBreak) {
+  // All scores equal: top-1 is the smallest id on both sides.
+  const Pairs a{{7, 1.0}, {3, 1.0}};
+  const Pairs b{{3, 1.0}, {9, 1.0}};
+  EXPECT_DOUBLE_EQ(top_k_overlap(a, b, 1), 1.0);
+}
+
+TEST(SparseKendallTau, AbsentIdsScoreZero) {
+  // Union {1, 2}: a = (5, 0), b = (0, 5) -> one discordant pair, tau = -1.
+  const Pairs a{{1, 5.0}};
+  const Pairs b{{2, 5.0}};
+  EXPECT_DOUBLE_EQ(kendall_tau(a, b), -1.0);
+}
+
+TEST(SparseKendallTau, AgreesWithDenseOnSharedIds) {
+  const Pairs a{{0, 1.0}, {1, 2.0}, {2, 3.0}};
+  const Pairs b{{0, 10.0}, {1, 20.0}, {2, 30.0}};
+  EXPECT_DOUBLE_EQ(kendall_tau(a, b), 1.0);
+  const Pairs rev{{0, 30.0}, {1, 20.0}, {2, 10.0}};
+  EXPECT_DOUBLE_EQ(kendall_tau(a, rev), -1.0);
+}
+
+TEST(SparseKendallTau, EmptyListsArePerfect) {
+  EXPECT_DOUBLE_EQ(kendall_tau(Pairs{}, Pairs{}), 1.0);
+}
+
+}  // namespace
+}  // namespace aacc

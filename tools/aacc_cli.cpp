@@ -4,12 +4,17 @@
 //   aacc info <graph-file>
 //   aacc partition <graph-file> --parts K [--kind multilevel|bfs|hash|block|rr]
 //   aacc analyze <graph-file> [--ranks N] [--top K] [--measure M] [--exact]
+//   aacc run <graph-file> [--ranks N] [--events FILE] [--progress] [--top-k K]
+//   aacc tail <events.ndjson>
 //
 // Graph files: .txt/.edges (edge list), .graph (METIS), .net (Pajek),
 // .gr (DIMACS). `analyze` runs the distributed anytime anywhere engine;
-// `--exact` cross-checks against the sequential reference.
+// `--exact` cross-checks against the sequential reference. `run` streams the
+// live anytime-progress feed (docs/OBSERVABILITY.md §Progress events) and
+// `tail` replays a recorded NDJSON feed through the same renderer.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "aacc/aacc.hpp"
@@ -66,8 +71,108 @@ int usage() {
                "  aacc analyze <graph-file> [--ranks N] [--top K] [--seed S]\n"
                "       [--measure closeness|harmonic|degree|betweenness|"
                "eigenvector] [--exact]\n"
-               "       [--stats-json FILE] [--trace FILE]\n");
+               "       [--stats-json FILE] [--trace FILE]\n"
+               "  aacc run <graph-file> [--ranks N] [--seed S] [--top-k K]\n"
+               "       [--events FILE] [--progress]\n"
+               "  aacc tail <events.ndjson>\n");
   return 2;
+}
+
+/// One line per progress event, shared by `run --progress` and `tail` so a
+/// live run and a replayed feed look identical.
+void render_event(const obs::ProgressEvent& ev) {
+  if (ev.phase == "ia") {
+    std::printf("[ia     ] step %-4zu settled %llu/%llu  dirty %.1f%%\n",
+                ev.step, static_cast<unsigned long long>(ev.settled),
+                static_cast<unsigned long long>(ev.columns),
+                100.0 * ev.dirty_fraction);
+  } else if (ev.phase == "rc_step") {
+    std::printf(
+        "[rc %4zu] dirty %5.1f%%  relax %-9llu poison %-7llu repair %-7llu",
+        ev.step, 100.0 * ev.dirty_fraction,
+        static_cast<unsigned long long>(ev.relaxations),
+        static_cast<unsigned long long>(ev.poisons),
+        static_cast<unsigned long long>(ev.repairs));
+    if (ev.has_estimators) {
+      std::printf("  top-k overlap %.3f  tau %+.3f", ev.topk_overlap,
+                  ev.kendall_tau);
+    }
+    std::printf("\n");
+  } else if (ev.phase == "recovery") {
+    std::printf("[recover] %s at step %zu (recovery #%llu)\n",
+                ev.detail.c_str(), ev.step,
+                static_cast<unsigned long long>(ev.recoveries));
+  } else if (ev.phase == "done") {
+    std::printf("[done   ] %zu rc steps  %llu bytes  %llu retransmits  "
+                "%llu recoveries\n",
+                ev.step, static_cast<unsigned long long>(ev.bytes),
+                static_cast<unsigned long long>(ev.retransmits),
+                static_cast<unsigned long long>(ev.recoveries));
+    if (ev.has_estimators) {
+      std::printf("          final vs last step: top-k overlap %.3f  "
+                  "tau %+.3f\n",
+                  ev.topk_overlap, ev.kendall_tau);
+    }
+  } else {
+    std::printf("[%s] step %zu\n", ev.phase.c_str(), ev.step);
+  }
+  std::fflush(stdout);
+}
+
+int cmd_run(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const Graph g = load_graph(args.positional[1]);
+
+  EngineConfig cfg;
+  cfg.num_ranks = static_cast<Rank>(args.get_int("ranks", 8));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.progress.top_k = static_cast<std::size_t>(args.get_int("top-k", 32));
+  if (args.has("events")) cfg.progress.path = args.get("events", "");
+  // Live rendering is the default purpose of `run`: render unless the user
+  // asked only for a file feed.
+  if (args.has("progress") || !args.has("events")) {
+    cfg.progress.callback = render_event;
+  }
+
+  AnytimeEngine engine(g, cfg);
+  const RunResult r = engine.run();
+  std::printf("engine: %d ranks\n%s\n", cfg.num_ranks, r.stats.summary().c_str());
+  if (!cfg.progress.path.empty()) {
+    std::printf("events: %s\n", cfg.progress.path.c_str());
+  }
+  const auto best = top_k(r.harmonic, cfg.progress.top_k);
+  std::printf("%-8s %-10s %s\n", "rank", "vertex", "harmonic");
+  for (std::size_t i = 0; i < best.size() && i < 10; ++i) {
+    std::printf("%-8zu %-10u %.6g\n", i + 1, best[i], r.harmonic[best[i]]);
+  }
+  return 0;
+}
+
+int cmd_tail(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  std::ifstream in(args.positional[1]);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", args.positional[1].c_str());
+    return 1;
+  }
+  std::string line;
+  std::size_t rendered = 0;
+  std::size_t malformed = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    obs::ProgressEvent ev;
+    if (!obs::parse_progress_event(line, ev)) {
+      ++malformed;
+      continue;
+    }
+    render_event(ev);
+    ++rendered;
+  }
+  if (malformed > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed line(s)\n", malformed);
+  }
+  std::printf("%zu event(s)\n", rendered);
+  return rendered > 0 ? 0 : 1;
 }
 
 int cmd_generate(const Args& args) {
@@ -228,6 +333,8 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info(args);
     if (cmd == "partition") return cmd_partition(args);
     if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "tail") return cmd_tail(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
