@@ -1,0 +1,248 @@
+// M7 micro benchmark: the k-deep pipelined RC exchange
+// (docs/PROTOCOL.md §"Pipelined exchange", EXPERIMENTS.md §M7).
+//
+// Part A drives the transport primitive directly: a sweep of world sizes ×
+// window depths over a deterministic skewed all-to-all workload (one
+// straggler rank sends 4× the bytes of everyone else — skewed enough to
+// hurt the blocking schedule, small enough to stay latency-dominated,
+// which is where overlap pays) and reports, per (ranks, window):
+//   * modeled_exchange_seconds  — LogGP windowed makespan of the recorded
+//                                 traffic (logp.hpp; window 1 models the
+//                                 legacy blocking schedule),
+//   * modeled_speedup_vs_blocking — f(window=1) / f(window),
+//   * wait_seconds_sum / max_inflight — the measured overlap telemetry.
+// Delivered contents are verified before any number is reported, and the
+// bench fatally asserts the acceptance gate: >= 1.5x modeled speedup at 16
+// ranks with window 4.
+//
+// Part B is an engine smoke across the three exchange modes (deterministic
+// oracle, pipelined, async): closeness must agree bit for bit; wall time,
+// exchange wait, and in-flight depth are reported per mode.
+//
+// Prints a table and writes AACC_OUT_DIR/micro_exchange.json. Knobs:
+// AACC_BYTES (base payload bytes, default 512), AACC_ROUNDS (all-to-all
+// ops per case, default 4), AACC_N (Part B vertices, default 1200),
+// AACC_SEED.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/serialize.hpp"
+
+namespace {
+
+using namespace aacc;
+
+struct CommCase {
+  Rank ranks;
+  std::uint32_t window;   // effective (0 = auto resolved to P-1)
+  double modeled;
+  double speedup;
+  double wait_sum;
+  std::uint64_t max_inflight;
+};
+
+struct ModeCase {
+  const char* mode;
+  double wall_seconds;
+  double exchange_wait;
+  std::uint64_t max_inflight;
+  std::size_t rc_steps;
+  bool identical;
+};
+
+/// Deterministic skewed payload: rank 0 is the straggler (4x bytes), and
+/// every byte encodes (src, dst) so delivery is verifiable.
+std::vector<std::byte> payload_for(Rank src, Rank dst, std::size_t base) {
+  const std::size_t n = src == 0 ? base * 4 : base;
+  std::vector<std::byte> buf(n);
+  const auto tag = static_cast<std::byte>((src * 31 + dst * 7) & 0xff);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = tag;
+  return buf;
+}
+
+bool payload_ok(const std::vector<std::byte>& buf, Rank src, Rank dst,
+                std::size_t base) {
+  const std::size_t n = src == 0 ? base * 4 : base;
+  if (buf.size() != n) return false;
+  const auto tag = static_cast<std::byte>((src * 31 + dst * 7) & 0xff);
+  for (const std::byte b : buf) {
+    if (b != tag) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const auto base_bytes = static_cast<std::size_t>(env_int("AACC_BYTES", 512));
+  const auto rounds = env_int("AACC_ROUNDS", 4);
+  const auto n = static_cast<VertexId>(env_int("AACC_N", 1200));
+  const auto seed = static_cast<std::uint64_t>(env_int("AACC_SEED", 1));
+
+  // ---- Part A: transport-level window sweep --------------------------
+  std::vector<CommCase> comm_cases;
+  bool verified = true;
+  double gate_speedup = 0.0;  // modeled speedup at P=16, window 4
+  for (const Rank P : {Rank{4}, Rank{8}, Rank{16}}) {
+    double blocking_modeled = 0.0;
+    // Window 1 (the blocking model) runs first so every later case can
+    // report its speedup against it.
+    for (const std::uint32_t w : {1u, 2u, 4u, 8u, 0u}) {
+      if (w >= static_cast<std::uint32_t>(P)) continue;  // clamps to P-1
+      const std::uint32_t eff = w == 0 ? static_cast<std::uint32_t>(P - 1) : w;
+      rt::World world(P);
+      std::vector<double> waits(static_cast<std::size_t>(P), 0.0);
+      std::vector<std::uint64_t> depths(static_cast<std::size_t>(P), 0);
+      std::vector<int> bad(static_cast<std::size_t>(P), 0);
+      world.run([&](rt::Comm& comm) {
+        for (int op = 0; op < rounds; ++op) {
+          std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(P));
+          for (Rank q = 0; q < P; ++q) {
+            out[static_cast<std::size_t>(q)] =
+                payload_for(comm.rank(), q, base_bytes);
+          }
+          auto pending =
+              comm.all_to_all_start(std::move(out), static_cast<Rank>(eff));
+          auto in = pending.wait_all();
+          for (Rank q = 0; q < P; ++q) {
+            if (!payload_ok(in[static_cast<std::size_t>(q)], q, comm.rank(),
+                            base_bytes)) {
+              ++bad[static_cast<std::size_t>(comm.rank())];
+            }
+          }
+          const auto me = static_cast<std::size_t>(comm.rank());
+          waits[me] += pending.wait_seconds();
+          depths[me] = std::max(depths[me], pending.max_inflight());
+        }
+      });
+      for (const int b : bad) verified = verified && b == 0;
+
+      CommCase c;
+      c.ranks = P;
+      c.window = eff;
+      c.modeled = world.modeled_exchange_seconds(eff);
+      if (eff == 1) blocking_modeled = c.modeled;
+      c.speedup = c.modeled > 0.0 ? blocking_modeled / c.modeled : 0.0;
+      c.wait_sum = 0.0;
+      for (const double s : waits) c.wait_sum += s;
+      c.max_inflight = 0;
+      for (const std::uint64_t d : depths)
+        c.max_inflight = std::max(c.max_inflight, d);
+      if (P == 16 && eff == 4) gate_speedup = c.speedup;
+      comm_cases.push_back(c);
+    }
+  }
+  if (!verified) {
+    std::fprintf(stderr, "FATAL: a windowed all-to-all corrupted delivery\n");
+    return 1;
+  }
+
+  // ---- Part B: engine smoke across exchange modes --------------------
+  Rng rng(seed);
+  const Graph g = barabasi_albert(n, 3, rng);
+  std::vector<ModeCase> mode_cases;
+  std::vector<double> ref_closeness;
+  const struct {
+    const char* name;
+    ExchangeMode mode;
+  } modes[] = {{"deterministic", ExchangeMode::kDeterministic},
+               {"pipelined", ExchangeMode::kPipelined},
+               {"async", ExchangeMode::kAsync}};
+  for (const auto& m : modes) {
+    EngineConfig cfg;
+    cfg.num_ranks = 8;
+    cfg.seed = seed;
+    cfg.exchange_mode = m.mode;
+    cfg.transport.recv_timeout = bench::watchdog_timeout();
+    AnytimeEngine engine(g, cfg);
+    Timer t;
+    const RunResult r = engine.run();
+    ModeCase c;
+    c.mode = m.name;
+    c.wall_seconds = t.seconds();
+    c.exchange_wait = r.stats.rc_exchange_wait_seconds;
+    c.max_inflight = r.stats.rc_max_inflight_depth;
+    c.rc_steps = r.stats.rc_steps;
+    if (m.mode == ExchangeMode::kDeterministic) {
+      ref_closeness = r.closeness;
+      c.identical = true;
+    } else {
+      c.identical = r.closeness == ref_closeness;
+    }
+    mode_cases.push_back(c);
+    if (!c.identical) {
+      std::fprintf(stderr, "FATAL: mode %s diverged from the oracle\n",
+                   m.name);
+      return 1;
+    }
+  }
+
+  // ---- report ---------------------------------------------------------
+  std::printf("\n== micro_exchange (base=%zu B, straggler 4x, %d ops/case) ==\n",
+              base_bytes, rounds);
+  std::printf("%6s %7s %22s %9s %13s %9s\n", "ranks", "window",
+              "modeled_exchange_s", "speedup", "wait_sum_s", "inflight");
+  for (const CommCase& c : comm_cases) {
+    std::printf("%6d %7u %22.6f %8.2fx %13.6f %9llu\n", c.ranks, c.window,
+                c.modeled, c.speedup, c.wait_sum,
+                static_cast<unsigned long long>(c.max_inflight));
+  }
+  std::printf("\n-- engine smoke (n=%u, P=8, closeness vs oracle) --\n", n);
+  std::printf("%14s %9s %12s %16s %9s %10s\n", "mode", "rc_steps", "wall_s",
+              "exchange_wait_s", "inflight", "identical");
+  for (const ModeCase& c : mode_cases) {
+    std::printf("%14s %9zu %12.3f %16.6f %9llu %10s\n", c.mode, c.rc_steps,
+                c.wall_seconds, c.exchange_wait,
+                static_cast<unsigned long long>(c.max_inflight),
+                c.identical ? "yes" : "NO");
+  }
+
+  // Acceptance gate (ISSUE: pipelined exchange PR): the windowed schedule
+  // must buy >= 1.5x modeled exchange makespan at 16 ranks, window 4.
+  std::printf("\ngate: modeled speedup at P=16 window=4: %.2fx (need 1.5x)\n",
+              gate_speedup);
+  if (gate_speedup < 1.5) {
+    std::fprintf(stderr, "FATAL: modeled speedup %.2fx < 1.5x gate\n",
+                 gate_speedup);
+    return 1;
+  }
+
+  const std::string dir = env_str("AACC_OUT_DIR", "/tmp/aacc_bench");
+  (void)std::system(("mkdir -p " + dir).c_str());
+  std::ofstream json(dir + "/micro_exchange.json");
+  json << "{\"bench\":\"micro_exchange\",\"base_bytes\":" << base_bytes
+       << ",\"rounds\":" << rounds << ",\"cases\":[";
+  for (std::size_t i = 0; i < comm_cases.size(); ++i) {
+    const CommCase& c = comm_cases[i];
+    if (i != 0) json << ',';
+    json << "{\"ranks\":" << static_cast<int>(c.ranks)
+         << ",\"window\":" << c.window
+         << ",\"modeled_exchange_seconds\":" << c.modeled
+         << ",\"modeled_speedup_vs_blocking\":" << c.speedup
+         << ",\"wait_seconds_sum\":" << c.wait_sum
+         << ",\"max_inflight\":" << c.max_inflight << '}';
+  }
+  json << "],\"engine\":{\"vertices\":" << n << ",\"ranks\":8,\"modes\":[";
+  for (std::size_t i = 0; i < mode_cases.size(); ++i) {
+    const ModeCase& c = mode_cases[i];
+    if (i != 0) json << ',';
+    json << "{\"mode\":\"" << c.mode << "\",\"rc_steps\":" << c.rc_steps
+         << ",\"wall_seconds\":" << c.wall_seconds
+         << ",\"exchange_wait_seconds\":" << c.exchange_wait
+         << ",\"max_inflight_depth\":" << c.max_inflight
+         << ",\"identical\":" << (c.identical ? "true" : "false") << '}';
+  }
+  json << "]},\"gate_speedup_p16_w4\":" << gate_speedup << "}\n";
+  std::printf("[json] %s/micro_exchange.json\n", dir.c_str());
+  return 0;
+}

@@ -47,6 +47,24 @@ enum class EdgeAddMode {
   kEager,
 };
 
+/// How the RC exchange consumes the personalized all-to-all (ROADMAP open
+/// item 2; see docs/PROTOCOL.md §"Pipelined exchange").
+enum class ExchangeMode {
+  /// Blocking shift schedule, apply after the full collective — the
+  /// verification oracle. Bit-identical results for any thread count.
+  kDeterministic,
+  /// k-deep windowed sends; each peer's payload is decoded and applied as
+  /// its message arrives, overlapping decode with the remaining network
+  /// time. Final distances (closeness/harmonic) are unchanged — DV entries
+  /// are monotone upper bounds, so apply order cannot move the fixed
+  /// point — but next-hop tie-breaks and step counts may differ.
+  kPipelined,
+  /// Pipelined, plus the next drain starts between arrivals: queued
+  /// worklist propagation runs while later messages are still in flight.
+  /// Repairs still wait for the poison barrier (count-to-infinity guard).
+  kAsync,
+};
+
 /// Local refinement inside an RC step (ablation A3).
 enum class RefineMode {
   /// Per-target label-correcting worklist (default).
@@ -77,6 +95,15 @@ struct EngineConfig {
   /// the parallel send-assembly pass in exchange(). 0 = auto, like
   /// ia_threads (hardware_concurrency / num_ranks, clamped to [1, 8]).
   std::size_t rc_threads = 0;
+  /// RC exchange schedule (see ExchangeMode). Deterministic by default:
+  /// the pipelined/async modes trade bit-identity of next-hop tie-breaks
+  /// for overlap, so opting in is explicit.
+  ExchangeMode exchange_mode = ExchangeMode::kDeterministic;
+  /// Send-window depth for the pipelined/async exchange: how many sends
+  /// may be issued ahead of the completed recvs. 0 = auto (P-1, fully
+  /// overlapped); values are clamped to [1, P-1] at run time.
+  /// kDeterministic requires 0 or 1 — the blocking schedule *is* window 1.
+  std::size_t exchange_window = 0;
   std::uint64_t seed = 1;
   rt::LogGPParams logp;
   /// Record per-step closeness snapshots (E3 quality curves). Adds one
@@ -140,6 +167,9 @@ struct EngineConfig {
   ///   * num_ranks in [1, 4096]
   ///   * ia_threads / rc_threads at most 4096 (0 = auto; a negative count
   ///     cast into these unsigned fields lands far above the cap)
+  ///   * exchange_window at most 4096 (0 = auto), and 0 or 1 under
+  ///     ExchangeMode::kDeterministic (a deeper window would reorder
+  ///     arrival processing, contradicting the oracle mode's guarantee)
   ///   * rebalance_threshold is 0 (off) or >= 1.0 — max/ideal load is
   ///     >= 1 by definition, so a lower bar would repartition every batch
   ///   * transport.max_retries >= 1 (0 would silently never send)

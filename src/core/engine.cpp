@@ -33,6 +33,9 @@ void RunStats::accumulate(const RunStats& other) {
   rc_steps += other.rc_steps;
   rc_drain_cpu_seconds += other.rc_drain_cpu_seconds;
   rc_drain_modeled_seconds += other.rc_drain_modeled_seconds;
+  rc_exchange_wait_seconds += other.rc_exchange_wait_seconds;
+  rc_max_inflight_depth =
+      std::max(rc_max_inflight_depth, other.rc_max_inflight_depth);
   recoveries += other.recoveries;
   cut_edges_initial = other.cut_edges_initial;  // latest run's view
   cut_edges_final = other.cut_edges_final;
@@ -458,12 +461,20 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
       agg.max_drain_modeled_seconds =
           std::max(agg.max_drain_modeled_seconds,
                    log[s].drain_modeled_seconds - prev.drain_modeled_seconds);
+      agg.sum_exchange_wait_seconds +=
+          log[s].exchange_wait_seconds - prev.exchange_wait_seconds;
+      // exchange_inflight is a per-step high-water mark, not cumulative.
+      agg.max_inflight_depth =
+          std::max(agg.max_inflight_depth, log[s].exchange_inflight);
       prev = log[s];
     }
   }
   for (const StepStats& s : out.stats.steps) {
     out.stats.rc_drain_cpu_seconds += s.sum_drain_cpu_seconds;
     out.stats.rc_drain_modeled_seconds += s.max_drain_modeled_seconds;
+    out.stats.rc_exchange_wait_seconds += s.sum_exchange_wait_seconds;
+    out.stats.rc_max_inflight_depth =
+        std::max(out.stats.rc_max_inflight_depth, s.max_inflight_depth);
   }
 
   // Anytime quality snapshots.

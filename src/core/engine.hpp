@@ -53,6 +53,12 @@ struct StepStats {
   /// partition/merge + slowest shard; see StepLocal).
   double sum_drain_cpu_seconds = 0.0;
   double max_drain_modeled_seconds = 0.0;
+  /// Exchange overlap this step: Σ over ranks of wall time blocked in
+  /// collective recvs, and the deepest send window any rank reached
+  /// (1 under ExchangeMode::kDeterministic; see docs/PROTOCOL.md
+  /// §"Pipelined exchange").
+  double sum_exchange_wait_seconds = 0.0;
+  std::uint64_t max_inflight_depth = 0;
 };
 
 struct RunStats {
@@ -81,6 +87,10 @@ struct RunStats {
   /// modeled drain) — the multicore analogue of modeled_makespan_seconds.
   double rc_drain_cpu_seconds = 0.0;
   double rc_drain_modeled_seconds = 0.0;
+  /// Exchange-overlap totals across RC steps: blocked-recv wall time summed
+  /// over ranks and steps, and the deepest in-flight send window observed.
+  double rc_exchange_wait_seconds = 0.0;
+  std::uint64_t rc_max_inflight_depth = 0;
   /// Supervised relaunches after injected/transport failures (both
   /// checkpoint rollbacks and degraded restarts; see docs/FAULTS.md).
   std::size_t recoveries = 0;

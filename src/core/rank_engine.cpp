@@ -73,6 +73,8 @@ RankEngine::RankEngine(const Init& init, rt::Comm& comm)
     m_drain_cpu_ = &metrics_->gauge("drain/cpu_seconds");
     m_drain_modeled_ = &metrics_->gauge("drain/modeled_seconds");
     m_queue_depth_ = &metrics_->histogram("rc/drain_queue_depth");
+    m_exch_wait_ = &metrics_->gauge("exchange/wait_seconds");
+    m_exch_inflight_ = &metrics_->histogram("exchange/inflight_depth");
   }
   if (init.restore_blob != nullptr) {
     const obs::ScopedSpan span(trace_, "restore");
@@ -742,58 +744,181 @@ void RankEngine::exchange() {
 
   // Concatenating each destination's shard buffers in shard-id order yields
   // exactly the bytes a serial ascending-row walk produces, for any shard
-  // count.
-  std::vector<std::vector<std::byte>> out(P);
-  for (std::size_t q = 0; q < P; ++q) {
+  // count. The outer per-destination vector is member scratch; the inner
+  // buffers necessarily hand their storage to the transport (the payload
+  // crosses threads inside the Message), so only the slots are reused.
+  if (exch_out_.size() < P) exch_out_.resize(P);
+  const auto assemble_payload = [&](std::size_t q) -> std::vector<std::byte>& {
+    std::vector<std::byte>& buf = exch_out_[q];
+    buf.clear();
     std::size_t total = 0;
     for (std::size_t s = 0; s < shards; ++s) {
       total += send_shards_[s].writers[q].size();
     }
-    out[q].reserve(total);
+    buf.reserve(total);
     for (std::size_t s = 0; s < shards; ++s) {
       const auto v = send_shards_[s].writers[q].view();
-      out[q].insert(out[q].end(), v.begin(), v.end());
+      buf.insert(buf.end(), v.begin(), v.end());
     }
+    return buf;
+  };
+  const auto me = static_cast<std::size_t>(comm_.rank());
+
+  if (cfg_.exchange_mode == ExchangeMode::kDeterministic) {
+    // Oracle schedule: window 1 reproduces the classic blocking shift
+    // exchange send for send and recv for recv. Dirty flags are retired
+    // only once the collective has returned: if the exchange throws (a
+    // peer died mid-step), the pending sends stay dirty in this rank's
+    // state and survive into the recovery stash — subscribers will still
+    // receive them after the restart. Cleared before apply_incoming so
+    // entries re-dirtied by the incoming values are kept. Shard-id order
+    // over contiguous blocks = ascending row order, as before.
+    auto pending = comm_.all_to_all_begin(1);
+    pending.submit(comm_.rank(), std::move(assemble_payload(me)));
+    for (Rank s = 1; s < comm_.size(); ++s) {
+      const Rank dst = (comm_.rank() + s) % comm_.size();
+      pending.submit(dst,
+                     std::move(assemble_payload(static_cast<std::size_t>(dst))));
+    }
+    auto in = pending.wait_all();
+    note_exchange_overlap(pending);
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (const std::size_t r : send_shards_[s].sent_rows) {
+        dirty_entries_ -= rows_[r].clear_all_dirty();
+      }
+    }
+    apply_incoming(in);
+    return;
   }
-  auto in = comm_.all_to_all(std::move(out));
-  // Dirty flags are retired only once the collective has returned: if the
-  // exchange throws (a peer died mid-step), the pending sends stay dirty in
-  // this rank's state and survive into the recovery stash — subscribers
-  // will still receive them after the restart. Cleared before
-  // apply_incoming so entries re-dirtied by the incoming values are kept.
-  // Shard-id order over contiguous blocks = ascending row order, as before.
+
+  // Pipelined / async: each destination's payload is handed to the
+  // transport as soon as its concatenation finishes, up to the configured
+  // window ahead of the completed recvs; peers' payloads are decoded and
+  // applied in arrival order, overlapping decode (and, in async mode, the
+  // next drain) with the remaining network time. Safe by the anytime
+  // property: DV entries are monotone upper bounds, so consuming a peer's
+  // deltas early or late cannot move the fixed point.
+  auto pending = comm_.all_to_all_begin(effective_exchange_window());
+  pending.submit(comm_.rank(), std::move(assemble_payload(me)));
+  for (Rank s = 1; s < comm_.size(); ++s) {
+    const Rank dst = (comm_.rank() + s) % comm_.size();
+    pending.submit(dst,
+                   std::move(assemble_payload(static_cast<std::size_t>(dst))));
+  }
+  // After the last submit every send has been issued (puts never block), so
+  // the sent data is on the wire: retire the dirty flags now, before the
+  // first arrival is applied, so entries re-dirtied by incoming values are
+  // kept — but record what was cleared. If the drain below aborts (a peer
+  // died), the cleared columns are re-marked so the pending sends still
+  // survive into the recovery stash, exactly like the deterministic path's
+  // retire-after-collective ordering guarantees.
+  exch_cleared_spans_.clear();
+  exch_cleared_cols_.clear();
   for (std::size_t s = 0; s < shards; ++s) {
     for (const std::size_t r : send_shards_[s].sent_rows) {
-      dirty_entries_ -= rows_[r].clear_all_dirty();
+      const std::size_t start = exch_cleared_cols_.size();
+      dirty_entries_ -= rows_[r].clear_all_dirty(&exch_cleared_cols_);
+      if (exch_cleared_cols_.size() > start) {
+        exch_cleared_spans_.emplace_back(r, exch_cleared_cols_.size() - start);
+      }
     }
   }
-  apply_incoming(in);
+  try {
+    while (auto arrival = pending.try_recv_any()) {
+      apply_incoming_payload(arrival->src, arrival->payload);
+      if (cfg_.exchange_mode == ExchangeMode::kAsync) drain_overlap();
+    }
+  } catch (...) {
+    std::size_t idx = 0;
+    for (const auto& [r, n] : exch_cleared_spans_) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (rows_[r].mark_dirty(exch_cleared_cols_[idx + i])) ++dirty_entries_;
+      }
+      idx += n;
+    }
+    throw;
+  }
+  note_exchange_overlap(pending);
+}
+
+Rank RankEngine::effective_exchange_window() const {
+  const Rank cap = std::max<Rank>(1, comm_.size() - 1);
+  if (cfg_.exchange_window == 0) return cap;
+  return std::min<Rank>(static_cast<Rank>(cfg_.exchange_window), cap);
+}
+
+void RankEngine::note_exchange_overlap(const rt::PendingAllToAll& pending) {
+  exchange_wait_seconds_ += pending.wait_seconds();
+  exchange_inflight_step_ =
+      std::max(exchange_inflight_step_, pending.max_inflight());
+  if (trace_ != nullptr) {
+    // The measured wait is wall-clock: on a logical-clock track its value
+    // would differ run to run and break golden-trace reproducibility, so
+    // the arg is only attached on wall-clock tracks.
+    if (trace_->logical_clock()) {
+      trace_->instant("exchange_wait");
+    } else {
+      trace_->instant("exchange_wait", "us",
+                      static_cast<std::uint64_t>(pending.wait_seconds() * 1e6));
+    }
+    trace_->instant("inflight_depth", "depth", pending.max_inflight());
+  }
+}
+
+void RankEngine::drain_overlap() {
+  // Async overlap between exchange arrivals: worklist propagation only.
+  // Repairs stay queued for the post-barrier drain — running one here
+  // could read a value whose witness chain a still-in-flight poison
+  // marker is about to kill (the count-to-infinity guard).
+  if (worklist_.empty()) return;
+  const double t0 = thread_cpu_now();
+  ShardCtx ctx = serial_ctx();
+  while (!worklist_.empty()) {
+    const auto [x, t] = worklist_.front();
+    worklist_.pop_front();
+    propagate(ctx, x, t);
+  }
+  const double dt = thread_cpu_now() - t0;
+  drain_cpu_seconds_ += dt;
+  drain_modeled_seconds_ += dt;
 }
 
 void RankEngine::apply_incoming(const std::vector<std::vector<std::byte>>& in) {
   for (Rank q = 0; q < comm_.size(); ++q) {
-    if (q == comm_.rank() || in[static_cast<std::size_t>(q)].empty()) continue;
-    rt::ByteReader rd(in[static_cast<std::size_t>(q)]);
-    while (!rd.done()) {
-      rt::DvRecordReader rec(rd);
-      const VertexId b = rec.vid();
-      const bool portal = lg_.is_portal(b);
-      for (std::uint32_t i = 0; i < rec.count(); ++i) {
-        const auto [t, d] = rec.next();
-        if (portal) apply_portal_value(b, t, d);
-      }
-      if (!portal) caches_.erase(b);  // stale sender view; drop leftovers
+    if (q == comm_.rank()) continue;
+    apply_incoming_payload(q, in[static_cast<std::size_t>(q)]);
+  }
+}
+
+void RankEngine::apply_incoming_payload(Rank q,
+                                        std::span<const std::byte> payload) {
+  (void)q;
+  if (payload.empty()) return;
+  rt::ByteReader rd(payload);
+  while (!rd.done()) {
+    rt::DvRecordReader rec(rd);
+    const VertexId b = rec.vid();
+    const bool portal = lg_.is_portal(b);
+    for (std::uint32_t i = 0; i < rec.count(); ++i) {
+      const auto [t, d] = rec.next();
+      if (portal) apply_portal_value(b, t, d);
     }
+    if (!portal) caches_.erase(b);  // stale sender view; drop leftovers
   }
 }
 
 bool RankEngine::poison_sync_round() {
   const Rank P = comm_.size();
-  std::vector<rt::ByteWriter> writers(static_cast<std::size_t>(P));
+  if (sync_writers_.size() < static_cast<std::size_t>(P)) {
+    sync_writers_.resize(static_cast<std::size_t>(P));
+  }
+  std::vector<rt::ByteWriter>& writers = sync_writers_;
+  for (auto& w : writers) w.clear();
   std::vector<Rank>& subs = exch_subs_;
   std::vector<VertexId>& dirty_cols = exch_dirty_cols_;
   std::vector<std::pair<VertexId, Dist>>& dead = exch_entries_;
-  std::vector<std::pair<std::size_t, VertexId>> sent_markers;
+  std::vector<std::pair<std::size_t, VertexId>>& sent_markers = sync_markers_;
+  sent_markers.clear();
 
   for (std::size_t r = 0; r < rows_.size(); ++r) {
     DvRow& row = rows_[r];
@@ -826,17 +951,50 @@ bool RankEngine::poison_sync_round() {
     }
   }
 
-  std::vector<std::vector<std::byte>> out;
-  out.reserve(static_cast<std::size_t>(P));
-  for (auto& w : writers) out.push_back(w.take());
-  auto in = comm_.all_to_all(std::move(out));
-  // As in exchange(): markers are retired only after the collective
-  // returns, so an aborted round leaves them pending for the recovery
-  // stash instead of silently un-sent.
-  for (const auto& [r, t] : sent_markers) {
-    if (rows_[r].clear_dirty(t)) --dirty_entries_;
+  // Same transport path as exchange(), at the same window. No drain
+  // overlap in any mode: the barrier exists to flush poison markers before
+  // repairs run, so interleaving propagation here would buy nothing and
+  // muddy the count-to-infinity argument.
+  const Rank window = cfg_.exchange_mode == ExchangeMode::kDeterministic
+                          ? 1
+                          : effective_exchange_window();
+  auto pending = comm_.all_to_all_begin(window);
+  pending.submit(comm_.rank(),
+                 writers[static_cast<std::size_t>(comm_.rank())].take());
+  for (Rank s = 1; s < P; ++s) {
+    const Rank dst = (comm_.rank() + s) % P;
+    pending.submit(dst, writers[static_cast<std::size_t>(dst)].take());
   }
-  apply_incoming(in);
+
+  if (cfg_.exchange_mode == ExchangeMode::kDeterministic) {
+    auto in = pending.wait_all();
+    note_exchange_overlap(pending);
+    // As in exchange(): markers are retired only after the collective
+    // returns, so an aborted round leaves them pending for the recovery
+    // stash instead of silently un-sent.
+    for (const auto& [r, t] : sent_markers) {
+      if (rows_[r].clear_dirty(t)) --dirty_entries_;
+    }
+    apply_incoming(in);
+  } else {
+    // Pipelined: all sends are issued once the submits return, so the
+    // markers retire now (before any arrival is applied); an aborted drain
+    // re-marks them for the recovery stash, mirroring exchange().
+    for (const auto& [r, t] : sent_markers) {
+      if (rows_[r].clear_dirty(t)) --dirty_entries_;
+    }
+    try {
+      while (auto arrival = pending.try_recv_any()) {
+        apply_incoming_payload(arrival->src, arrival->payload);
+      }
+    } catch (...) {
+      for (const auto& [r, t] : sent_markers) {
+        if (rows_[r].mark_dirty(t)) ++dirty_entries_;
+      }
+      throw;
+    }
+    note_exchange_overlap(pending);
+  }
 
   const bool mine = poison_pending_;
   poison_pending_ = false;
@@ -1426,6 +1584,8 @@ void RankEngine::record_step(std::size_t step) {
   rec.cpu_seconds = thread_cpu_now();
   rec.drain_cpu_seconds = drain_cpu_seconds_;
   rec.drain_modeled_seconds = drain_modeled_seconds_;
+  rec.exchange_wait_seconds = exchange_wait_seconds_;
+  rec.exchange_inflight = exchange_inflight_step_;  // per-step max, not delta
   step_log_.push_back(rec);
   if (metrics_ != nullptr) {
     // Fold cumulative algorithm counters into the registry once per step
@@ -1439,8 +1599,11 @@ void RankEngine::record_step(std::size_t step) {
     m_drain_cpu_->add(drain_cpu_seconds_ - folded_.drain_cpu_seconds);
     m_drain_modeled_->add(drain_modeled_seconds_ -
                           folded_.drain_modeled_seconds);
+    m_exch_wait_->add(exchange_wait_seconds_ - folded_.exchange_wait_seconds);
+    m_exch_inflight_->record(exchange_inflight_step_);
     folded_ = rec;
   }
+  exchange_inflight_step_ = 0;  // per-step high-water, reset at each record
 }
 
 std::vector<std::pair<VertexId, double>> RankEngine::local_top_harmonic(
@@ -1493,6 +1656,8 @@ void RankEngine::progress_step(const char* phase, std::size_t step) {
   w.write<std::uint64_t>(queue_depth_step_);
   w.write<std::uint64_t>(comm_.ledger().bytes_sent);
   w.write<std::uint64_t>(comm_.ledger().retransmits);
+  w.write<double>(cur.exchange_wait_seconds - prev.exchange_wait_seconds);
+  w.write<std::uint64_t>(cur.exchange_inflight);
   const std::size_t k = cfg_.progress.top_k;
   const auto top = local_top_harmonic(k);
   w.write<std::uint32_t>(static_cast<std::uint32_t>(top.size()));
@@ -1526,6 +1691,8 @@ void RankEngine::progress_step(const char* phase, std::size_t step) {
     ev.queue_max = std::max(ev.queue_max, queued);
     ev.bytes += r.read<std::uint64_t>();
     ev.retransmits += r.read<std::uint64_t>();
+    ev.exchange_wait_seconds += r.read<double>();
+    ev.inflight_depth = std::max(ev.inflight_depth, r.read<std::uint64_t>());
     const auto count = r.read<std::uint32_t>();
     for (std::uint32_t i = 0; i < count; ++i) {
       const auto v = r.read<VertexId>();

@@ -51,6 +51,13 @@ struct StepLocal {
   /// LogGP treatment of ranks. Equal on the serial path.
   double drain_cpu_seconds = 0.0;
   double drain_modeled_seconds = 0.0;
+  /// Wall seconds this rank spent blocked in exchange recvs (cumulative,
+  /// like the counters above — the overlap win shows up as this shrinking).
+  double exchange_wait_seconds = 0.0;
+  /// Max sends in flight ahead of the completed recvs across this step's
+  /// collectives. Per-step maximum, NOT cumulative: the driver folds it
+  /// with max, not delta.
+  std::uint64_t exchange_inflight = 0;
 };
 
 class RankEngine {
@@ -210,6 +217,19 @@ class RankEngine {
   // ---- RC step pieces ----
   void exchange();
   void apply_incoming(const std::vector<std::vector<std::byte>>& in);
+  /// Decodes one peer's exchange payload and applies it (portal values
+  /// relax/cascade; non-portal records drop the stale cache). Unit of the
+  /// pipelined arrival-order apply.
+  void apply_incoming_payload(Rank q, std::span<const std::byte> payload);
+  /// Effective send-window depth for the pipelined/async exchange:
+  /// cfg.exchange_window clamped to [1, P-1], 0 = auto = P-1.
+  [[nodiscard]] Rank effective_exchange_window() const;
+  /// Async-mode overlap: runs queued worklist propagation (never repairs —
+  /// those wait for the poison barrier) between exchange arrivals.
+  void drain_overlap();
+  /// Records a finished collective's overlap telemetry (wait seconds,
+  /// in-flight high-water) into the step accounting and trace.
+  void note_exchange_overlap(const rt::PendingAllToAll& pending);
   /// One round of the poison-synchronization barrier: sends only the
   /// newly-invalidated (infinite) boundary entries, applies received
   /// poisons, cascades. Returns whether this rank generated new poisons.
@@ -295,6 +315,19 @@ class RankEngine {
   std::vector<VertexId> exch_dirty_cols_;
   std::vector<std::pair<VertexId, Dist>> exch_entries_;
   rt::ByteWriter exch_record_;
+  /// Per-destination payload slots for the collectives (the outer vector is
+  /// the reusable part; inner buffers hand their storage to the transport).
+  std::vector<std::vector<std::byte>> exch_out_;
+  /// poison_sync_round() per-destination writers + sent markers.
+  std::vector<rt::ByteWriter> sync_writers_;
+  std::vector<std::pair<std::size_t, VertexId>> sync_markers_;
+  /// Pipelined exchange: (row, count) spans into exch_cleared_cols_
+  /// recording exactly which dirty columns the retire step cleared, so an
+  /// aborted collective can re-mark its pending sends before the recovery
+  /// stash is taken (deterministic mode never needs this — it retires only
+  /// after the full collective returns).
+  std::vector<std::pair<std::size_t, std::size_t>> exch_cleared_spans_;
+  std::vector<VertexId> exch_cleared_cols_;
 
   // Observability. trace_ is this rank's main track (null = off); shard
   // workers fetch their subtrack from tracer_. The cached instrument
@@ -311,6 +344,8 @@ class RankEngine {
   obs::Gauge* m_drain_cpu_ = nullptr;
   obs::Gauge* m_drain_modeled_ = nullptr;
   obs::Histogram* m_queue_depth_ = nullptr;
+  obs::Gauge* m_exch_wait_ = nullptr;
+  obs::Histogram* m_exch_inflight_ = nullptr;
   StepLocal folded_{};
   // Progress feed. progress_active_ caches cfg_.progress.active() (the
   // SPMD-consistent switch every rank tests once per step); progress_ is
@@ -328,6 +363,8 @@ class RankEngine {
   std::uint64_t repair_count_ = 0;
   double drain_cpu_seconds_ = 0.0;      // cumulative, see StepLocal
   double drain_modeled_seconds_ = 0.0;  // cumulative, see StepLocal
+  double exchange_wait_seconds_ = 0.0;  // cumulative, see StepLocal
+  std::uint64_t exchange_inflight_step_ = 0;  // per-step max; record_step resets
   std::vector<StepLocal> step_log_;
   std::vector<std::vector<std::pair<VertexId, double>>> step_quality_;
 };

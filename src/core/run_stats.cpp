@@ -67,7 +67,10 @@ void RunStats::to_json(std::ostream& os, bool include_steps) const {
   jdouble(os, rc_drain_cpu_seconds);
   os << ",\"rc_drain_modeled_seconds\":";
   jdouble(os, rc_drain_modeled_seconds);
-  os << ",\"recoveries\":" << recoveries
+  os << ",\"rc_exchange_wait_seconds\":";
+  jdouble(os, rc_exchange_wait_seconds);
+  os << ",\"rc_max_inflight_depth\":" << rc_max_inflight_depth
+     << ",\"recoveries\":" << recoveries
      << ",\"invariant_violations\":" << invariant_violations
      << ",\"cut_edges_initial\":" << cut_edges_initial
      << ",\"cut_edges_final\":" << cut_edges_final << ",\"imbalance_final\":";
@@ -88,7 +91,9 @@ void RunStats::to_json(std::ostream& os, bool include_steps) const {
       jdouble(os, s.sum_drain_cpu_seconds);
       os << ",\"max_drain_modeled_seconds\":";
       jdouble(os, s.max_drain_modeled_seconds);
-      os << "}";
+      os << ",\"sum_exchange_wait_seconds\":";
+      jdouble(os, s.sum_exchange_wait_seconds);
+      os << ",\"max_inflight_depth\":" << s.max_inflight_depth << "}";
     }
     os << "]";
   }

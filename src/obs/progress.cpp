@@ -31,6 +31,9 @@ std::string to_ndjson(const ProgressEvent& ev) {
      << ",\"repairs\":" << ev.repairs << ",\"queue_sum\":" << ev.queue_sum
      << ",\"queue_max\":" << ev.queue_max << ",\"bytes\":" << ev.bytes
      << ",\"retransmits\":" << ev.retransmits
+     << ",\"exchange_wait_seconds\":";
+  jdouble(os, ev.exchange_wait_seconds);
+  os << ",\"inflight_depth\":" << ev.inflight_depth
      << ",\"recoveries\":" << ev.recoveries;
   if (ev.has_estimators) {
     os << ",\"topk_overlap\":";
@@ -212,6 +215,10 @@ bool parse_progress_event(const std::string& line, ProgressEvent& out) {
         if (!u64(out.bytes)) return false;
       } else if (key == "retransmits") {
         if (!u64(out.retransmits)) return false;
+      } else if (key == "exchange_wait_seconds") {
+        if (!parse_json_number(c, out.exchange_wait_seconds)) return false;
+      } else if (key == "inflight_depth") {
+        if (!u64(out.inflight_depth)) return false;
       } else if (key == "topk_overlap") {
         if (!parse_json_number(c, out.topk_overlap)) return false;
         saw_overlap = true;

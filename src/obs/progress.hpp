@@ -58,7 +58,11 @@ struct ProgressEvent {
   // ---- transport + recovery health (cumulative) ----
   std::uint64_t bytes = 0;        ///< wire bytes sent so far (all ranks)
   std::uint64_t retransmits = 0;  ///< frames resent so far
-  std::size_t recoveries = 0;     ///< supervised relaunches so far
+  // ---- exchange overlap this step (additive v1 fields; older readers
+  // skip them via the unknown-field rule) ----
+  double exchange_wait_seconds = 0;  ///< Σ over ranks of blocked recv time
+  std::uint64_t inflight_depth = 0;  ///< max sends in flight (worst rank)
+  std::size_t recoveries = 0;        ///< supervised relaunches so far
   // ---- online quality estimators (rc_step/done only, needs a previous
   // step to compare against; has_estimators gates the JSON fields) ----
   bool has_estimators = false;

@@ -83,6 +83,10 @@ class TraceTrack {
 
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
   [[nodiscard]] std::size_t size() const { return used_; }
+  /// True when this track stamps deterministic tick timestamps. Callers
+  /// with inherently wall-clock-derived args (e.g. measured wait times)
+  /// must skip them on logical-clock tracks to keep golden traces stable.
+  [[nodiscard]] bool logical_clock() const { return logical_clock_; }
 
  private:
   friend class Tracer;

@@ -418,25 +418,130 @@ std::vector<std::byte> Comm::broadcast(std::vector<std::byte> buf, Rank root) {
 
 std::vector<std::vector<std::byte>> Comm::all_to_all(
     std::vector<std::vector<std::byte>> out) {
-  const Rank P = size();
-  AACC_CHECK(static_cast<Rank>(out.size()) == P);
+  // Window 1 = the classic blocking shift schedule (send round s, then
+  // block on round s's recv), reproduced send for send and recv for recv
+  // by the windowed engine below.
+  return all_to_all_start(std::move(out), 1).wait_all();
+}
+
+PendingAllToAll Comm::all_to_all_begin(Rank window_k) {
   const std::int32_t tag = collective_tag(op_seq_);
   const std::uint32_t op = op_seq_++;
+  return PendingAllToAll(this, window_k, tag, op);
+}
 
-  std::vector<std::vector<std::byte>> in(static_cast<std::size_t>(P));
-  in[static_cast<std::size_t>(rank_)] = std::move(out[static_cast<std::size_t>(rank_)]);
-
-  // Shift schedule: round s exchanges with rank +s / -s. Sends are
-  // non-blocking mailbox puts, so the pairwise recv cannot deadlock.
+PendingAllToAll Comm::all_to_all_start(std::vector<std::vector<std::byte>> out,
+                                       Rank window_k) {
+  const Rank P = size();
+  AACC_CHECK(static_cast<Rank>(out.size()) == P);
+  PendingAllToAll pending = all_to_all_begin(window_k);
+  // Own slot first, then shift order — the order submit() issues sends in.
+  pending.submit(rank_, std::move(out[static_cast<std::size_t>(rank_)]));
   for (Rank s = 1; s < P; ++s) {
     const Rank dst = (rank_ + s) % P;
-    const Rank src = ((rank_ - s) % P + P) % P;
-    put_message(dst, tag, std::move(out[static_cast<std::size_t>(dst)]),
-                OpKind::kAllToAll, op);
-    Message m = recv(src, tag);
-    in[static_cast<std::size_t>(src)] = std::move(m.payload);
+    pending.submit(dst, std::move(out[static_cast<std::size_t>(dst)]));
   }
-  return in;
+  return pending;
+}
+
+// ------------------------------------------------------------ PendingAllToAll
+
+PendingAllToAll::PendingAllToAll(Comm* comm, Rank window, std::int32_t tag,
+                                 std::uint32_t op)
+    : comm_(comm),
+      window_(std::clamp<Rank>(window, 1,
+                               std::max<Rank>(1, comm->size() - 1))),
+      tag_(tag),
+      op_(op),
+      P_(comm->size()),
+      me_(comm->rank()),
+      out_(static_cast<std::size_t>(P_)),
+      in_(static_cast<std::size_t>(P_)),
+      submitted_(static_cast<std::size_t>(P_), false) {}
+
+void PendingAllToAll::pump() {
+  while (next_send_s_ < P_) {
+    const Rank dst = (me_ + next_send_s_) % P_;
+    if (!submitted_[static_cast<std::size_t>(dst)]) return;  // not assembled yet
+    if (sends_issued_ - recvs_taken_ >= window_) return;     // window full
+    comm_->put_message(dst, tag_,
+                       std::move(out_[static_cast<std::size_t>(dst)]),
+                       OpKind::kAllToAll, op_);
+    ++sends_issued_;
+    ++next_send_s_;
+    max_inflight_ = std::max<std::uint64_t>(
+        max_inflight_, static_cast<std::uint64_t>(sends_issued_ - recvs_taken_));
+  }
+}
+
+void PendingAllToAll::recv_one() {
+  // At window 1 each recv names its shift source: round r's arrival comes
+  // from rank - r. This keeps the legacy blocking schedule's matching (and
+  // its failure attribution: a wait aborts only when *that* peer died,
+  // not when any rank did). Deeper windows take whatever lands first.
+  const Rank round = recvs_taken_ + 1;
+  const Rank src =
+      window_ == 1 ? ((me_ - round) % P_ + P_) % P_ : kAnySource;
+  const auto t0 = std::chrono::steady_clock::now();
+  Message m = comm_->recv(src, tag_);
+  wait_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  in_[static_cast<std::size_t>(m.src)] = std::move(m.payload);
+  ready_.push_back(m.src);
+  ++recvs_taken_;
+}
+
+void PendingAllToAll::submit(Rank dst, std::vector<std::byte> payload) {
+  AACC_CHECK(dst >= 0 && dst < P_);
+  AACC_CHECK(!submitted_[static_cast<std::size_t>(dst)]);
+  submitted_[static_cast<std::size_t>(dst)] = true;
+  ++submitted_count_;
+  if (dst == me_) {
+    in_[static_cast<std::size_t>(me_)] = std::move(payload);
+    pump();
+    return;
+  }
+  out_[static_cast<std::size_t>(dst)] = std::move(payload);
+  for (;;) {
+    pump();
+    if (next_send_s_ >= P_) return;  // everything issued
+    const Rank next = (me_ + next_send_s_) % P_;
+    if (!submitted_[static_cast<std::size_t>(next)]) return;  // waiting on caller
+    recv_one();  // window full: drain (and buffer) one arrival to open it
+  }
+}
+
+std::optional<PendingAllToAll::Arrival> PendingAllToAll::try_recv_any() {
+  pump();
+  if (ready_.empty()) {
+    if (delivered_ >= P_ - 1) {
+      AACC_CHECK_MSG(submitted_count_ == P_,
+                     "all-to-all drained before every destination was "
+                     "submitted; peers would deadlock");
+      return std::nullopt;
+    }
+    recv_one();
+    pump();  // the consumed slot may unblock a pending send
+  }
+  const Rank src = ready_.front();
+  ready_.pop_front();
+  ++delivered_;
+  return Arrival{src, std::move(in_[static_cast<std::size_t>(src)])};
+}
+
+std::vector<std::vector<std::byte>> PendingAllToAll::wait_all() {
+  AACC_CHECK_MSG(submitted_count_ == P_,
+                 "all-to-all waited before every destination was submitted");
+  while (recvs_taken_ < P_ - 1) {
+    pump();
+    recv_one();
+  }
+  pump();  // final recv opened the window for any still-unsent round
+  AACC_CHECK(next_send_s_ >= P_);
+  ready_.clear();
+  delivered_ = P_ - 1;
+  return std::move(in_);
 }
 
 std::vector<std::vector<std::byte>> Comm::gather(std::vector<std::byte> buf,
@@ -647,6 +752,10 @@ void World::append_log(const MsgRecord& m) {
 
 double World::modeled_network_seconds(SchedulePolicy policy) const {
   return rt::modeled_network_seconds(log_, params_, policy, size_);
+}
+
+double World::modeled_exchange_seconds(std::uint32_t window) const {
+  return rt::modeled_exchange_makespan(log_, params_, size_, window);
 }
 
 double World::total_cpu_seconds() const {

@@ -33,6 +33,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -155,6 +156,7 @@ struct RankLedger {
 };
 
 class World;
+class PendingAllToAll;
 
 /// A rank's endpoint. Not thread-safe; owned by exactly one rank thread.
 class Comm {
@@ -176,9 +178,26 @@ class Comm {
   std::vector<std::byte> broadcast(std::vector<std::byte> buf, Rank root);
 
   /// Personalized all-to-all: out[r] goes to rank r (out[rank()] is returned
-  /// untouched). Returns in[r] = payload from rank r.
+  /// untouched). Returns in[r] = payload from rank r. Thin wrapper over
+  /// all_to_all_start(..., 1).wait_all(): window 1 reproduces the classic
+  /// blocking shift schedule (send round s, then block on round s's recv)
+  /// byte for byte and wait for wait.
   std::vector<std::vector<std::byte>> all_to_all(
       std::vector<std::vector<std::byte>> out);
+
+  /// Non-blocking personalized all-to-all: submits every destination
+  /// immediately and returns a handle with up to `window_k` sends issued
+  /// ahead of the matching recvs. Drain completions in arrival order with
+  /// try_recv_any(), or collect everything with wait_all(). `window_k` is
+  /// clamped to [1, P-1]; window 1 is the deterministic blocking schedule.
+  PendingAllToAll all_to_all_start(std::vector<std::vector<std::byte>> out,
+                                   Rank window_k);
+
+  /// Incremental variant: consumes this op's collective tag and returns an
+  /// empty handle; the caller feeds destinations with submit() as their
+  /// payloads finish assembly. Every rank must eventually be submitted
+  /// exactly once (own rank included — its payload is just stored).
+  PendingAllToAll all_to_all_begin(Rank window_k);
 
   /// Gather: every rank contributes a buffer; the root returns all P
   /// buffers (indexed by source rank), other ranks return empty.
@@ -205,6 +224,7 @@ class Comm {
 
  private:
   friend class World;
+  friend class PendingAllToAll;
 
   std::uint64_t all_reduce(std::uint64_t value,
                            const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& op);
@@ -244,6 +264,91 @@ class Comm {
     std::vector<std::byte> frame;
   };
   std::unordered_map<Rank, std::vector<DelayedFrame>> delayed_;
+};
+
+/// An in-flight personalized all-to-all (Comm::all_to_all_start /
+/// all_to_all_begin). Sends are issued in shift order (round s goes to
+/// rank + s), at most `window` rounds ahead of the completed recvs; a
+/// submit that would overrun the window first drains (and buffers) one
+/// arrival, so at window 1 the schedule degenerates to the classic
+/// blocking send/recv interleaving. Completions are consumed in arrival
+/// order via try_recv_any() — except at window 1, where each recv names
+/// the deterministic shift source, preserving the legacy failure
+/// semantics and bit-identical accounting.
+///
+/// All traffic leaves through Comm's single egress funnel, so CRC
+/// framing, seqno dedup, sender retry, and fault injection apply to the
+/// windowed schedule unchanged. Deadlock-free for any window: if every
+/// rank were blocked with a full window, P*window messages would sit
+/// undrained in mailboxes, so some rank has a pending match.
+///
+/// Move-only; must be driven by the rank thread that owns the Comm.
+class PendingAllToAll {
+ public:
+  struct Arrival {
+    Rank src = 0;
+    std::vector<std::byte> payload;
+  };
+
+  PendingAllToAll(PendingAllToAll&&) noexcept = default;
+  PendingAllToAll& operator=(PendingAllToAll&&) noexcept = default;
+  PendingAllToAll(const PendingAllToAll&) = delete;
+  PendingAllToAll& operator=(const PendingAllToAll&) = delete;
+  ~PendingAllToAll() = default;
+
+  /// Hands one destination's payload to the transport; the send is issued
+  /// as soon as the shift schedule reaches it within the window. Arrivals
+  /// drained to open the window are buffered, not delivered — the caller
+  /// sees them only through try_recv_any()/wait_all(), so it can finish
+  /// its send-side bookkeeping before touching any incoming data. After
+  /// the final submit, every send has been issued (the transport's puts
+  /// never block; only recvs gate the window).
+  void submit(Rank dst, std::vector<std::byte> payload);
+
+  /// Next peer payload: buffered arrivals first, then live recvs, in
+  /// arrival order. Blocks while messages are outstanding; std::nullopt
+  /// once all P-1 peers have been consumed (which requires every
+  /// destination to have been submitted).
+  std::optional<Arrival> try_recv_any();
+
+  /// Drains everything outstanding and returns in[r] = payload from rank
+  /// r (own slot = the payload submitted to own rank). Slots already
+  /// consumed through try_recv_any() come back empty.
+  std::vector<std::vector<std::byte>> wait_all();
+
+  /// Wall-clock seconds spent blocked in recv so far (overlap telemetry).
+  [[nodiscard]] double wait_seconds() const { return wait_seconds_; }
+  /// High-water mark of sends issued ahead of completed recvs.
+  [[nodiscard]] std::uint64_t max_inflight() const { return max_inflight_; }
+  [[nodiscard]] Rank window() const { return window_; }
+
+ private:
+  friend class Comm;
+  PendingAllToAll(Comm* comm, Rank window, std::int32_t tag, std::uint32_t op);
+
+  /// Issues every send the window and the submitted set currently allow.
+  void pump();
+  /// Blocks for one arrival and buffers it (strict shift source at
+  /// window 1, any-source otherwise).
+  void recv_one();
+
+  Comm* comm_;
+  Rank window_;
+  std::int32_t tag_;
+  std::uint32_t op_;
+  Rank P_;
+  Rank me_;
+  std::vector<std::vector<std::byte>> out_;  ///< pending payloads by dst
+  std::vector<std::vector<std::byte>> in_;   ///< arrivals (+ own slot) by src
+  std::vector<bool> submitted_;
+  std::deque<Rank> ready_;      ///< buffered arrivals not yet delivered
+  Rank submitted_count_ = 0;
+  Rank next_send_s_ = 1;        ///< shift offset of the next unsent round
+  Rank sends_issued_ = 0;
+  Rank recvs_taken_ = 0;
+  Rank delivered_ = 0;
+  double wait_seconds_ = 0.0;
+  std::uint64_t max_inflight_ = 0;
 };
 
 /// Spawns P rank threads, runs fn(Comm&) on each, joins, and keeps the
@@ -298,6 +403,10 @@ class World {
   [[nodiscard]] const std::vector<RankLedger>& ledgers() const { return ledgers_; }
   [[nodiscard]] const std::vector<MsgRecord>& message_log() const { return log_; }
   [[nodiscard]] double modeled_network_seconds(SchedulePolicy policy) const;
+  /// Modeled makespan of the recorded all-to-all traffic under the k-deep
+  /// windowed shift schedule (logp.hpp); window 1 models the blocking
+  /// schedule, so speedup_vs_blocking = f(1) / f(k).
+  [[nodiscard]] double modeled_exchange_seconds(std::uint32_t window) const;
 
   /// Sum over ranks / max over ranks of compute CPU seconds.
   [[nodiscard]] double total_cpu_seconds() const;

@@ -1,0 +1,527 @@
+// Pipelined / async RC exchange equivalence (docs/PROTOCOL.md §"Pipelined
+// exchange"). DV entries are monotone upper bounds and every exchange
+// applies the same set of per-(source, target) values, so the order the
+// pipelined and async modes process arrivals in cannot move the fixed
+// point: closeness, harmonic, final ownership, and the APSP distances must
+// match ExchangeMode::kDeterministic exactly, at every window depth, across
+// additions, deletions, repartitioning, chaos recovery, and fuzzed
+// schedules. What is deliberately NOT compared across modes: first_hop and
+// per-step counters — next-hop tie-breaks follow arrival order (relax only
+// overwrites on a strictly smaller distance), so poison cascades under
+// deletions may take different routes to the same distances.
+//
+// Also covers the transport primitive itself (Comm::all_to_all_start /
+// PendingAllToAll) and the overlap telemetry surfaced through RunStats and
+// the progress feed. This suite runs under TSan in CI: the arrival-order
+// drain and the async overlap drain are the racy-by-construction paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "obs/progress.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/serialize.hpp"
+#include "test_util.hpp"
+
+namespace aacc {
+namespace {
+
+using test::expect_apsp_exact;
+using test::grow_vertices;
+using test::make_ba;
+using test::make_er;
+
+// ------------------------------------------------------------ comm level
+
+std::vector<std::byte> payload_of(std::uint64_t v) {
+  rt::ByteWriter w;
+  w.write(v);
+  return w.take();
+}
+
+std::uint64_t value_of(const std::vector<std::byte>& buf) {
+  rt::ByteReader r(buf);
+  return r.read<std::uint64_t>();
+}
+
+std::vector<std::vector<std::byte>> personalized(Rank me, Rank P) {
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(P));
+  for (Rank q = 0; q < P; ++q) {
+    out[static_cast<std::size_t>(q)] =
+        payload_of(static_cast<std::uint64_t>(me * 1000 + q));
+  }
+  return out;
+}
+
+TEST(PendingAllToAllTest, DeliversAtEveryWindowDepth) {
+  constexpr Rank P = 5;
+  for (const Rank window : {Rank{1}, Rank{2}, Rank{P - 1}, Rank{100}}) {
+    rt::World world(P);
+    std::vector<int> failures(static_cast<std::size_t>(P), 0);
+    world.run([&](rt::Comm& comm) {
+      auto pending =
+          comm.all_to_all_start(personalized(comm.rank(), P), window);
+      auto in = pending.wait_all();
+      for (Rank q = 0; q < P; ++q) {
+        if (value_of(in[static_cast<std::size_t>(q)]) !=
+            static_cast<std::uint64_t>(q * 1000 + comm.rank())) {
+          ++failures[static_cast<std::size_t>(comm.rank())];
+        }
+      }
+    });
+    for (const int f : failures) EXPECT_EQ(f, 0) << "window=" << window;
+  }
+}
+
+TEST(PendingAllToAllTest, WindowOneMatchesBlockingWrapperLedgers) {
+  // all_to_all is a thin wrapper over all_to_all_start(out, 1).wait_all();
+  // deeper windows reorder recv completions but move the exact same frames,
+  // so the ledgers (bytes and message counts) must be identical.
+  constexpr Rank P = 4;
+  std::vector<rt::RankLedger> ref;
+  for (const Rank window : {Rank{0}, Rank{1}, Rank{3}}) {
+    rt::World world(P);
+    world.run([&](rt::Comm& comm) {
+      if (window == 0) {
+        auto in = comm.all_to_all(personalized(comm.rank(), P));
+        ASSERT_EQ(value_of(in[0]), static_cast<std::uint64_t>(comm.rank()));
+      } else {
+        auto pending =
+            comm.all_to_all_start(personalized(comm.rank(), P), window);
+        auto in = pending.wait_all();
+        ASSERT_EQ(value_of(in[0]), static_cast<std::uint64_t>(comm.rank()));
+      }
+    });
+    if (window == 0) {
+      ref = world.ledgers();
+      continue;
+    }
+    const auto& got = world.ledgers();
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t r = 0; r < ref.size(); ++r) {
+      EXPECT_EQ(got[r].bytes_sent, ref[r].bytes_sent)
+          << "window=" << window << " rank " << r;
+      EXPECT_EQ(got[r].messages_sent, ref[r].messages_sent)
+          << "window=" << window << " rank " << r;
+      EXPECT_EQ(got[r].bytes_received, ref[r].bytes_received)
+          << "window=" << window << " rank " << r;
+    }
+  }
+}
+
+TEST(PendingAllToAllTest, TryRecvAnyConsumesEachPeerExactlyOnce) {
+  constexpr Rank P = 4;
+  rt::World world(P);
+  std::vector<int> failures(static_cast<std::size_t>(P), 0);
+  world.run([&](rt::Comm& comm) {
+    auto pending = comm.all_to_all_start(personalized(comm.rank(), P), 2);
+    std::set<Rank> seen;
+    while (auto arrival = pending.try_recv_any()) {
+      if (arrival->src == comm.rank() ||
+          value_of(arrival->payload) !=
+              static_cast<std::uint64_t>(arrival->src * 1000 + comm.rank()) ||
+          !seen.insert(arrival->src).second) {
+        ++failures[static_cast<std::size_t>(comm.rank())];
+      }
+    }
+    if (seen.size() != static_cast<std::size_t>(P - 1)) {
+      ++failures[static_cast<std::size_t>(comm.rank())];
+    }
+    // Consumed slots come back empty from wait_all; the own slot survives.
+    auto in = pending.wait_all();
+    for (Rank q = 0; q < P; ++q) {
+      const auto& slot = in[static_cast<std::size_t>(q)];
+      if (q == comm.rank()
+              ? value_of(slot) !=
+                    static_cast<std::uint64_t>(comm.rank() * 1000 + q)
+              : !slot.empty()) {
+        ++failures[static_cast<std::size_t>(comm.rank())];
+      }
+    }
+  });
+  for (const int f : failures) EXPECT_EQ(f, 0);
+}
+
+TEST(PendingAllToAllTest, IncrementalSubmitInAnyOrder) {
+  // all_to_all_begin: destinations are fed as their payloads finish
+  // assembly — here in reverse shift order, the worst case for the pump.
+  constexpr Rank P = 4;
+  rt::World world(P);
+  std::vector<int> failures(static_cast<std::size_t>(P), 0);
+  world.run([&](rt::Comm& comm) {
+    auto pending = comm.all_to_all_begin(2);
+    for (Rank s = P - 1; s >= 0; --s) {
+      const Rank dst = (comm.rank() + s) % P;
+      pending.submit(dst, payload_of(static_cast<std::uint64_t>(
+                              comm.rank() * 1000 + dst)));
+    }
+    auto in = pending.wait_all();
+    for (Rank q = 0; q < P; ++q) {
+      if (value_of(in[static_cast<std::size_t>(q)]) !=
+          static_cast<std::uint64_t>(q * 1000 + comm.rank())) {
+        ++failures[static_cast<std::size_t>(comm.rank())];
+      }
+    }
+  });
+  for (const int f : failures) EXPECT_EQ(f, 0);
+}
+
+TEST(PendingAllToAllTest, WindowClampAndInflightTelemetry) {
+  constexpr Rank P = 4;
+  rt::World world(P);
+  std::vector<Rank> windows(static_cast<std::size_t>(P), 0);
+  std::vector<std::uint64_t> inflight(static_cast<std::size_t>(P), 0);
+  world.run([&](rt::Comm& comm) {
+    {
+      auto clamped = comm.all_to_all_start(personalized(comm.rank(), P), 100);
+      windows[static_cast<std::size_t>(comm.rank())] = clamped.window();
+      clamped.wait_all();
+    }
+    // All destinations submitted up front: the pump issues straight to the
+    // window limit before the first recv, so the high-water mark is exactly
+    // min(window, P-1).
+    auto pending = comm.all_to_all_start(personalized(comm.rank(), P), 2);
+    pending.wait_all();
+    inflight[static_cast<std::size_t>(comm.rank())] = pending.max_inflight();
+    EXPECT_GE(pending.wait_seconds(), 0.0);
+  });
+  for (const Rank w : windows) EXPECT_EQ(w, P - 1);
+  for (const std::uint64_t d : inflight) EXPECT_EQ(d, 2u);
+}
+
+TEST(PendingAllToAllTest, SingleRankWorldIsANoOp) {
+  rt::World world(1);
+  world.run([&](rt::Comm& comm) {
+    auto pending = comm.all_to_all_start(personalized(comm.rank(), 1), 8);
+    auto in = pending.wait_all();
+    ASSERT_EQ(in.size(), 1u);
+    EXPECT_EQ(value_of(in[0]), 0u);
+    EXPECT_EQ(pending.max_inflight(), 0u);
+  });
+}
+
+// ----------------------------------------------------- config validation
+
+TEST(ExchangeConfigTest, DeterministicModeRejectsDeepWindows) {
+  EngineConfig cfg;
+  cfg.exchange_mode = ExchangeMode::kDeterministic;
+  cfg.exchange_window = 2;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.exchange_window = 1;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.exchange_window = 0;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ExchangeConfigTest, WindowBoundsCatchSignBugs) {
+  EngineConfig cfg;
+  cfg.exchange_mode = ExchangeMode::kPipelined;
+  cfg.exchange_window = static_cast<std::size_t>(-1);
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.exchange_window = 8;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+// ------------------------------------------------------- engine modes
+
+RunResult run_mode(const Graph& g, const EventSchedule& sched,
+                   EngineConfig cfg, ExchangeMode mode, std::size_t window) {
+  cfg.gather_apsp = true;
+  cfg.exchange_mode = mode;
+  cfg.exchange_window = window;
+  AnytimeEngine engine(g, cfg);
+  return engine.run(sched);
+}
+
+const char* mode_name(ExchangeMode m) {
+  switch (m) {
+    case ExchangeMode::kDeterministic: return "deterministic";
+    case ExchangeMode::kPipelined: return "pipelined";
+    case ExchangeMode::kAsync: return "async";
+  }
+  return "?";
+}
+
+/// The order-independent fixed point: distances and everything derived
+/// from them. first_hop and per-step counters are intentionally absent
+/// (next-hop tie-breaks follow arrival order; see the header comment).
+void expect_same_fixed_point(const RunResult& ref, const RunResult& r,
+                             const std::string& label) {
+  EXPECT_EQ(r.closeness, ref.closeness) << label;
+  EXPECT_EQ(r.harmonic, ref.harmonic) << label;
+  EXPECT_EQ(r.final_owner, ref.final_owner) << label;
+  EXPECT_EQ(r.degraded, ref.degraded) << label;
+  EXPECT_EQ(r.stats.invariant_violations, 0u) << label;
+  ASSERT_EQ(r.apsp.size(), ref.apsp.size()) << label;
+  for (VertexId u = 0; u < ref.apsp.size(); ++u) {
+    ASSERT_EQ(r.apsp[u], ref.apsp[u]) << label << " row " << u;
+  }
+}
+
+/// Deterministic oracle vs every overlapping mode at window depths 1, 2,
+/// and 0 (auto = P-1), plus the ground-truth APSP check on the oracle.
+void sweep_modes(const Graph& g, const EventSchedule& sched,
+                 const EngineConfig& base, const Graph& truth) {
+  const RunResult ref =
+      run_mode(g, sched, base, ExchangeMode::kDeterministic, 0);
+  EXPECT_EQ(ref.stats.invariant_violations, 0u);
+  expect_apsp_exact(truth, ref);
+  for (const ExchangeMode mode :
+       {ExchangeMode::kPipelined, ExchangeMode::kAsync}) {
+    for (const std::size_t w : {std::size_t{1}, std::size_t{2}, std::size_t{0}}) {
+      const RunResult r = run_mode(g, sched, base, mode, w);
+      const std::string label =
+          std::string(mode_name(mode)) + " window=" + std::to_string(w);
+      expect_same_fixed_point(ref, r, label);
+    }
+  }
+}
+
+TEST(AsyncExchange, StaticRunReachesTheSameFixedPoint) {
+  const Graph g = make_er(200, 600, 81, WeightRange{1, 5});
+  EngineConfig cfg;
+  cfg.num_ranks = 4;
+  cfg.validate_each_step = true;
+  sweep_modes(g, {}, cfg, g);
+}
+
+TEST(AsyncExchange, AdditionsReachTheSameFixedPoint) {
+  const Graph g = make_er(220, 660, 82, WeightRange{1, 5});
+  Rng rng(83);
+  Graph grown = g;
+  EventSchedule sched;
+  EventBatch b;
+  b.at_step = 1;
+  for (const Event& e : grow_vertices(grown, 12, 2, rng)) {
+    apply_event(grown, e);
+    b.events.push_back(e);
+  }
+  sched.push_back(std::move(b));
+
+  EngineConfig cfg;
+  cfg.num_ranks = 4;
+  cfg.validate_each_step = true;
+  sweep_modes(g, sched, cfg, grown);
+}
+
+TEST(AsyncExchange, DeletionsReachTheSameFixedPoint) {
+  // Deletions exercise the poison barrier: pipelined/async runs may route
+  // poison cascades differently (tie-broken next hops), but the repaired
+  // distances must land on the oracle's fixed point.
+  const Graph g = make_ba(200, 3, 84, WeightRange{1, 6});
+  Rng rng(85);
+  Graph truth = g;
+  EventSchedule sched;
+  EventBatch b;
+  b.at_step = 1;
+  for (int i = 0; i < 8; ++i) {
+    const auto edges = truth.edges();
+    const auto& [u, v, w] = edges[rng.next_below(edges.size())];
+    (void)w;
+    truth.remove_edge(u, v);
+    b.events.emplace_back(EdgeDeleteEvent{u, v});
+  }
+  sched.push_back(std::move(b));
+
+  EngineConfig cfg;
+  cfg.num_ranks = 3;
+  cfg.validate_each_step = true;
+  sweep_modes(g, sched, cfg, truth);
+}
+
+TEST(AsyncExchange, RepartitionReachesTheSameFixedPoint) {
+  const Graph g = make_er(180, 540, 86, WeightRange{1, 4});
+  Rng rng(87);
+  Graph grown = g;
+  EventSchedule sched;
+  EventBatch b;
+  b.at_step = 2;
+  for (const Event& e : grow_vertices(grown, 10, 2, rng)) {
+    apply_event(grown, e);
+    b.events.push_back(e);
+  }
+  sched.push_back(std::move(b));
+
+  EngineConfig cfg;
+  cfg.num_ranks = 3;
+  cfg.assign = AssignStrategy::kRepartition;
+  sweep_modes(g, sched, cfg, grown);
+}
+
+TEST(AsyncExchange, ChaosRecoveryReachesTheSameFixedPoint) {
+  // Seeded FaultPlan with a mid-run crash: checkpoint rollback + replay
+  // must land on the oracle's converged state in all three modes. The
+  // abort path matters here — a pipelined exchange killed mid-drain
+  // re-marks its retired columns dirty before the recovery stash walks
+  // the survivors (docs/PROTOCOL.md §"Pipelined exchange").
+  const Graph g = make_er(180, 540, 88, WeightRange{1, 4});
+  Rng rng(89);
+  Graph grown = g;
+  EventSchedule sched;
+  EventBatch b;
+  b.at_step = 1;
+  for (const Event& e : grow_vertices(grown, 8, 2, rng)) {
+    apply_event(grown, e);
+    b.events.push_back(e);
+  }
+  {
+    const auto edges = grown.edges();
+    const auto& [u, v, w] = edges[rng.next_below(edges.size())];
+    (void)w;
+    grown.remove_edge(u, v);
+    b.events.emplace_back(EdgeDeleteEvent{u, v});
+  }
+  sched.push_back(std::move(b));
+
+  EngineConfig cfg;
+  cfg.num_ranks = 3;
+  cfg.transport.retry_backoff = std::chrono::microseconds(1);
+  cfg.transport.recv_timeout = std::chrono::seconds(60);
+  cfg.checkpoint_every = 2;
+  cfg.faults.seed = 505;
+  cfg.faults.drop = 0.05;
+  cfg.faults.duplicate = 0.03;
+  cfg.faults.delay = 0.05;
+  cfg.faults.corrupt = 0.05;
+  cfg.faults.crashes.push_back({1, 3});
+
+  const RunResult ref =
+      run_mode(g, sched, cfg, ExchangeMode::kDeterministic, 0);
+  EXPECT_EQ(ref.stats.recoveries, 1u);
+  EXPECT_FALSE(ref.degraded);
+  expect_apsp_exact(grown, ref);
+  for (const ExchangeMode mode :
+       {ExchangeMode::kPipelined, ExchangeMode::kAsync}) {
+    const RunResult r = run_mode(g, sched, cfg, mode, 0);
+    const std::string label = mode_name(mode);
+    EXPECT_EQ(r.stats.recoveries, 1u) << label;
+    // Retried traffic varies under injected faults, so wire totals are not
+    // comparable — the converged state and the recovery count are.
+    expect_same_fixed_point(ref, r, label);
+    expect_apsp_exact(grown, r);
+  }
+}
+
+TEST(AsyncExchange, RandomizedScheduleFuzz) {
+  for (const std::uint64_t seed : {44u, 55u, 66u}) {
+    Rng rng(seed);
+    const Graph g = make_er(150, 450, 2000 + seed, WeightRange{1, 5});
+    Graph truth = g;
+    EventSchedule sched;
+    EventBatch b;
+    b.at_step = 1;
+    for (const Event& e :
+         grow_vertices(truth, 4 + rng.next_below(6), 2, rng)) {
+      apply_event(truth, e);
+      b.events.push_back(e);
+    }
+    const std::size_t dels = 2 + rng.next_below(5);
+    for (std::size_t i = 0; i < dels; ++i) {
+      const auto edges = truth.edges();
+      const auto& [u, v, w] = edges[rng.next_below(edges.size())];
+      (void)w;
+      truth.remove_edge(u, v);
+      b.events.emplace_back(EdgeDeleteEvent{u, v});
+    }
+    const std::size_t changes = 1 + rng.next_below(4);
+    for (std::size_t i = 0; i < changes; ++i) {
+      const auto edges = truth.edges();
+      const auto& [u, v, w] = edges[rng.next_below(edges.size())];
+      const Weight nw = 1 + static_cast<Weight>(rng.next_below(9));
+      if (nw == w) continue;
+      truth.set_weight(u, v, nw);
+      b.events.emplace_back(WeightChangeEvent{u, v, nw});
+    }
+    sched.push_back(std::move(b));
+
+    EngineConfig cfg;
+    cfg.num_ranks = 2 + static_cast<Rank>(seed % 3);
+    const RunResult ref =
+        run_mode(g, sched, cfg, ExchangeMode::kDeterministic, 0);
+    expect_apsp_exact(truth, ref);
+    for (const ExchangeMode mode :
+         {ExchangeMode::kPipelined, ExchangeMode::kAsync}) {
+      const RunResult r = run_mode(g, sched, cfg, mode, 0);
+      const std::string label =
+          std::string(mode_name(mode)) + " seed=" + std::to_string(seed);
+      expect_same_fixed_point(ref, r, label);
+      expect_apsp_exact(truth, r);
+    }
+  }
+}
+
+TEST(AsyncExchange, DeterministicModeIsBitIdenticalAcrossRuns) {
+  // The oracle must stay the oracle: two deterministic runs agree on every
+  // counter and wire byte, and deterministic is the config default.
+  EXPECT_EQ(EngineConfig{}.exchange_mode, ExchangeMode::kDeterministic);
+  const Graph g = make_er(160, 480, 90, WeightRange{1, 5});
+  EngineConfig cfg;
+  cfg.num_ranks = 3;
+  const RunResult a = run_mode(g, {}, cfg, ExchangeMode::kDeterministic, 0);
+  const RunResult b = run_mode(g, {}, cfg, ExchangeMode::kDeterministic, 1);
+  EXPECT_EQ(b.closeness, a.closeness);
+  EXPECT_EQ(b.stats.rc_steps, a.stats.rc_steps);
+  EXPECT_EQ(b.stats.total_bytes, a.stats.total_bytes);
+  EXPECT_EQ(b.stats.total_messages, a.stats.total_messages);
+  ASSERT_EQ(b.first_hop.size(), a.first_hop.size());
+  for (VertexId u = 0; u < a.first_hop.size(); ++u) {
+    ASSERT_EQ(b.first_hop[u], a.first_hop[u]) << "row " << u;
+  }
+}
+
+// --------------------------------------------------- overlap telemetry
+
+TEST(AsyncExchange, OverlapTelemetryReachesStatsAndProgressFeed) {
+  const Graph g = make_er(160, 480, 91, WeightRange{1, 5});
+  std::vector<obs::ProgressEvent> events;
+
+  EngineConfig cfg;
+  cfg.num_ranks = 4;
+  cfg.progress.callback = [&](const obs::ProgressEvent& ev) {
+    events.push_back(ev);
+  };
+  const RunResult det = run_mode(g, {}, cfg, ExchangeMode::kDeterministic, 0);
+  // Window 1: exactly one send in flight whenever the oracle exchanges.
+  EXPECT_EQ(det.stats.rc_max_inflight_depth, 1u);
+  EXPECT_GE(det.stats.rc_exchange_wait_seconds, 0.0);
+
+  events.clear();
+  const RunResult async = run_mode(g, {}, cfg, ExchangeMode::kAsync, 0);
+  // Auto window = P-1 = 3, and every destination is submitted before the
+  // drain, so some step reaches a depth of at least 2.
+  EXPECT_GE(async.stats.rc_max_inflight_depth, 2u);
+  ASSERT_FALSE(async.stats.steps.empty());
+  const auto deepest = std::max_element(
+      async.stats.steps.begin(), async.stats.steps.end(),
+      [](const StepStats& x, const StepStats& y) {
+        return x.max_inflight_depth < y.max_inflight_depth;
+      });
+  EXPECT_EQ(deepest->max_inflight_depth, async.stats.rc_max_inflight_depth);
+
+  bool saw_depth = false;
+  for (const obs::ProgressEvent& ev : events) {
+    if (ev.phase == "rc_step" && ev.inflight_depth >= 2) saw_depth = true;
+  }
+  EXPECT_TRUE(saw_depth) << "no rc_step event carried the overlap depth";
+}
+
+TEST(AsyncExchange, ProgressEventRoundTripsOverlapFields) {
+  obs::ProgressEvent ev;
+  ev.phase = "rc_step";
+  ev.step = 7;
+  ev.exchange_wait_seconds = 0.03125;
+  ev.inflight_depth = 5;
+  const std::string line = obs::to_ndjson(ev);
+  EXPECT_NE(line.find("\"exchange_wait_seconds\":0.03125"), std::string::npos);
+  EXPECT_NE(line.find("\"inflight_depth\":5"), std::string::npos);
+  obs::ProgressEvent back;
+  ASSERT_TRUE(obs::parse_progress_event(line, back));
+  EXPECT_EQ(back.exchange_wait_seconds, ev.exchange_wait_seconds);
+  EXPECT_EQ(back.inflight_depth, ev.inflight_depth);
+}
+
+}  // namespace
+}  // namespace aacc

@@ -93,6 +93,11 @@ void render_event(const obs::ProgressEvent& ev) {
         static_cast<unsigned long long>(ev.relaxations),
         static_cast<unsigned long long>(ev.poisons),
         static_cast<unsigned long long>(ev.repairs));
+    if (ev.exchange_wait_seconds > 0 || ev.inflight_depth > 0) {
+      std::printf("  xwait %6.2fms  depth %llu",
+                  1e3 * ev.exchange_wait_seconds,
+                  static_cast<unsigned long long>(ev.inflight_depth));
+    }
     if (ev.has_estimators) {
       std::printf("  top-k overlap %.3f  tau %+.3f", ev.topk_overlap,
                   ev.kendall_tau);
