@@ -161,6 +161,17 @@ class PeriodicCheckpoints {
     return ck;
   }
 
+  /// The newest snapshot one rank holds, regardless of the other ranks'
+  /// progress — shard adoption needs only the *dead* rank's blob (the
+  /// survivors' live state travels in the supervisor's stash). Returns
+  /// (step, blob) or nullopt when the rank never snapshotted.
+  [[nodiscard]] std::optional<std::pair<std::size_t, std::vector<std::byte>>>
+  latest_for(Rank rank) const {
+    const auto& history = slots_[static_cast<std::size_t>(rank)];
+    if (history.empty()) return std::nullopt;
+    return history.back();
+  }
+
   void clear() {
     for (auto& history : slots_) history.clear();
   }
@@ -168,5 +179,37 @@ class PeriodicCheckpoints {
  private:
   std::vector<std::deque<std::pair<std::size_t, std::vector<std::byte>>>> slots_;
 };
+
+/// Structural validation of a single rank blob about to be adopted into a
+/// *smaller* surviving world: non-empty and, when v2-framed, a well-formed
+/// header with a known version. The whole-world validate_checkpoint cannot
+/// be used here — adoption deliberately restores one rank's shard into a
+/// world that no longer matches the blob's num_ranks. Deep truncation is
+/// caught by the bounds-checked reader during shard extraction. Throws
+/// CheckpointError.
+inline void validate_shard_blob(const std::vector<std::byte>& blob,
+                                Rank source_rank) {
+  if (blob.empty()) {
+    throw CheckpointError("adoption source rank " +
+                          std::to_string(source_rank) +
+                          " checkpoint blob is empty");
+  }
+  if (blob.size() >= 2 &&
+      std::to_integer<std::uint8_t>(blob[0]) == kCkptMagic0 &&
+      std::to_integer<std::uint8_t>(blob[1]) == kCkptMagic1) {
+    if (blob.size() < 3) {
+      throw CheckpointError("adoption source rank " +
+                            std::to_string(source_rank) +
+                            " checkpoint blob truncated inside the header");
+    }
+    const auto version = std::to_integer<std::uint8_t>(blob[2]);
+    if (version != kCkptVersion2) {
+      throw CheckpointError("adoption source rank " +
+                            std::to_string(source_rank) +
+                            " checkpoint blob has unknown version " +
+                            std::to_string(version));
+    }
+  }
+}
 
 }  // namespace aacc

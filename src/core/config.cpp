@@ -103,6 +103,41 @@ void EngineConfig::validate() const {
       fail(os.str());
     }
   }
+  if (recovery_policy.empty()) {
+    fail("EngineConfig::recovery_policy must contain at least one rung "
+         "(the supervisor has no action to take on a rank death otherwise)");
+  }
+  for (std::size_t i = 0; i < recovery_policy.size(); ++i) {
+    for (std::size_t j = i + 1; j < recovery_policy.size(); ++j) {
+      if (recovery_policy[i].policy == recovery_policy[j].policy) {
+        fail("EngineConfig::recovery_policy must not repeat a policy: a "
+             "repeated rung would double-charge one policy's budget");
+      }
+    }
+  }
+  if (health.enabled) {
+    if (health.straggler_after.count() <= 0 ||
+        health.suspect_after < health.straggler_after ||
+        health.dead_after < health.suspect_after) {
+      std::ostringstream os;
+      os << "EngineConfig::health deadlines must satisfy 0 < straggler_after "
+            "<= suspect_after <= dead_after, got "
+         << health.straggler_after.count() << " / "
+         << health.suspect_after.count() << " / " << health.dead_after.count()
+         << " ms";
+      fail(os.str());
+    }
+    if (transport.recv_timeout.count() > 0 &&
+        health.dead_after >= transport.recv_timeout) {
+      std::ostringstream os;
+      os << "EngineConfig::health.dead_after (" << health.dead_after.count()
+         << " ms) must be below transport.recv_timeout ("
+         << transport.recv_timeout.count()
+         << " ms), or the recv watchdog always wins the race and no peer is "
+            "ever declared dead";
+      fail(os.str());
+    }
+  }
   if (trace.enabled && trace.track_capacity == 0) {
     fail("EngineConfig::trace.track_capacity must be > 0 when tracing is "
          "enabled");

@@ -65,6 +65,35 @@ enum class ExchangeMode {
   kAsync,
 };
 
+/// Recovery action a rung of the policy ladder applies when the supervisor
+/// declares ranks dead (docs/FAULTS.md §Recovery policy ladder).
+enum class RecoveryPolicy {
+  /// Survivors adopt the dead rank's rows: its shard is split out of its
+  /// latest periodic-checkpoint blob, the owner map is rewritten onto the
+  /// survivors, the mutation journal since that snapshot is replayed for
+  /// the adopted rows, and a repair-poison pass re-derives their values
+  /// from the survivors' current state. Zero lost vertices, no global
+  /// rollback; final closeness equals the fault-free run.
+  kAdopt,
+  /// Whole-world rollback: every rank restores the newest snapshot all
+  /// ranks hold and replays (bit-identical results). With no snapshot yet,
+  /// the run restarts from scratch.
+  kRollback,
+  /// Degraded ghost mode: survivors carry on, the dead rank's rows are
+  /// lost and reported exactly in RunResult::lost_vertices.
+  kDegrade,
+};
+
+/// One rung of EngineConfig::recovery_policy. A rung is skipped when its
+/// budget is exhausted or its preconditions fail (RecoveryError), falling
+/// through to the next rung.
+struct RecoveryRung {
+  RecoveryPolicy policy = RecoveryPolicy::kRollback;
+  /// Recoveries this rung may serve before the ladder falls through to the
+  /// next rung. 0 = unlimited (still bounded by max_recoveries overall).
+  std::size_t budget = 0;
+};
+
 /// Local refinement inside an RC step (ablation A3).
 enum class RefineMode {
   /// Per-target label-correcting worklist (default).
@@ -145,6 +174,22 @@ struct EngineConfig {
   std::size_t checkpoint_every = 0;
   /// Supervised relaunch budget per run (recoveries + degraded restarts).
   std::size_t max_recoveries = 4;
+  /// Recovery-policy ladder (docs/FAULTS.md §Recovery policy ladder). On a
+  /// declared rank death the supervisor walks the rungs in order and
+  /// applies the first whose budget is unspent and whose preconditions
+  /// hold; a rung that throws RecoveryError falls through to the next, and
+  /// an exhausted ladder rethrows. The default reproduces the legacy
+  /// hard-coded order: rollback whenever periodic checkpoints are enabled,
+  /// else degraded ghost mode. Adoption must be opted in, e.g.
+  /// {{kAdopt}, {kRollback}, {kDegrade}}.
+  std::vector<RecoveryRung> recovery_policy{
+      {RecoveryPolicy::kRollback, 0}, {RecoveryPolicy::kDegrade, 0}};
+  /// Peer-health supervision deadlines (docs/FAULTS.md §Health
+  /// supervision): straggler -> suspect -> dead escalation on awaited
+  /// peers, so a wedged rank is *declared* dead after health.dead_after of
+  /// attributed silence instead of tripping the transport recv_timeout
+  /// much later. Off by default.
+  rt::HealthConfig health;
   /// Observability (docs/OBSERVABILITY.md): when `trace.enabled`, the
   /// engine records spans/instants into per-rank ring buffers and returns
   /// the merged Chrome trace in RunResult::trace (also written to
@@ -176,6 +221,12 @@ struct EngineConfig {
   ///   * transport.recv_timeout / retry_backoff >= 0 (0 timeout disables
   ///     the recv watchdog; negative durations are sign bugs)
   ///   * fault probabilities each in [0, 1] and summing to <= 1
+  ///   * recovery_policy has at least one rung and no repeated policy
+  ///     (repeats would double-charge one rung's budget)
+  ///   * health deadlines, when enabled, satisfy
+  ///     0 < straggler_after <= suspect_after <= dead_after, and dead_after
+  ///     < transport.recv_timeout when the watchdog is armed (otherwise the
+  ///     timeout always wins the race and no peer is ever declared dead)
   ///   * trace.track_capacity > 0 when tracing is enabled
   ///   * progress.top_k in [1, 4096] when the progress feed is active
   void validate() const;

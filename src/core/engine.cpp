@@ -1,6 +1,8 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -37,6 +39,8 @@ void RunStats::accumulate(const RunStats& other) {
   rc_max_inflight_depth =
       std::max(rc_max_inflight_depth, other.rc_max_inflight_depth);
   recoveries += other.recoveries;
+  recovery_log.insert(recovery_log.end(), other.recovery_log.begin(),
+                      other.recovery_log.end());
   cut_edges_initial = other.cut_edges_initial;  // latest run's view
   cut_edges_final = other.cut_edges_final;
   imbalance_final = other.imbalance_final;
@@ -161,6 +165,7 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
 
   rt::World world(cfg_.num_ranks, cfg_.logp, cfg_.transport);
   if (injector) world.install_faults(&*injector);
+  if (cfg_.health.enabled) world.install_health(cfg_.health);
   if (tracer) world.install_tracer(tracer.get());
 
   std::vector<std::unique_ptr<RankEngine>> engines(
@@ -169,17 +174,47 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
 
   // Supervision state, rewritten between attempts and read-only while rank
   // threads run.
-  enum class Mode { kFresh, kResume, kDegraded };
+  enum class Mode { kFresh, kResume, kDegraded, kAdopt };
   Mode mode = resuming_ ? Mode::kResume : Mode::kFresh;
   Checkpoint restart = resume_;  // used in kResume
   std::vector<bool> dead(static_cast<std::size_t>(cfg_.num_ranks), false);
   std::vector<Rank> newly_dead;  // poison targets of the next degraded attempt
   std::vector<std::vector<std::byte>> stash(
       static_cast<std::size_t>(cfg_.num_ranks));
-  std::size_t degraded_step = 0;
+  std::size_t degraded_step = 0;  // survivor restart cursors (degrade + adopt)
   std::size_t degraded_batch = 0;
-  std::vector<Rank> ghost_owner;
+  std::vector<Rank> ghost_owner;  // the map ghosts track (O_new under adopt)
   std::uint64_t ghost_vertices_added = 0;
+  // Adoption plan (Mode::kAdopt): driver-owned copies of the dead ranks'
+  // snapshot blobs (AdoptShards holds pointers into them), the ranks the
+  // round-robin deal must skip, and per-ladder-rung budget accounting.
+  RankEngine::AdoptShards adopt_plan;
+  std::vector<std::vector<std::byte>> adopt_blobs;
+  std::vector<Rank> adopt_skip;
+  std::vector<std::size_t> rung_used(cfg_.recovery_policy.size(), 0);
+  // MTTR probe (docs/FAULTS.md §Recovery timing): the next attempt's ranks
+  // fetch-max steady-now into recovery_mark at their first completed step
+  // >= mttr_mark_step; the pending RecoveryRecord is resolved against the
+  // death-declaration time at the next failure or at run completion.
+  std::atomic<std::int64_t> recovery_mark{-1};
+  bool mttr_pending = false;
+  std::size_t mttr_mark_step = 0;
+  std::size_t mttr_record_idx = 0;
+  std::int64_t mttr_death_ns = 0;
+  const auto steady_ns = [] {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+  const auto resolve_pending_mttr = [&] {
+    if (!mttr_pending) return;
+    mttr_pending = false;
+    const std::int64_t mark = recovery_mark.load(std::memory_order_relaxed);
+    if (mark >= mttr_death_ns) {
+      out.stats.recovery_log[mttr_record_idx].mttr_seconds =
+          static_cast<double>(mark - mttr_death_ns) / 1e9;
+    }
+  };
 
   const auto attempt_fn = [&](rt::Comm& comm) {
     const auto me = static_cast<std::size_t>(comm.rank());
@@ -226,6 +261,31 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
           init.poison_ranks = newly_dead;
         }
         break;
+      case Mode::kAdopt:
+        // Shard adoption (docs/FAULTS.md §Shard adoption): survivors restore
+        // their stash, then rebuild topology under the rewritten owner map
+        // and re-derive the adopted rows; ghosts hold the dead seats. The
+        // periodic store stays live so further deaths remain adoptable, and
+        // the round-robin deal skips the ghost seats on every rank.
+        init.start_step = degraded_step;
+        init.start_batch = degraded_batch;
+        init.periodic = periodic ? &*periodic : nullptr;
+        init.assign_skip = adopt_skip;
+        if (dead[me]) {
+          init.ghost = true;
+          init.owner = ghost_owner;
+          init.edges = &edges;
+          init.start_vertices_added = ghost_vertices_added;
+        } else {
+          init.restore_blob = &stash[me];
+          init.owner = ghost_owner;  // O_new rides in the owner field
+          init.adopt = &adopt_plan;
+        }
+        break;
+    }
+    if (mttr_pending) {
+      init.recovery_mark_step = mttr_mark_step;
+      init.recovery_mark = &recovery_mark;
     }
     // Constructed into the shared slot immediately so a failing rank's
     // partial state is stashed for the supervisor (survivors' pending sends
@@ -273,9 +333,29 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
         roots.push_back(r);
       }
     }
+    // Health supervision can declare a wedged rank dead while the rank
+    // itself later returns without an exception of its own: union the
+    // declarations in so the ladder treats it as a root too.
+    for (const Rank r : world.declared_dead()) {
+      if (std::find(roots.begin(), roots.end(), r) == roots.end()) {
+        roots.push_back(r);
+      }
+    }
     if (roots.empty()) rethrow_root(report);
     if (out.stats.recoveries >= cfg_.max_recoveries) rethrow_root(report);
     ++out.stats.recoveries;
+    // MTTR bookkeeping: a probe from the previous recovery resolves now
+    // (the run got this far, so the mark is final), then the death
+    // declaration for this failure is timestamped.
+    resolve_pending_mttr();
+    const std::int64_t death_ns = steady_ns();
+    std::size_t death_step = 0;
+    for (const auto& engine : engines) {
+      if (engine != nullptr) {
+        death_step = std::max(death_step, engine->current_step());
+      }
+    }
+    for (const Rank r : roots) dead[static_cast<std::size_t>(r)] = true;
     // Recovery events are emitted from this (driver) thread; the rank
     // world has joined, so sinks stay single-writer.
     const auto emit_recovery = [&](const char* kind, std::size_t at_step) {
@@ -289,12 +369,159 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
       ev.recoveries = out.stats.recoveries;
       progress->emit(ev);
     };
+    const auto push_record = [&](const char* kind, std::size_t at_step,
+                                 std::size_t mark_step) {
+      out.stats.recovery_log.push_back({kind, at_step, -1.0});
+      mttr_pending = true;
+      mttr_record_idx = out.stats.recovery_log.size() - 1;
+      mttr_mark_step = mark_step;
+      mttr_death_ns = death_ns;
+      recovery_mark.store(-1, std::memory_order_relaxed);
+    };
 
-    if (periodic) {
-      // ---- checkpoint rollback: replay from the newest snapshot every
-      // rank holds; replay is deterministic, so the final state is
-      // bit-identical to a fault-free run. No snapshot yet -> restart the
-      // whole run from scratch (also bit-identical). ----
+    // Every survivor stopped blocked in the same step's collective (crashes
+    // fire at the step top or mid-exchange, both before ingest), so their
+    // cursors agree; verify, then stash their state for restore. Shared by
+    // the adopt and degrade rungs.
+    const auto stash_survivors = [&]() -> const RankEngine* {
+      const RankEngine* witness = nullptr;
+      for (Rank r = 0; r < cfg_.num_ranks; ++r) {
+        const auto idx = static_cast<std::size_t>(r);
+        if (dead[idx]) continue;
+        AACC_CHECK_MSG(engines[idx] != nullptr,
+                       "survivor rank " << r << " has no stashed engine");
+        const RankEngine& eng = *engines[idx];
+        if (witness == nullptr) {
+          witness = &eng;
+        } else {
+          AACC_CHECK_MSG(eng.current_step() == witness->current_step() &&
+                             eng.current_batch() == witness->current_batch(),
+                         "survivors stopped at different cursors; a partial "
+                         "restart would be incoherent (rank "
+                             << r << " at step " << eng.current_step()
+                             << " batch " << eng.current_batch()
+                             << ", witness at step " << witness->current_step()
+                             << " batch " << witness->current_batch() << ")");
+        }
+        rt::ByteWriter w;
+        eng.serialize_state(w);
+        stash[idx] = w.take();
+      }
+      AACC_CHECK_MSG(witness != nullptr,
+                     "all ranks failed; nothing to recover on");
+      return witness;
+    };
+
+    // ---- rung: shard adoption (docs/FAULTS.md §Shard adoption). The dead
+    // ranks' rows move to the survivors: structure from their latest
+    // snapshot blobs + structural journal replay, values re-derived from
+    // the survivors' live state. Zero lost vertices, no global rollback. --
+    const auto try_adopt = [&] {
+      if (!periodic) {
+        throw RecoveryError(
+            "adoption requires periodic snapshots (checkpoint_every > 0)");
+      }
+      if (cfg_.add_mode == EdgeAddMode::kEager) {
+        throw RecoveryError(
+            "adoption requires seeded edge adds (EdgeAddMode::kEager "
+            "broadcasts rows the adopted vertices do not have yet)");
+      }
+      if (cfg_.assign != AssignStrategy::kRoundRobin) {
+        throw RecoveryError(
+            "adoption requires round-robin vertex assignment (the "
+            "ghost-skipping deal is only defined there)");
+      }
+      if (cfg_.rebalance_threshold != 0.0) {
+        throw RecoveryError(
+            "adoption requires automatic rebalancing off (a repartition "
+            "would migrate rows back onto ghost seats)");
+      }
+      // Every newly dead rank must have snapshotted at least once, and its
+      // blob must be structurally sound.
+      std::vector<std::pair<Rank, std::pair<std::size_t, std::vector<std::byte>>>>
+          snaps;
+      for (const Rank r : roots) {
+        auto snap = periodic->latest_for(r);
+        if (!snap) {
+          throw RecoveryError("adoption source rank " + std::to_string(r) +
+                              " has no periodic snapshot yet");
+        }
+        try {
+          validate_shard_blob(snap->second, r);
+        } catch (const CheckpointError& e) {
+          throw RecoveryError(e.what());
+        }
+        snaps.emplace_back(r, std::move(*snap));
+      }
+      const RankEngine* witness = stash_survivors();
+      degraded_step = witness->current_step();
+      degraded_batch = witness->current_batch();
+      ghost_vertices_added = witness->vertices_added();
+      // O_new: the witness map (its tombstones are current) with every
+      // newly dead rank's alive vertices dealt round-robin onto the
+      // ascending survivors.
+      std::vector<Rank> owner = witness->local_graph().owner_map();
+      std::vector<Rank> survivors;
+      adopt_skip.clear();
+      for (Rank r = 0; r < cfg_.num_ranks; ++r) {
+        if (dead[static_cast<std::size_t>(r)]) {
+          adopt_skip.push_back(r);
+        } else {
+          survivors.push_back(r);
+        }
+      }
+      std::vector<bool> adopting(static_cast<std::size_t>(cfg_.num_ranks),
+                                 false);
+      for (const Rank r : roots) adopting[static_cast<std::size_t>(r)] = true;
+      std::size_t deal = 0;
+      for (VertexId v = 0; v < owner.size(); ++v) {
+        const Rank o = owner[v];
+        if (o == kNoRank || !adopting[static_cast<std::size_t>(o)]) continue;
+        owner[v] = survivors[deal % survivors.size()];
+        ++deal;
+      }
+      // Structural replay window: every fact in a batch at or before a
+      // source's snapshot step is inside that blob, so only batches after
+      // the *oldest* snapshot need replaying.
+      adopt_blobs.clear();
+      adopt_plan.sources.clear();
+      std::size_t replay_from = degraded_batch;
+      adopt_blobs.reserve(snaps.size());
+      for (auto& [src, snap] : snaps) {
+        (void)src;
+        std::size_t first_after = 0;
+        for (const EventBatch& b : schedule) {
+          if (b.at_step > snap.first) break;
+          ++first_after;
+        }
+        replay_from = std::min(replay_from, first_after);
+        adopt_blobs.push_back(std::move(snap.second));
+      }
+      for (std::size_t i = 0; i < snaps.size(); ++i) {
+        adopt_plan.sources.emplace_back(snaps[i].first, &adopt_blobs[i]);
+      }
+      adopt_plan.replay_from_batch = replay_from;
+      ghost_owner = std::move(owner);
+      // No portal poisoning: the graph did not change, so remote finite
+      // values stay sound upper bounds and adopted rows re-derive quietly.
+      newly_dead.clear();
+      mode = Mode::kAdopt;
+      if (drv != nullptr) {
+        drv->instant("recovery:adopt", "attempt", out.stats.recoveries);
+      }
+      emit_recovery("adopt", degraded_step);
+      push_record("adopt", degraded_step, degraded_step);
+    };
+
+    // ---- rung: checkpoint rollback: replay from the newest snapshot every
+    // rank holds; replay is deterministic, so the final state is
+    // bit-identical to a fault-free run. No snapshot yet -> restart the
+    // whole run from scratch (also bit-identical). ----
+    const auto try_rollback = [&] {
+      if (!periodic) {
+        throw RecoveryError(
+            "rollback requires periodic snapshots (checkpoint_every > 0)");
+      }
       if (auto ck = periodic->latest_consistent()) {
         ck->next_batch = 0;
         for (const EventBatch& b : schedule) {
@@ -306,62 +533,76 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
         mode = resuming_ ? Mode::kResume : Mode::kFresh;
         restart = resume_;
       }
+      // The whole-world replay resurrects every seat: ghosts and any prior
+      // degraded verdict are wiped.
+      std::fill(dead.begin(), dead.end(), false);
+      newly_dead.clear();
+      out.degraded = false;
       if (drv != nullptr) {
         drv->instant("recovery:rollback", "attempt", out.stats.recoveries);
       }
       emit_recovery("rollback", mode == Mode::kResume ? restart.step : 0);
-      continue;
-    }
+      push_record("rollback", death_step, death_step);
+    };
 
-    // ---- degraded fallback: no recovery checkpoints. The root ranks'
-    // rows are lost; survivors carry on and the result reports the exact
-    // coverage gap. ----
-    AACC_CHECK_MSG(cfg_.add_mode != EdgeAddMode::kEager &&
-                       cfg_.assign != AssignStrategy::kRepartition &&
-                       cfg_.rebalance_threshold == 0.0,
-                   "degraded fallback requires seeded adds and a fixed "
-                   "partition (enable checkpoint_every for full recovery)");
-    for (const Rank r : roots) dead[static_cast<std::size_t>(r)] = true;
-    newly_dead = roots;
-
-    // Every survivor stopped blocked in the same step's first collective
-    // (crashes fire at the step top), so their cursors agree; verify, then
-    // stash their state for restore.
-    const RankEngine* witness = nullptr;
-    for (Rank r = 0; r < cfg_.num_ranks; ++r) {
-      const auto idx = static_cast<std::size_t>(r);
-      if (dead[idx]) continue;
-      AACC_CHECK_MSG(engines[idx] != nullptr,
-                     "survivor rank " << r << " has no stashed engine");
-      const RankEngine& eng = *engines[idx];
-      if (witness == nullptr) {
-        witness = &eng;
-      } else {
-        AACC_CHECK_MSG(eng.current_step() == witness->current_step() &&
-                           eng.current_batch() == witness->current_batch(),
-                       "survivors stopped at different cursors; degraded "
-                       "restart would be incoherent (rank "
-                           << r << " at step " << eng.current_step()
-                           << " batch " << eng.current_batch()
-                           << ", witness at step " << witness->current_step()
-                           << " batch " << witness->current_batch() << ")");
+    // ---- rung: degraded fallback. The root ranks' rows are lost;
+    // survivors carry on and the result reports the exact coverage gap. --
+    const auto try_degrade = [&] {
+      if (cfg_.add_mode == EdgeAddMode::kEager ||
+          cfg_.assign == AssignStrategy::kRepartition ||
+          cfg_.rebalance_threshold != 0.0) {
+        throw RecoveryError(
+            "degraded fallback requires seeded adds and a fixed partition "
+            "(enable checkpoint_every for full recovery)");
       }
-      rt::ByteWriter w;
-      eng.serialize_state(w);
-      stash[idx] = w.take();
+      newly_dead = roots;
+      const RankEngine* witness = stash_survivors();
+      degraded_step = witness->current_step();
+      degraded_batch = witness->current_batch();
+      ghost_owner = witness->local_graph().owner_map();
+      ghost_vertices_added = witness->vertices_added();
+      mode = Mode::kDegraded;
+      out.degraded = true;
+      if (drv != nullptr) {
+        drv->instant("recovery:degraded", "attempt", out.stats.recoveries);
+      }
+      emit_recovery("degraded", degraded_step);
+      push_record("degraded", degraded_step, degraded_step);
+    };
+
+    // ---- walk the policy ladder: the first rung with unspent budget whose
+    // preconditions hold serves the recovery. RecoveryError falls through
+    // to the next rung; an exhausted ladder rethrows the last precondition
+    // failure (or the failure's root cause when only budgets ran out). ----
+    bool handled = false;
+    std::exception_ptr precondition_failure;
+    for (std::size_t i = 0; i < cfg_.recovery_policy.size() && !handled; ++i) {
+      const RecoveryRung& rung = cfg_.recovery_policy[i];
+      if (rung.budget != 0 && rung_used[i] >= rung.budget) continue;
+      try {
+        switch (rung.policy) {
+          case RecoveryPolicy::kAdopt:
+            try_adopt();
+            break;
+          case RecoveryPolicy::kRollback:
+            try_rollback();
+            break;
+          case RecoveryPolicy::kDegrade:
+            try_degrade();
+            break;
+        }
+        ++rung_used[i];
+        handled = true;
+      } catch (const RecoveryError&) {
+        precondition_failure = std::current_exception();
+      }
     }
-    AACC_CHECK_MSG(witness != nullptr, "all ranks failed; nothing to degrade to");
-    degraded_step = witness->current_step();
-    degraded_batch = witness->current_batch();
-    ghost_owner = witness->local_graph().owner_map();
-    ghost_vertices_added = witness->vertices_added();
-    mode = Mode::kDegraded;
-    out.degraded = true;
-    if (drv != nullptr) {
-      drv->instant("recovery:degraded", "attempt", out.stats.recoveries);
+    if (!handled) {
+      if (precondition_failure) std::rethrow_exception(precondition_failure);
+      rethrow_root(report);
     }
-    emit_recovery("degraded", degraded_step);
   }
+  resolve_pending_mttr();
 
   if (want_checkpoint && !slots[0].empty()) {
     out.checkpoint.rank_blobs = std::move(slots);
@@ -509,6 +750,9 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
     reg.counter("transport/frame_overhead_bytes")
         .add(ledger.frame_overhead_bytes);
     reg.counter("transport/retransmits").add(ledger.retransmits);
+    reg.counter("health/stragglers").add(ledger.health_stragglers);
+    reg.counter("health/suspects").add(ledger.health_suspects);
+    reg.counter("health/deaths_declared").add(ledger.health_dead_declared);
     for (const auto& [phase, secs] : ledger.cpu_seconds) {
       reg.gauge("cpu/phase/" + phase).add(secs);
     }

@@ -39,6 +39,29 @@ class EngineStateError : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+/// A recovery rung's preconditions do not hold for this failure (adoption
+/// without a usable snapshot, degraded mode under an incompatible config,
+/// ...). The supervisor catches it and falls through to the next rung of
+/// EngineConfig::recovery_policy; an exhausted ladder rethrows the last one
+/// (docs/FAULTS.md §Recovery policy ladder).
+class RecoveryError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One supervised recovery, as recorded in RunStats::recovery_log.
+struct RecoveryRecord {
+  /// Rung that served it: "adopt", "rollback" or "degraded".
+  std::string kind;
+  /// RC step the survivors had reached when the death was declared.
+  std::size_t at_step = 0;
+  /// Wall-clock seconds from the death declaration to the completion of
+  /// the first post-recovery RC step at/after at_step (so rollback's
+  /// replay cost is inside the window). Negative when the run ended before
+  /// that step completed (e.g. a second crash arrived first).
+  double mttr_seconds = -1.0;
+};
+
 /// Per-RC-step aggregates across ranks.
 struct StepStats {
   std::size_t step = 0;
@@ -91,9 +114,12 @@ struct RunStats {
   /// over ranks and steps, and the deepest in-flight send window observed.
   double rc_exchange_wait_seconds = 0.0;
   std::uint64_t rc_max_inflight_depth = 0;
-  /// Supervised relaunches after injected/transport failures (both
+  /// Supervised relaunches after injected/transport failures (adoptions,
   /// checkpoint rollbacks and degraded restarts; see docs/FAULTS.md).
   std::size_t recoveries = 0;
+  /// One entry per supervised recovery, in order, with the serving rung
+  /// and the measured MTTR (docs/FAULTS.md §Recovery timing).
+  std::vector<RecoveryRecord> recovery_log;
   /// Σ DVR-invariant violations across ranks and steps (counted only when
   /// EngineConfig::validate_each_step; must be zero).
   std::size_t invariant_violations = 0;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <ctime>
 #include <queue>
 #include <sstream>
 #include <thread>
+#include <unordered_set>
 
 #include "analysis/closeness.hpp"
 #include "analysis/quality.hpp"
@@ -76,9 +78,13 @@ RankEngine::RankEngine(const Init& init, rt::Comm& comm)
     m_exch_wait_ = &metrics_->gauge("exchange/wait_seconds");
     m_exch_inflight_ = &metrics_->histogram("exchange/inflight_depth");
   }
+  assign_skip_ = init.assign_skip;
+  recovery_mark_step_ = init.recovery_mark_step;
+  recovery_mark_ = init.recovery_mark;
   if (init.restore_blob != nullptr) {
     const obs::ScopedSpan span(trace_, "restore");
     restore_state(*init.restore_blob);
+    if (init.adopt != nullptr) adopt_shards(init);
   } else {
     rows_.reserve(lg_.num_local());
     for (std::size_t r = 0; r < lg_.num_local(); ++r) {
@@ -252,13 +258,242 @@ void RankEngine::restore_state_impl(std::span<const std::byte> blob) {
       if (row.dist(t) == kInfDist) {
         // The marker itself goes out with the next exchange() (it is still
         // dirty); the repair then runs at that step's drain, after the
-        // barrier — the same ordering an undisturbed run follows.
+        // barrier — the same ordering an undisturbed run follows. The
+        // pending-poison flag is re-armed too: the stash may have been taken
+        // after the flag was folded into an aborted barrier round, and
+        // without it the restarted barrier could run zero rounds and let
+        // repairs re-derive from peers' still-unsettled entries.
+        poison_pending_ = true;
         repairs_.emplace_back(x, t);
       } else if (!row.test_flag(t, DvRow::kQueued)) {
         row.set_flag(t, DvRow::kQueued);
         worklist_.emplace_back(x, t);
       }
     }
+  }
+}
+
+// --------------------------------------------------------------- adoption
+
+namespace {
+
+/// Topology prefix of a checkpoint blob: owner map (discarded — the stash
+/// map is newer) and the snapshotted edge list. Rows, caches and cursors
+/// are deliberately not parsed: adoption consumes structure only, because
+/// post-snapshot deletions can make snapshot *values* stale-low (the dead
+/// rank's poison broadcasts for them completed before the crash, so
+/// re-installing the old finite values would silently revoke them).
+std::vector<std::tuple<VertexId, VertexId, Weight>> read_blob_edges(
+    std::span<const std::byte> blob) {
+  const bool v2 = blob.size() >= 3 &&
+                  std::to_integer<std::uint8_t>(blob[0]) == kCkptMagic0 &&
+                  std::to_integer<std::uint8_t>(blob[1]) == kCkptMagic1;
+  rt::ByteReader r(v2 ? blob.subspan(3) : blob);
+  (void)r.read_vec<Rank>();  // snapshot-time owner map, superseded
+  const auto edge_count = r.read<std::uint64_t>();
+  std::vector<std::tuple<VertexId, VertexId, Weight>> edges;
+  edges.reserve(edge_count);
+  for (std::uint64_t i = 0; i < edge_count; ++i) {
+    const auto u = r.read<VertexId>();
+    const auto v = r.read<VertexId>();
+    const auto wt = r.read<Weight>();
+    edges.emplace_back(u, v, wt);
+  }
+  return edges;
+}
+
+std::uint64_t edge_key(VertexId u, VertexId v) {
+  const VertexId a = std::min(u, v);
+  const VertexId b = std::max(u, v);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+void RankEngine::adopt_shards(const Init& init) {
+  const obs::ScopedSpan span(trace_, "adopt", "sources",
+                             init.adopt->sources.size());
+  // The rewritten owner map rides in init.owner (the one field the restore
+  // path ignores); its tombstones come from the stash map, so is_alive
+  // stays authoritative for everything below.
+  const std::vector<Rank>& new_owner = init.owner;
+  const auto alive = [&](VertexId v) { return new_owner[v] != kNoRank; };
+
+  // 1. Merge edge sets: this rank's live incident edges first (current as
+  //    of the crash), then each dead rank's snapshot edges. First wins on
+  //    the unordered pair — snapshot weights may be stale, and the replay
+  //    below re-asserts every post-snapshot change anyway. Edges into
+  //    vertices tombstoned after the snapshot are dropped.
+  std::vector<std::tuple<VertexId, VertexId, Weight>> merged;
+  std::unordered_set<std::uint64_t> seen;
+  const auto push = [&](VertexId u, VertexId v, Weight w) {
+    if (!alive(u) || !alive(v)) return;
+    if (seen.insert(edge_key(u, v)).second) merged.emplace_back(u, v, w);
+  };
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const VertexId u = lg_.vertex_of(r);
+    for (const Edge& e : lg_.adj(r)) {
+      if (!lg_.is_local(e.to) || u < e.to) push(u, e.to, e.w);
+    }
+  }
+  for (const auto& [source, blob] : init.adopt->sources) {
+    (void)source;
+    for (const auto& [u, v, w] : read_blob_edges(*blob)) push(u, v, w);
+  }
+
+  // 2. Rebuild the topology under the rewritten map. Surviving rows are
+  //    re-placed below; the constructor recomputes portals/subscriptions
+  //    for the new ownership. The crash-time owner map is kept around for
+  //    step 6: caches of dead-owned portals must go.
+  const std::vector<Rank> old_owner = lg_.owner_map();
+  std::vector<DvRow> kept = std::move(rows_);
+  lg_ = LocalGraph(comm_.rank(), new_owner, merged);
+
+  // 3. Structural journal replay: every batch since the oldest snapshot,
+  //    in order, idempotently. Edges between two dead-owned vertices added
+  //    after the snapshot exist in no blob and no stash — only here.
+  //    Vertex adds/deletes are already reflected in the stash owner map;
+  //    only their edge payloads need re-asserting.
+  if (schedule_ != nullptr) {
+    const auto replay_edge_add = [&](VertexId u, VertexId v, Weight w) {
+      if (!alive(u) || !alive(v)) return;
+      if (!lg_.is_local(u) && !lg_.is_local(v)) return;
+      if (!lg_.has_edge(u, v)) lg_.add_edge(u, v, w);
+    };
+    for (std::size_t b = init.adopt->replay_from_batch;
+         b < start_batch_ && b < schedule_->size(); ++b) {
+      for (const Event& ev : (*schedule_)[b].events) {
+        if (const auto* ea = std::get_if<EdgeAddEvent>(&ev)) {
+          replay_edge_add(ea->u, ea->v, ea->w);
+        } else if (const auto* ed = std::get_if<EdgeDeleteEvent>(&ev)) {
+          if (lg_.has_edge(ed->u, ed->v)) lg_.remove_edge(ed->u, ed->v);
+        } else if (const auto* wc = std::get_if<WeightChangeEvent>(&ev)) {
+          if (lg_.has_edge(wc->u, wc->v)) {
+            lg_.set_weight(wc->u, wc->v, wc->w_new);
+          }
+        } else if (const auto* va = std::get_if<VertexAddEvent>(&ev)) {
+          for (const auto& [to, w] : va->edges) {
+            replay_edge_add(va->id, to, w);
+          }
+        }
+        // VertexDeleteEvent: the tombstone is in the stash owner map and
+        // its incident edges were filtered by alive() above — nothing to do.
+      }
+    }
+  }
+
+  // 4. Re-place surviving rows at their new indices; adopted vertices get
+  //    fresh all-infinity rows — the quiet poison. Snapshot values are
+  //    never installed, so nothing stale-low can enter; re-derivation
+  //    rebuilds exactly the values the survivors can currently justify.
+  rows_.clear();
+  rows_.reserve(lg_.num_local());
+  std::vector<bool> is_adopted(lg_.num_local(), true);
+  for (std::size_t r = 0; r < lg_.num_local(); ++r) {
+    rows_.emplace_back(lg_.vertex_of(r), lg_.n());
+  }
+  dirty_entries_ = 0;
+  for (DvRow& row : kept) {
+    const std::int32_t ri = lg_.row_of(row.self());
+    AACC_CHECK_MSG(ri >= 0, "adoption moved a surviving rank's own vertex");
+    is_adopted[static_cast<std::size_t>(ri)] = false;
+    dirty_entries_ += row.dirty_count();
+    rows_[static_cast<std::size_t>(ri)] = std::move(row);
+  }
+
+  // 5. Queue the quiet re-derivation of every adopted entry: repairs pull
+  //    from local neighbour rows immediately and from portal caches as
+  //    they repopulate. No poison markers are broadcast — the graph did
+  //    not change, so every remote finite value is still a sound upper
+  //    bound and nothing needs invalidating elsewhere.
+  std::size_t adopted_rows = 0;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (!is_adopted[r]) continue;
+    ++adopted_rows;
+    const VertexId v = lg_.vertex_of(r);
+    for (VertexId t = 0; t < lg_.n(); ++t) {
+      if (t != v && alive(t)) repairs_.emplace_back(v, t);
+    }
+  }
+
+  // 6. Drop caches the ownership change invalidated: vertices this rank
+  //    now owns and ex-portals no cut edge reaches any more. Live-owned
+  //    portal caches are kept: their owners survived with their poison
+  //    state intact, so the values are genuine upper bounds repairs may
+  //    re-derive through. Dead-owned caches are NOT erased here — they are
+  //    the subscriber-side baseline apply_portal_value compares against to
+  //    detect increases, so step 6b poisons through them instead.
+  for (auto it = caches_.begin(); it != caches_.end();) {
+    if (lg_.is_local(it->first) || !lg_.is_portal(it->first)) {
+      it = caches_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // 6b. Loud poison for the torn-batch window. The quiet-poison argument
+  //    in step 5 has one hole: if the crash step had already ingested a
+  //    change batch with non-monotone events (deletes, weight changes),
+  //    the dead owner died before sending the poison markers that batch
+  //    obliged it to send. Any survivor entry whose witness chain runs
+  //    through a dead-owned vertex may then be stale *low* — the one
+  //    direction the anytime property cannot absorb, and undetectable
+  //    locally because caches hold distances, not paths. The fix is to
+  //    act as the dead owner's executor: poison every entry routed
+  //    through a dead-owned vertex, exactly as if it had broadcast
+  //    all-infinity markers. poison_entry re-queues repairs and arms the
+  //    poison barrier, and the cascade crosses ranks via the usual dirty
+  //    markers, so transitive dependents settle in the restarted barrier.
+  //    Monotone re-derivation converges to the same fixed point, so this
+  //    costs work, never exactness. At settled step boundaries (or when
+  //    the crash-step batches were add-only) the hazard cannot exist and
+  //    the quiet path stands.
+  bool torn_hazard = false;
+  if (schedule_ != nullptr) {
+    for (std::size_t b = 0; b < start_batch_ && b < schedule_->size(); ++b) {
+      if ((*schedule_)[b].at_step != start_step_) continue;
+      for (const Event& ev : (*schedule_)[b].events) {
+        if (std::holds_alternative<EdgeDeleteEvent>(ev) ||
+            std::holds_alternative<WeightChangeEvent>(ev) ||
+            std::holds_alternative<VertexDeleteEvent>(ev)) {
+          torn_hazard = true;
+        }
+      }
+    }
+  }
+  if (torn_hazard) {
+    std::deque<std::pair<VertexId, VertexId>> seeds;
+    for (VertexId v = 0; v < lg_.n(); ++v) {
+      const Rank o = v < old_owner.size() ? old_owner[v] : kNoRank;
+      if (std::find(init.assign_skip.begin(), init.assign_skip.end(), o) ==
+          init.assign_skip.end()) {
+        continue;
+      }
+      const auto it = caches_.find(v);
+      if (it != caches_.end()) {
+        std::fill(it->second.begin(), it->second.end(), kInfDist);
+      }
+      for (VertexId t = 0; t < lg_.n(); ++t) seeds.emplace_back(v, t);
+    }
+    poison_cascade(std::move(seeds));
+  }
+
+  // 7. Every boundary row re-publishes its finite entries: subscriptions
+  //    were rewired (adopters subscribe to portals they never saw, and
+  //    survivors' rows now feed adopters' empty caches), mirroring the
+  //    repartition path's re-subscription flush.
+  std::vector<Rank> subs;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    subs.clear();
+    lg_.subscribers(r, subs);
+    if (!subs.empty()) mark_finite_dirty(r);
+  }
+  if (trace_ != nullptr) {
+    trace_->instant("adopt:rows", "count",
+                    static_cast<std::uint64_t>(adopted_rows));
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("recovery/adopted_rows").add(adopted_rows);
   }
 }
 
@@ -780,6 +1015,15 @@ void RankEngine::exchange() {
       pending.submit(dst,
                      std::move(assemble_payload(static_cast<std::size_t>(dst))));
     }
+    // Chaos hook (FaultPlan CrashPhase::kMidExchange): die between the
+    // submits and the collective's completion. The dirty flags are still
+    // set (they retire only after wait_all), so the recovery stash keeps
+    // every pending send, exactly like a step-top crash.
+    if (!ghost_ && injector_ != nullptr &&
+        injector_->should_crash(comm_.rank(), cur_step_,
+                                rt::CrashPhase::kMidExchange)) {
+      throw rt::InjectedCrash(comm_.rank(), cur_step_);
+    }
     auto in = pending.wait_all();
     note_exchange_overlap(pending);
     for (std::size_t s = 0; s < shards; ++s) {
@@ -804,6 +1048,13 @@ void RankEngine::exchange() {
     const Rank dst = (comm_.rank() + s) % comm_.size();
     pending.submit(dst,
                    std::move(assemble_payload(static_cast<std::size_t>(dst))));
+  }
+  // Chaos hook (CrashPhase::kMidExchange), before the retire below so the
+  // pending sends are still dirty when the supervisor stashes this state.
+  if (!ghost_ && injector_ != nullptr &&
+      injector_->should_crash(comm_.rank(), cur_step_,
+                              rt::CrashPhase::kMidExchange)) {
+    throw rt::InjectedCrash(comm_.rank(), cur_step_);
   }
   // After the last submit every send has been issued (puts never block), so
   // the sent data is on the wire: retire the dirty flags now, before the
@@ -1221,7 +1472,14 @@ void RankEngine::apply_vertex_batch(const std::vector<VertexAddEvent>& batch) {
   }
   std::vector<Rank> assign;
   if (cfg_.assign == AssignStrategy::kRoundRobin) {
-    assign = assign_round_robin(batch.size(), vertices_added_, comm_.size());
+    // After an adoption the dead seats are ghosts: a vertex dealt to one
+    // would be lost again, so the circular deal skips them (assign_skip_ is
+    // identical on every rank, ghosts included — owner maps stay in sync).
+    assign = assign_skip_.empty()
+                 ? assign_round_robin(batch.size(), vertices_added_,
+                                      comm_.size())
+                 : assign_round_robin_excluding(batch.size(), vertices_added_,
+                                                comm_.size(), assign_skip_);
   } else {
     assign = assign_cut_edge(batch, batch.front().id, lg_.owner_map(),
                              comm_.size(), cfg_.seed);
@@ -1752,12 +2010,16 @@ std::size_t RankEngine::run_rc() {
     while (next_batch < num_batches &&
            (*schedule_)[next_batch].at_step <= step) {
       const obs::ScopedSpan ingest_span(trace_, "ingest", "batch", next_batch);
-      // Rank 0 broadcasts the batch contents (accounted change feed).
+      // Rank 0 broadcasts the batch contents (accounted change feed). Every
+      // rank serializes its own copy too: the schedule is replicated, so a
+      // survivor whose tree parent died mid-broadcast reconstructs the
+      // payload locally instead of stalling — the feed is data the rank
+      // already has, only its distribution cost is being modeled
+      // (docs/FAULTS.md §Shard adoption).
       rt::ByteWriter w;
-      if (comm_.rank() == 0) {
-        serialize_events((*schedule_)[next_batch].events, w);
-      }
-      auto buf = comm_.broadcast(w.take(), 0);
+      serialize_events((*schedule_)[next_batch].events, w);
+      const std::vector<std::byte> feed = w.take();
+      auto buf = comm_.broadcast(feed, 0, &feed);
       rt::ByteReader rd(buf);
       const auto events = deserialize_events(rd);
       ingest_batch(events);
@@ -1823,6 +2085,23 @@ std::size_t RankEngine::run_rc() {
     }
     record_step(step);
     progress_step("rc_step", step);
+
+    // MTTR probe: the first completed step at/after the death step marks
+    // this rank recovered; the supervisor takes the max over ranks as the
+    // recovery-complete instant. Rollback restarts earlier than the death
+    // step, so its replay cost is inside the measured window by design.
+    if (!ghost_ && !recovery_marked_ && recovery_mark_ != nullptr &&
+        step >= recovery_mark_step_) {
+      recovery_marked_ = true;
+      const std::int64_t now =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count();
+      std::int64_t cur = recovery_mark_->load(std::memory_order_relaxed);
+      while (cur < now && !recovery_mark_->compare_exchange_weak(
+                              cur, now, std::memory_order_relaxed)) {
+      }
+    }
 
     if (!ghost_ && periodic_ != nullptr && cfg_.checkpoint_every > 0 &&
         step % cfg_.checkpoint_every == 0) {

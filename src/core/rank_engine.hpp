@@ -18,6 +18,7 @@
 // See DESIGN.md §"Deletions via DVR route poisoning".
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <span>
 #include <string>
@@ -62,6 +63,24 @@ struct StepLocal {
 
 class RankEngine {
  public:
+  /// Shard-adoption plan (docs/FAULTS.md §Shard adoption): survivors split
+  /// the newly dead ranks' rows among themselves. `sources` holds each dead
+  /// rank's latest periodic-checkpoint blob (structure only is consumed:
+  /// row *values* are re-derived from the survivors' live state via the
+  /// quiet repair pass, because post-snapshot deletions make blob values
+  /// potentially stale-low). The schedule batches in
+  /// [replay_from_batch, start_batch) are replayed structurally so edges
+  /// the snapshot predates — including edges between two dead-owned
+  /// vertices that no survivor's stash saw — reappear.
+  struct AdoptShards {
+    /// (dead rank, its latest snapshot blob), one entry per newly dead rank.
+    std::vector<std::pair<Rank, const std::vector<std::byte>*>> sources;
+    /// First schedule batch whose structural effects may be missing from
+    /// every source blob (min over sources of the first batch after its
+    /// snapshot step).
+    std::size_t replay_from_batch = 0;
+  };
+
   struct Init {
     Rank me = 0;
     Rank world = 1;
@@ -100,6 +119,23 @@ class RankEngine {
     /// Round-robin assignment cursor for a ghost (survivors restore theirs
     /// from the blob; the ghost must agree or owner maps diverge).
     std::uint64_t start_vertices_added = 0;
+    /// Shard adoption (survivors of an adopt-mode restart only): after the
+    /// stash restore, the engine rebuilds its topology under `owner` (the
+    /// rewritten map — the one Init field the restore path otherwise
+    /// ignores), installs fresh rows for its adopted vertices and queues
+    /// their quiet re-derivation. Non-owning.
+    const AdoptShards* adopt = nullptr;
+    /// Ranks excluded from round-robin vertex assignment (adopt-mode
+    /// restarts: a vertex dealt to a ghost seat would be lost again).
+    /// Identical on every rank or owner maps diverge. Empty = no exclusion.
+    std::vector<Rank> assign_skip;
+    /// MTTR probe (docs/FAULTS.md §Recovery timing): when the RC loop
+    /// completes a step >= recovery_mark_step, the rank folds steady-clock
+    /// now into *recovery_mark (fetch-max, once per rank) — the supervisor
+    /// reads the max as "recovery complete" and subtracts the death
+    /// declaration time. Ghosts do not write. Non-owning, nullable.
+    std::size_t recovery_mark_step = static_cast<std::size_t>(-1);
+    std::atomic<std::int64_t>* recovery_mark = nullptr;
     /// Observability (non-owning, both nullable). The tracer provides this
     /// rank's main track and drain-shard subtracks; the registry receives
     /// per-step counter folds (owned by the driver so it survives
@@ -286,6 +322,15 @@ class RankEngine {
   void restore_state(std::span<const std::byte> blob);
   void restore_state_impl(std::span<const std::byte> blob);
 
+  /// Adopt-mode restart (called from the constructor after the stash
+  /// restore): rebuilds the topology under the rewritten owner map from the
+  /// union of this rank's live edges, the dead ranks' snapshot edges and
+  /// the structurally replayed schedule batches; installs fresh rows for
+  /// adopted vertices and queues their re-derivation (quiet poison — no
+  /// markers broadcast, the graph did not change); marks every boundary
+  /// row's finite entries dirty so rewired subscriptions repopulate.
+  void adopt_shards(const Init& init);
+
   rt::Comm& comm_;
   EngineConfig cfg_;
   const EventSchedule* schedule_;
@@ -305,6 +350,13 @@ class RankEngine {
   std::uint64_t dirty_entries_ = 0;   // pending un-sent changes
   std::uint64_t vertices_added_ = 0;  // round-robin cursor (globally consistent)
   bool poison_pending_ = false;       // new poisons since the last sync round
+  std::vector<Rank> assign_skip_;     // see Init::assign_skip
+
+  // MTTR probe (see Init): fold steady-now into *recovery_mark_ once, at
+  // the first completed step >= recovery_mark_step_.
+  std::size_t recovery_mark_step_ = static_cast<std::size_t>(-1);
+  std::atomic<std::int64_t>* recovery_mark_ = nullptr;
+  bool recovery_marked_ = false;
 
   // Reusable scratch, cleared in place each step instead of reallocated:
   // drain shards, exchange() send-assembly shards (one in the serial case),

@@ -70,8 +70,17 @@ void RunStats::to_json(std::ostream& os, bool include_steps) const {
   os << ",\"rc_exchange_wait_seconds\":";
   jdouble(os, rc_exchange_wait_seconds);
   os << ",\"rc_max_inflight_depth\":" << rc_max_inflight_depth
-     << ",\"recoveries\":" << recoveries
-     << ",\"invariant_violations\":" << invariant_violations
+     << ",\"recoveries\":" << recoveries << ",\"recovery_log\":[";
+  for (std::size_t i = 0; i < recovery_log.size(); ++i) {
+    const RecoveryRecord& r = recovery_log[i];
+    if (i != 0) os << ",";
+    os << "{\"kind\":";
+    jstring(os, r.kind);
+    os << ",\"at_step\":" << r.at_step << ",\"mttr_seconds\":";
+    jdouble(os, r.mttr_seconds);
+    os << "}";
+  }
+  os << "],\"invariant_violations\":" << invariant_violations
      << ",\"cut_edges_initial\":" << cut_edges_initial
      << ",\"cut_edges_final\":" << cut_edges_final << ",\"imbalance_final\":";
   jdouble(os, imbalance_final);

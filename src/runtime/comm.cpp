@@ -298,8 +298,17 @@ void Comm::put_reliable(Rank dst, std::int32_t tag,
         return;
       }
     }
+    // Exponential backoff with deterministic per-frame jitter: when a
+    // faulted round drops many frames at once, every sender would otherwise
+    // wake on the same schedule and retransmit in lockstep. The jitter is a
+    // pure hash of (seed, src, dst, seqno, attempt) — the same scheme as
+    // the frame fates — so chaos runs stay reproducible.
     const auto shift = std::min<std::uint32_t>(attempt, 6);
-    std::this_thread::sleep_for(tc.retry_backoff * (1U << shift));
+    const double jitter = retry_backoff_jitter(
+        inj != nullptr ? inj->plan().seed : 0, rank_, dst, seq, attempt);
+    std::this_thread::sleep_for(std::chrono::duration_cast<
+                                std::chrono::nanoseconds>(
+        tc.retry_backoff * (1U << shift) * jitter));
   }
   std::ostringstream os;
   os << "rank " << rank_ << ": frame (dst=" << dst << ", tag=" << tag
@@ -329,10 +338,49 @@ void Comm::send(Rank dst, std::int32_t tag, std::vector<std::byte> payload) {
   put_message(dst, tag, std::move(payload), OpKind::kPointToPoint, 0);
 }
 
+bool Comm::escalate_peer(Rank peer, double elapsed_seconds,
+                         double delta_seconds) {
+  if (peer_health_.empty()) {
+    peer_health_.resize(static_cast<std::size_t>(size()));
+  }
+  PeerHealth& ph = peer_health_[static_cast<std::size_t>(peer)];
+  ph.waited_seconds += delta_seconds;
+  const HealthConfig& hc = world_->health();
+  const auto threshold = [](std::chrono::milliseconds ms) {
+    return static_cast<double>(ms.count()) * 1e-3;
+  };
+  if (static_cast<int>(ph.state) < static_cast<int>(PeerState::kStraggler) &&
+      elapsed_seconds >= threshold(hc.straggler_after)) {
+    ph.state = PeerState::kStraggler;
+    ++ledger_.health_stragglers;
+    if (trace_ != nullptr) {
+      trace_->instant("health:straggler", "peer",
+                      static_cast<std::uint64_t>(peer));
+    }
+  }
+  if (static_cast<int>(ph.state) < static_cast<int>(PeerState::kSuspect) &&
+      elapsed_seconds >= threshold(hc.suspect_after)) {
+    ph.state = PeerState::kSuspect;
+    ++ledger_.health_suspects;
+    if (trace_ != nullptr) {
+      trace_->instant("health:suspect", "peer",
+                      static_cast<std::uint64_t>(peer));
+    }
+  }
+  return static_cast<int>(ph.state) < static_cast<int>(PeerState::kDead) &&
+         elapsed_seconds >= threshold(hc.dead_after);
+}
+
+void Comm::note_peer_ok(Rank peer) {
+  if (peer_health_.empty()) return;
+  peer_health_[static_cast<std::size_t>(peer)].state = PeerState::kOk;
+}
+
 Message Comm::recv(Rank src, std::int32_t tag) {
   account_cpu();
   flush_all_delayed();
   const auto timeout = world_->transport().recv_timeout;
+  const HealthConfig& hc = world_->health();
   // Abort only a wait that is genuinely stuck: the awaited sender (or,
   // for an any-source wait, anyone) is dead. A wait on a live peer
   // resumes — its message is still coming, and letting every survivor
@@ -340,16 +388,37 @@ Message Comm::recv(Rank src, std::int32_t tag) {
   // the same collective with identical cursors (docs/FAULTS.md).
   const auto throw_if_stuck = [&] {
     const auto failed = world_->failed_ranks();
-    const bool stuck =
-        src == kAnySource
-            ? !failed.empty()
-            : std::find(failed.begin(), failed.end(), src) != failed.end();
+    bool stuck = false;
+    if (src != kAnySource) {
+      stuck = std::find(failed.begin(), failed.end(), src) != failed.end();
+    } else if (await_hint_ != nullptr) {
+      // Any-source with an outstanding-set hint: the wait is stuck only if
+      // one of the peers it is actually still waiting on died. A failure
+      // elsewhere (a rank whose frame already arrived, or one this wait
+      // never involved) must not abort a wait for a live, slow peer —
+      // that tears the survivors' cursors apart mid-step.
+      for (const Rank peer : *await_hint_) {
+        if (std::find(failed.begin(), failed.end(), peer) != failed.end()) {
+          stuck = true;
+          break;
+        }
+      }
+    } else {
+      stuck = !failed.empty();
+    }
     if (!stuck) return failed.empty();
+    // Attribute the abort to the earliest failure, not the awaited peer: a
+    // collaterally-dead src is a symptom, and the supervisor's root
+    // classification reads this peer as the cascade's origin.
     std::ostringstream os;
     os << "rank " << rank_ << ": wait for (src=" << src << ", tag=" << tag
        << ") aborted; rank " << failed.front() << " failed first";
     throw PeerFailedError(failed.front(), os.str());
   };
+  const bool timed = timeout.count() > 0;
+  const auto wait_started = std::chrono::steady_clock::now();
+  const auto deadline = wait_started + timeout;
+  double attributed = 0.0;  // seconds of this await already charged to peers
   for (;;) {
     // Checked before every wait, not just on interrupt delivery: the
     // mailbox interrupt is one-shot, and this rank may have consumed it
@@ -360,9 +429,18 @@ Message Comm::recv(Rank src, std::int32_t tag) {
     if (world_->any_failed() && !world_->mailbox(rank_).has(src, tag)) {
       (void)throw_if_stuck();
     }
-    auto res = world_->mailbox(rank_).take_for(src, tag, timeout);
+    // Health supervision slices the blocking wait at straggler_after
+    // granularity so awaited silence can be attributed and escalated
+    // before the transport watchdog fires; with supervision off the slice
+    // IS the watchdog timeout and the legacy behavior is unchanged.
+    std::chrono::milliseconds slice = timeout;
+    if (hc.enabled) {
+      slice = timed ? std::min(slice, hc.straggler_after) : hc.straggler_after;
+    }
+    auto res = world_->mailbox(rank_).take_for(src, tag, slice);
     switch (res.status) {
       case Mailbox::TakeStatus::kOk: {
+        if (hc.enabled) note_peer_ok(res.msg.src);
         ledger_.bytes_received += res.msg.payload.size();
         ++ledger_.messages_received;
         return std::move(res.msg);
@@ -378,6 +456,44 @@ Message Comm::recv(Rank src, std::int32_t tag) {
         throw MailboxClosedError("rank " + std::to_string(rank_) +
                                  ": mailbox closed while receiving");
       case Mailbox::TakeStatus::kTimeout: {
+        const auto now = std::chrono::steady_clock::now();
+        if (hc.enabled) {
+          const double elapsed =
+              std::chrono::duration<double>(now - wait_started).count();
+          const double delta = elapsed - attributed;
+          attributed = elapsed;
+          // Attribute the silence: to the named source, or — for an
+          // any-source wait — to every peer the caller's await hint says
+          // is still outstanding (PendingAllToAll::recv_one).
+          Rank victim = kAnySource;
+          if (src != kAnySource) {
+            if (escalate_peer(src, elapsed, delta)) victim = src;
+          } else if (await_hint_ != nullptr) {
+            for (const Rank peer : *await_hint_) {
+              if (escalate_peer(peer, elapsed, delta) &&
+                  victim == kAnySource) {
+                victim = peer;
+              }
+            }
+          }
+          if (victim != kAnySource) {
+            peer_health_[static_cast<std::size_t>(victim)].state =
+                PeerState::kDead;
+            ++ledger_.health_dead_declared;
+            if (trace_ != nullptr) {
+              trace_->instant("health:dead", "peer",
+                              static_cast<std::uint64_t>(victim));
+            }
+            world_->declare_dead(victim, rank_);
+            std::ostringstream os;
+            os << "rank " << rank_ << ": peer " << victim
+               << " declared dead by health supervision after "
+               << hc.dead_after.count() << " ms of silence on (src=" << src
+               << ", tag=" << tag << ")";
+            throw PeerFailedError(victim, os.str());
+          }
+        }
+        if (!timed || now < deadline) continue;  // only a health slice expired
         std::ostringstream os;
         os << "rank " << rank_ << ": recv (src=" << src << ", tag=" << tag
            << ") timed out after " << timeout.count() << " ms";
@@ -387,7 +503,8 @@ Message Comm::recv(Rank src, std::int32_t tag) {
   }
 }
 
-std::vector<std::byte> Comm::broadcast(std::vector<std::byte> buf, Rank root) {
+std::vector<std::byte> Comm::broadcast(std::vector<std::byte> buf, Rank root,
+                                       const std::vector<std::byte>* replica) {
   const Rank P = size();
   const std::int32_t tag = collective_tag(op_seq_);
   const std::uint32_t op = op_seq_++;
@@ -402,8 +519,19 @@ std::vector<std::byte> Comm::broadcast(std::vector<std::byte> buf, Rank root) {
     Rank span = 1;
     while (span * 2 <= vr) span *= 2;
     const Rank parent = (vr - span + root) % P;
-    Message m = recv(parent, tag);
-    buf = std::move(m.payload);
+    try {
+      Message m = recv(parent, tag);
+      buf = std::move(m.payload);
+    } catch (const PeerFailedError&) {
+      // The parent died without forwarding. For replicated payloads the
+      // content is reconstructible locally; substitute it and keep the
+      // tree going so siblings below this rank don't starve too — the
+      // whole surviving tree then finishes the broadcast and stops at the
+      // *next* collective, which is what keeps survivor cursors coherent
+      // for the recovery stash (docs/FAULTS.md §Shard adoption).
+      if (replica == nullptr) throw;
+      buf = *replica;
+    }
   }
   // Forward down the binomial tree: vr sends to vr + 2^s for every s with
   // 2^s > vr (vr = 0 sends to 1, 2, 4, ...).
@@ -457,7 +585,8 @@ PendingAllToAll::PendingAllToAll(Comm* comm, Rank window, std::int32_t tag,
       me_(comm->rank()),
       out_(static_cast<std::size_t>(P_)),
       in_(static_cast<std::size_t>(P_)),
-      submitted_(static_cast<std::size_t>(P_), false) {}
+      submitted_(static_cast<std::size_t>(P_), false),
+      arrived_(static_cast<std::size_t>(P_), false) {}
 
 void PendingAllToAll::pump() {
   while (next_send_s_ < P_) {
@@ -482,11 +611,36 @@ void PendingAllToAll::recv_one() {
   const Rank round = recvs_taken_ + 1;
   const Rank src =
       window_ == 1 ? ((me_ - round) % P_ + P_) % P_ : kAnySource;
+  // An any-source recv advertises which peers are still outstanding. The
+  // hint serves two consumers: health supervision attributes the silence
+  // per peer and can declare a wedged one dead (docs/FAULTS.md §Health
+  // supervision), and the failure guard in Comm::recv aborts the wait
+  // only when an *awaited* peer died — a dead rank whose frame already
+  // arrived must not tear a wait for a live, merely slow peer. The hint
+  // is cleared even if the recv throws.
+  std::vector<Rank> outstanding;
+  if (src == kAnySource) {
+    for (Rank r = 0; r < P_; ++r) {
+      if (r != me_ && !arrived_[static_cast<std::size_t>(r)]) {
+        outstanding.push_back(r);
+      }
+    }
+    comm_->await_hint_ = &outstanding;
+  }
   const auto t0 = std::chrono::steady_clock::now();
-  Message m = comm_->recv(src, tag_);
+  Message m = [&]() -> Message {
+    try {
+      return comm_->recv(src, tag_);
+    } catch (...) {
+      comm_->await_hint_ = nullptr;
+      throw;
+    }
+  }();
+  comm_->await_hint_ = nullptr;
   wait_seconds_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  arrived_[static_cast<std::size_t>(m.src)] = true;
   in_[static_cast<std::size_t>(m.src)] = std::move(m.payload);
   ready_.push_back(m.src);
   ++recvs_taken_;
@@ -651,17 +805,40 @@ void World::mark_failed(Rank r) {
   {
     // Insertion order is failure order: front() is the first rank to die,
     // so interrupted waits attribute their PeerFailedError to the root
-    // cause rather than a collateral casualty.
+    // cause rather than a collateral casualty. Idempotent — a rank can be
+    // declared dead by health supervision and then fail on its own.
     const std::lock_guard lock(failed_mu_);
+    if (std::find(failed_.begin(), failed_.end(), r) != failed_.end()) return;
     failed_.push_back(r);
   }
   any_failed_.store(true, std::memory_order_release);
   for (auto& box : mailboxes_) box->interrupt();
 }
 
+void World::declare_dead(Rank r, Rank by) {
+  {
+    const std::lock_guard lock(failed_mu_);
+    // One declaration per rank per run, and none for a rank that already
+    // failed on its own (its real error is the better root cause).
+    if (std::find(failed_.begin(), failed_.end(), r) != failed_.end()) return;
+    if (std::find(declared_dead_.begin(), declared_dead_.end(), r) !=
+        declared_dead_.end()) {
+      return;
+    }
+    declared_dead_.push_back(r);
+  }
+  (void)by;  // attribution lives in the declarer's ledger/trace
+  mark_failed(r);
+}
+
 std::vector<Rank> World::failed_ranks() const {
   const std::lock_guard lock(failed_mu_);
   return failed_;
+}
+
+std::vector<Rank> World::declared_dead() const {
+  const std::lock_guard lock(failed_mu_);
+  return declared_dead_;
 }
 
 void World::run(const std::function<void(Comm&)>& fn) {
@@ -689,6 +866,7 @@ World::RunReport World::run_contained(const std::function<void(Comm&)>& fn) {
   {
     const std::lock_guard lock(failed_mu_);
     failed_.clear();
+    declared_dead_.clear();
   }
   for (auto& box : mailboxes_) box->reset();
 
@@ -735,6 +913,9 @@ World::RunReport World::run_contained(const std::function<void(Comm&)>& fn) {
     dst.messages_received += src.messages_received;
     dst.frame_overhead_bytes += src.frame_overhead_bytes;
     dst.retransmits += src.retransmits;
+    dst.health_stragglers += src.health_stragglers;
+    dst.health_suspects += src.health_suspects;
+    dst.health_dead_declared += src.health_dead_declared;
     for (const auto& [phase, secs] : src.cpu_seconds) {
       dst.cpu_seconds[phase] += secs;
     }

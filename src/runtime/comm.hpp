@@ -145,6 +145,12 @@ struct RankLedger {
   /// included in messages_sent.
   std::uint64_t frame_overhead_bytes = 0;
   std::uint64_t retransmits = 0;
+  /// Health-supervision escalations observed by this rank (zero when
+  /// HealthConfig::enabled is off): peers that crossed the straggler /
+  /// suspect deadline while awaited, and peers this rank declared dead.
+  std::uint64_t health_stragglers = 0;
+  std::uint64_t health_suspects = 0;
+  std::uint64_t health_dead_declared = 0;
   /// Thread-CPU seconds spent computing, keyed by phase label.
   std::map<std::string, double> cpu_seconds;
 
@@ -175,7 +181,17 @@ class Comm {
   void barrier();
 
   /// Binomial-tree broadcast; every rank (root included) returns the buffer.
-  std::vector<std::byte> broadcast(std::vector<std::byte> buf, Rank root);
+  ///
+  /// `replica` (optional) marks the payload as replicated data the caller
+  /// can reconstruct locally (e.g. the change feed every rank already holds
+  /// in its schedule). When the tree parent has failed before forwarding,
+  /// the wait would otherwise be stuck forever; with a replica the rank
+  /// substitutes its local copy and keeps forwarding down the tree, so
+  /// every survivor completes the broadcast and parks in the next dense
+  /// collective with coherent cursors (docs/FAULTS.md §Shard adoption).
+  std::vector<std::byte> broadcast(std::vector<std::byte> buf, Rank root,
+                                   const std::vector<std::byte>* replica =
+                                       nullptr);
 
   /// Personalized all-to-all: out[r] goes to rank r (out[rank()] is returned
   /// untouched). Returns in[r] = payload from rank r. Thin wrapper over
@@ -222,6 +238,15 @@ class Comm {
 
   [[nodiscard]] const RankLedger& ledger() const { return ledger_; }
 
+  /// This rank's view of each peer's health (empty until the first
+  /// supervised wait when HealthConfig::enabled, always empty otherwise).
+  /// waited_seconds accumulates the silence attributed to the peer across
+  /// awaited waits; state is the highest escalation reached (an arrival
+  /// resets it to kOk).
+  [[nodiscard]] const std::vector<PeerHealth>& peer_health() const {
+    return peer_health_;
+  }
+
  private:
   friend class World;
   friend class PendingAllToAll;
@@ -242,6 +267,14 @@ class Comm {
   /// frame, producing genuine reordering — at every recv, and at rank exit.
   void flush_delayed(Rank dst);
   void flush_all_delayed();
+  /// Health supervision (HealthConfig::enabled): attributes `delta` more
+  /// seconds of awaited silence to `peer` (its current await now totalling
+  /// `elapsed` seconds) and escalates its state through straggler ->
+  /// suspect, recording a trace instant and a ledger count per escalation.
+  /// Returns true once the peer crossed dead_after — the caller then
+  /// declares it dead world-wide and aborts the wait.
+  bool escalate_peer(Rank peer, double elapsed_seconds, double delta_seconds);
+  void note_peer_ok(Rank peer);
   void account_cpu();
   void log_message(OpKind kind, Rank dst, std::uint64_t bytes, std::uint32_t op_id);
   [[nodiscard]] double thread_cpu_seconds() const;
@@ -264,6 +297,12 @@ class Comm {
     std::vector<std::byte> frame;
   };
   std::unordered_map<Rank, std::vector<DelayedFrame>> delayed_;
+  /// Per-peer health ledger (sized lazily on the first supervised wait).
+  std::vector<PeerHealth> peer_health_;
+  /// Candidate peers of the current any-source await (non-owning; set by
+  /// PendingAllToAll::recv_one around its recv so the health layer can
+  /// attribute an anonymous wait to the peers still outstanding).
+  const std::vector<Rank>* await_hint_ = nullptr;
 };
 
 /// An in-flight personalized all-to-all (Comm::all_to_all_start /
@@ -341,6 +380,7 @@ class PendingAllToAll {
   std::vector<std::vector<std::byte>> out_;  ///< pending payloads by dst
   std::vector<std::vector<std::byte>> in_;   ///< arrivals (+ own slot) by src
   std::vector<bool> submitted_;
+  std::vector<bool> arrived_;   ///< peers whose payload has landed
   std::deque<Rank> ready_;      ///< buffered arrivals not yet delivered
   Rank submitted_count_ = 0;
   Rank next_send_s_ = 1;        ///< shift offset of the next unsent round
@@ -387,8 +427,26 @@ class World {
   /// on their rank's main track.
   void install_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Arms peer-health supervision for subsequent runs: awaited silence is
+  /// attributed per peer and escalates straggler -> suspect -> dead
+  /// (docs/FAULTS.md §Health supervision).
+  void install_health(const HealthConfig& health) { health_ = health; }
+  [[nodiscard]] const HealthConfig& health() const { return health_; }
+
   /// Marks a rank failed mid-run and interrupts every blocking wait.
   void mark_failed(Rank r);
+
+  /// Health-supervision verdict: declares `r` dead as observed by `by`
+  /// (marks it failed and records the declaration). Idempotent — a rank
+  /// already failed or declared is not re-declared, so racing observers
+  /// produce one declaration.
+  void declare_dead(Rank r, Rank by);
+
+  /// Ranks declared dead by health supervision during the current/last
+  /// run_contained (cleared at each run start). The supervisor treats
+  /// these as root failures even when the rank never raised an error
+  /// itself (a wedged peer has no exception to report).
+  [[nodiscard]] std::vector<Rank> declared_dead() const;
   [[nodiscard]] bool any_failed() const {
     return any_failed_.load(std::memory_order_acquire);
   }
@@ -426,6 +484,7 @@ class World {
   Rank size_;
   LogGPParams params_;
   TransportConfig transport_;
+  HealthConfig health_;
   FaultInjector* injector_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
@@ -435,6 +494,7 @@ class World {
   std::atomic<bool> any_failed_{false};
   mutable std::mutex failed_mu_;
   std::vector<Rank> failed_;
+  std::vector<Rank> declared_dead_;  // guarded by failed_mu_
 };
 
 }  // namespace aacc::rt

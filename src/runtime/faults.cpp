@@ -22,6 +22,18 @@ double to_unit(std::uint64_t h) {
 
 }  // namespace
 
+double retry_backoff_jitter(std::uint64_t seed, Rank src, Rank dst,
+                            std::uint32_t seqno, std::uint32_t attempt) {
+  // Same chaining as FaultInjector::frame_hash but under a distinct salt,
+  // so the jitter stream is independent of the fate stream.
+  std::uint64_t h = splitmix64(seed ^ 0xBAC0FF17ULL);
+  h = splitmix64(
+      h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32 |
+           static_cast<std::uint32_t>(dst)));
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(seqno) << 32 | attempt));
+  return 0.5 + to_unit(h);
+}
+
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
   AACC_CHECK_MSG(plan_.drop + plan_.duplicate + plan_.delay + plan_.corrupt <=
                      1.0 + 1e-12,
@@ -81,10 +93,11 @@ std::size_t FaultInjector::corrupt_offset(Rank src, Rank dst,
   return static_cast<std::size_t>(h % frame_size);
 }
 
-bool FaultInjector::should_crash(Rank rank, std::size_t step) {
+bool FaultInjector::should_crash(Rank rank, std::size_t step,
+                                 CrashPhase phase) {
   for (std::size_t i = 0; i < plan_.crashes.size(); ++i) {
     const CrashPoint& c = plan_.crashes[i];
-    if (c.rank == rank && c.at_step == step) {
+    if (c.rank == rank && c.at_step == step && c.phase == phase) {
       bool expected = false;
       if (crash_fired_[i]->compare_exchange_strong(expected, true)) {
         counters_.crashes.fetch_add(1, std::memory_order_relaxed);

@@ -95,8 +95,53 @@ struct TransportConfig {
   /// Every blocking recv fails with TimeoutError after this long; a wedged
   /// rank can never hang the binary. 0 disables (tests only).
   std::chrono::milliseconds recv_timeout{120000};
-  /// Base retransmit backoff; doubles per attempt (capped at 64x).
+  /// Base retransmit backoff; doubles per attempt (capped at 64x), then
+  /// scaled by a deterministic per-frame jitter factor in [0.5, 1.5) —
+  /// splitmix64 of (seed, src, dst, seqno, attempt), the same scheme as
+  /// frame fates — so the senders of a dropped all-to-all round do not
+  /// retransmit in lockstep (see retry_backoff_jitter).
   std::chrono::microseconds retry_backoff{20};
+};
+
+/// Deterministic jitter factor in [0.5, 1.5) for retransmit attempt
+/// `attempt` of frame (src, dst, seqno). Pure function of its arguments —
+/// two calls with the same tuple always agree, so chaos runs stay
+/// reproducible while concurrent senders spread out their retry storms.
+[[nodiscard]] double retry_backoff_jitter(std::uint64_t seed, Rank src,
+                                          Rank dst, std::uint32_t seqno,
+                                          std::uint32_t attempt);
+
+// ---------------------------------------------------------- health model
+
+/// Peer-health deadlines for the supervision layer (docs/FAULTS.md
+/// §Health supervision). While a rank blocks waiting for a peer's frame
+/// (directly or through `PendingAllToAll::try_recv_any`), the elapsed wait
+/// is attributed to the awaited peer(s) and escalates their observed state
+/// straggler -> suspect -> dead. Crossing `dead_after` *declares* the peer
+/// dead: the waiter marks it failed and raises PeerFailedError immediately
+/// instead of burning the full recv_timeout on a TimeoutError. Disabled by
+/// default: the fault-free path then takes a single branch per wait.
+struct HealthConfig {
+  bool enabled = false;
+  /// A peer silent this long while awaited is a straggler (telemetry only).
+  std::chrono::milliseconds straggler_after{100};
+  /// A peer silent this long is a suspect (trace instant + counter).
+  std::chrono::milliseconds suspect_after{500};
+  /// A peer silent this long is declared dead (PeerFailedError raised and
+  /// the rank is marked failed world-wide). Must stay below the transport
+  /// recv_timeout or the watchdog wins the race and the declaration never
+  /// happens.
+  std::chrono::milliseconds dead_after{2000};
+};
+
+/// Escalation ladder of a peer as seen by one observer rank.
+enum class PeerState : std::uint8_t { kOk, kStraggler, kSuspect, kDead };
+
+/// Per-peer health ledger kept by each Comm endpoint: cumulative awaited
+/// silence and the highest escalation state reached.
+struct PeerHealth {
+  double waited_seconds = 0.0;
+  PeerState state = PeerState::kOk;
 };
 
 // ------------------------------------------------------------- fault plan
@@ -109,10 +154,23 @@ enum class FrameFate : std::uint8_t {
   kCorrupt,    ///< one byte of the frame is flipped in flight
 };
 
+/// Where inside an RC step a scheduled death fires.
+enum class CrashPhase : std::uint8_t {
+  /// At the top of the step, before the first collective — every survivor
+  /// then parks in that step's exchange with an identical cursor.
+  kStepStart,
+  /// Between `submit` and `wait_all` of the exchange's PendingAllToAll:
+  /// some of the dying rank's payloads are already delivered, some of its
+  /// peers' arrivals already applied. Exercises the pipelined/async
+  /// windows' partial-delivery recovery paths.
+  kMidExchange,
+};
+
 /// One scheduled rank death.
 struct CrashPoint {
   Rank rank = 0;
-  std::size_t at_step = 0;  ///< RC step at whose start the rank dies
+  std::size_t at_step = 0;  ///< RC step at which the rank dies
+  CrashPhase phase = CrashPhase::kStepStart;
 };
 
 struct FaultPlan {
@@ -153,8 +211,11 @@ class FaultInjector {
                                            std::uint32_t attempt,
                                            std::size_t frame_size) const;
 
-  /// One-shot crash hook, polled by rank code at each RC step boundary.
-  bool should_crash(Rank rank, std::size_t step);
+  /// One-shot crash hook, polled by rank code at each RC step boundary
+  /// (kStepStart) and between the exchange's submits and its completion
+  /// wait (kMidExchange). Only points matching `phase` are considered.
+  bool should_crash(Rank rank, std::size_t step,
+                    CrashPhase phase = CrashPhase::kStepStart);
 
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
 

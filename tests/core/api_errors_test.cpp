@@ -97,6 +97,52 @@ TEST(ConfigValidate, TraceCapacity) {
             std::string::npos);
 }
 
+TEST(ConfigValidate, RecoveryLadderMustHaveARung) {
+  EngineConfig cfg;
+  cfg.recovery_policy.clear();
+  EXPECT_NE(config_error_message(cfg).find("recovery_policy"),
+            std::string::npos);
+}
+
+TEST(ConfigValidate, RecoveryLadderRejectsRepeatedPolicies) {
+  EngineConfig cfg;
+  cfg.recovery_policy = {{RecoveryPolicy::kRollback, 0},
+                         {RecoveryPolicy::kRollback, 2}};
+  EXPECT_NE(config_error_message(cfg).find("repeat"), std::string::npos);
+  cfg.recovery_policy = {{RecoveryPolicy::kAdopt, 0},
+                         {RecoveryPolicy::kRollback, 0},
+                         {RecoveryPolicy::kDegrade, 0}};
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ConfigValidate, HealthDeadlinesMustEscalateInOrder) {
+  EngineConfig cfg;
+  cfg.health.enabled = true;
+  cfg.health.straggler_after = std::chrono::milliseconds(200);
+  cfg.health.suspect_after = std::chrono::milliseconds(100);  // < straggler
+  cfg.health.dead_after = std::chrono::milliseconds(400);
+  EXPECT_NE(config_error_message(cfg).find("health"), std::string::npos);
+  cfg.health.suspect_after = std::chrono::milliseconds(300);
+  cfg.transport.recv_timeout = std::chrono::milliseconds(300);  // <= dead
+  EXPECT_NE(config_error_message(cfg).find("dead_after"), std::string::npos);
+}
+
+TEST(RecoveryLadder, ExhaustedLadderSurfacesTypedRecoveryError) {
+  // A config the degraded fallback cannot serve (eager adds rewrite the
+  // partition under the ghosts' feet), a ladder with only that rung, and a
+  // crash: the supervisor must surface the rung's typed precondition
+  // failure, not a bare assertion.
+  EngineConfig cfg;
+  cfg.num_ranks = 3;
+  cfg.add_mode = EdgeAddMode::kEager;
+  cfg.recovery_policy = {{RecoveryPolicy::kDegrade, 0}};
+  cfg.transport.retry_backoff = std::chrono::microseconds(1);
+  cfg.faults.crashes.push_back({1, 1, rt::CrashPhase::kStepStart});
+  EXPECT_NO_THROW(cfg.validate());  // the clash is a runtime property
+  AnytimeEngine engine(tiny_graph(), cfg);
+  EXPECT_THROW(engine.run(), RecoveryError);
+}
+
 TEST(ConfigValidate, ConstructorsValidate) {
   EngineConfig cfg;
   cfg.num_ranks = 0;

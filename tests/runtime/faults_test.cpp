@@ -89,6 +89,48 @@ TEST(FaultInjector, CorruptOffsetStaysInsideTheFrame) {
   }
 }
 
+// --------------------------------------------------------- retry jitter
+
+TEST(RetryJitter, IsAPureFunctionOfTheFrameTuple) {
+  // Reproducibility contract: the backoff schedule of a faulted run is a
+  // pure function of (seed, src, dst, seqno, attempt), so re-running a
+  // chaos seed replays the identical retry storm.
+  for (std::uint32_t attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(retry_backoff_jitter(42, 0, 1, 7, attempt),
+              retry_backoff_jitter(42, 0, 1, 7, attempt));
+  }
+}
+
+TEST(RetryJitter, StaysInTheHalfOpenUnitBand) {
+  for (std::uint64_t seed : {0ull, 1ull, 42ull, 0xFFFFFFFFFFFFFFFFull}) {
+    for (std::uint32_t seq = 0; seq < 32; ++seq) {
+      for (std::uint32_t attempt = 0; attempt < 8; ++attempt) {
+        const double j = retry_backoff_jitter(seed, 2, 3, seq, attempt);
+        EXPECT_GE(j, 0.5);
+        EXPECT_LT(j, 1.5);
+      }
+    }
+  }
+}
+
+TEST(RetryJitter, SpreadsAcrossAttemptsAndPeers) {
+  // The whole point: concurrent senders (and successive attempts of one
+  // sender) must not share a factor, or the retry storm stays in lockstep.
+  const double base = retry_backoff_jitter(7, 0, 1, 0, 0);
+  bool attempt_varies = false;
+  for (std::uint32_t attempt = 1; attempt < 8; ++attempt) {
+    if (retry_backoff_jitter(7, 0, 1, 0, attempt) != base) {
+      attempt_varies = true;
+    }
+  }
+  EXPECT_TRUE(attempt_varies);
+  bool peer_varies = false;
+  for (Rank src = 0; src < 8; ++src) {
+    if (retry_backoff_jitter(7, src, 1, 0, 0) != base) peer_varies = true;
+  }
+  EXPECT_TRUE(peer_varies);
+}
+
 // ------------------------------------------------------- frame admission
 
 TEST(Frame, CorruptedByteIsRejected) {
@@ -305,6 +347,39 @@ TEST(World, ContainedRunReportsTheFailedRankAndSurvives) {
   // The World is reusable: the next contained run starts clean.
   const auto second = world.run_contained([&](Comm& comm) { comm.barrier(); });
   EXPECT_TRUE(second.ok());
+}
+
+TEST(World, HealthSupervisionDeclaresAWedgedPeerDead) {
+  // A peer that wedges without crashing never raises its own error; the
+  // only way out is the observer-side escalation ladder (docs/FAULTS.md
+  // §Health supervision): straggler -> suspect -> dead, then a declaration
+  // that marks the rank failed world-wide.
+  World world(2);
+  HealthConfig hc;
+  hc.enabled = true;
+  hc.straggler_after = std::chrono::milliseconds(10);
+  hc.suspect_after = std::chrono::milliseconds(20);
+  hc.dead_after = std::chrono::milliseconds(60);
+  world.install_health(hc);
+  const auto report = world.run_contained([&](Comm& comm) {
+    if (comm.rank() == 1) {
+      // Wedged: never sends, never crashes.
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      return;
+    }
+    try {
+      (void)comm.recv(1, 5);
+      FAIL() << "recv from the wedged peer should not complete";
+    } catch (const PeerFailedError& e) {
+      EXPECT_EQ(e.peer(), 1);
+      throw;
+    }
+  });
+  ASSERT_FALSE(report.ok());
+  const auto declared = world.declared_dead();
+  ASSERT_EQ(declared.size(), 1u);
+  EXPECT_EQ(declared[0], 1);
+  EXPECT_GE(world.ledgers()[0].health_dead_declared, 1u);
 }
 
 TEST(World, RunPrefersTheRootCauseOverCollateralErrors) {

@@ -72,10 +72,53 @@ int usage() {
                "       [--measure closeness|harmonic|degree|betweenness|"
                "eigenvector] [--exact]\n"
                "       [--stats-json FILE] [--trace FILE]\n"
+               "       [--recovery-policy LADDER] [--checkpoint-every N]\n"
                "  aacc run <graph-file> [--ranks N] [--seed S] [--top-k K]\n"
                "       [--events FILE] [--progress]\n"
-               "  aacc tail <events.ndjson>\n");
+               "       [--recovery-policy LADDER] [--checkpoint-every N]\n"
+               "  aacc tail <events.ndjson>\n"
+               "\n"
+               "LADDER is a comma list of recovery rungs tried in order when\n"
+               "a rank dies (docs/FAULTS.md §Recovery policy ladder), each\n"
+               "adopt|rollback|degrade with an optional :budget (uses per\n"
+               "run, 0 = unlimited), e.g. adopt:2,rollback,degrade.\n");
   return 2;
+}
+
+/// Parses `--recovery-policy adopt:2,rollback,degrade` into config rungs.
+/// Throws std::runtime_error on an unknown rung name or malformed budget;
+/// EngineConfig::validate() later rejects empty or repeated ladders.
+void apply_recovery_policy(const std::string& spec, EngineConfig& cfg) {
+  cfg.recovery_policy.clear();
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    std::string rung = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    std::size_t budget = 0;
+    if (const std::size_t colon = rung.find(':'); colon != std::string::npos) {
+      budget = static_cast<std::size_t>(std::stoul(rung.substr(colon + 1)));
+      rung.resize(colon);
+    }
+    RecoveryPolicy policy;
+    if (rung == "adopt") policy = RecoveryPolicy::kAdopt;
+    else if (rung == "rollback") policy = RecoveryPolicy::kRollback;
+    else if (rung == "degrade" || rung == "degraded") policy = RecoveryPolicy::kDegrade;
+    else throw std::runtime_error("unknown recovery rung '" + rung +
+                                  "' (want adopt|rollback|degrade)");
+    cfg.recovery_policy.push_back({policy, budget});
+  }
+}
+
+/// Shared by `run` and `analyze`: the fault-tolerance knobs.
+void apply_recovery_flags(const Args& args, EngineConfig& cfg) {
+  if (args.has("recovery-policy")) {
+    apply_recovery_policy(args.get("recovery-policy", ""), cfg);
+  }
+  if (args.has("checkpoint-every")) {
+    cfg.checkpoint_every =
+        static_cast<std::size_t>(args.get_int("checkpoint-every", 0));
+  }
 }
 
 /// One line per progress event, shared by `run --progress` and `tail` so a
@@ -132,6 +175,7 @@ int cmd_run(const Args& args) {
   cfg.num_ranks = static_cast<Rank>(args.get_int("ranks", 8));
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   cfg.progress.top_k = static_cast<std::size_t>(args.get_int("top-k", 32));
+  apply_recovery_flags(args, cfg);
   if (args.has("events")) cfg.progress.path = args.get("events", "");
   // Live rendering is the default purpose of `run`: render unless the user
   // asked only for a file feed.
@@ -287,6 +331,7 @@ int cmd_analyze(const Args& args) {
     EngineConfig cfg;
     cfg.num_ranks = ranks;
     cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    apply_recovery_flags(args, cfg);
     if (args.has("trace")) {
       cfg.trace.enabled = true;
       cfg.trace.path = args.get("trace", "trace.json");
