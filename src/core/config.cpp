@@ -51,6 +51,14 @@ void EngineConfig::validate() const {
        << exchange_window;
     fail(os.str());
   }
+  if (dv_budget_bytes != 0 && dv_budget_bytes < kMinDvBudgetBytes) {
+    std::ostringstream os;
+    os << "EngineConfig::dv_budget_bytes must be 0 (fully resident) or >= "
+       << kMinDvBudgetBytes
+       << " (a smaller budget cannot hold one hot DV row), got "
+       << dv_budget_bytes;
+    fail(os.str());
+  }
   if (rebalance_threshold != 0.0 && rebalance_threshold < 1.0) {
     std::ostringstream os;
     os << "EngineConfig::rebalance_threshold must be 0 (off) or >= 1.0 "

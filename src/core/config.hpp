@@ -103,6 +103,11 @@ enum class RefineMode {
   kBoundaryFloydWarshall,
 };
 
+/// Floor for a nonzero EngineConfig::dv_budget_bytes: roughly one small
+/// dense row plus slot overhead. A budget below this cannot keep even one
+/// row hot, so the tiered store would thrash on every touch.
+inline constexpr std::uint64_t kMinDvBudgetBytes = 4096;
+
 struct EngineConfig {
   Rank num_ranks = 8;
   PartitionerKind dd_partitioner = PartitionerKind::kMultilevel;
@@ -133,6 +138,15 @@ struct EngineConfig {
   /// overlapped); values are clamped to [1, P-1] at run time.
   /// kDeterministic requires 0 or 1 — the blocking schedule *is* window 1.
   std::size_t exchange_window = 0;
+  /// Per-rank byte budget for resident (hot) DV rows. 0 = fully resident
+  /// (the historical dense store). Nonzero selects the tiered store: settled
+  /// rows are demoted to a delta-compressed cold form at each RC step
+  /// boundary until the hot tier fits the budget, and promoted back on
+  /// first touch (DESIGN.md §"Tiered DV storage"). Results are bit-identical
+  /// at any budget; only memory/CPU trade off. Must be 0 or at least
+  /// kMinDvBudgetBytes — a smaller bound could not hold even one row and
+  /// would thrash every step.
+  std::uint64_t dv_budget_bytes = 0;
   std::uint64_t seed = 1;
   rt::LogGPParams logp;
   /// Record per-step closeness snapshots (E3 quality curves). Adds one
@@ -215,6 +229,8 @@ struct EngineConfig {
   ///   * exchange_window at most 4096 (0 = auto), and 0 or 1 under
   ///     ExchangeMode::kDeterministic (a deeper window would reorder
   ///     arrival processing, contradicting the oracle mode's guarantee)
+  ///   * dv_budget_bytes is 0 (fully resident) or >= kMinDvBudgetBytes —
+  ///     a smaller budget cannot hold one hot row and would thrash
   ///   * rebalance_threshold is 0 (off) or >= 1.0 — max/ideal load is
   ///     >= 1 by definition, so a lower bar would repartition every batch
   ///   * transport.max_retries >= 1 (0 would silently never send)

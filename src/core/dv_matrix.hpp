@@ -184,6 +184,15 @@ class DvRow {
     flags_.insert(flags_.end(), count, 0);
   }
 
+  /// Resident-memory footprint of this row (capacity-based, including the
+  /// sparse index lists) — the unit the tiered store's budget is charged
+  /// in (DESIGN.md §"Tiered DV storage").
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return sizeof(DvRow) + d_.capacity() * sizeof(Dist) +
+           nh_.capacity() * sizeof(VertexId) + flags_.capacity() +
+           (dirty_.capacity() + reach_.capacity()) * sizeof(VertexId);
+  }
+
   /// Releases slack capacity (columns and index lists). Called after a
   /// repartition rebuilt the row set: the geometric growth headroom of the
   /// pre-migration era is dead weight on the new owner.

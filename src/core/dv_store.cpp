@@ -1,0 +1,619 @@
+#include "core/dv_store.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/timer.hpp"
+
+namespace aacc {
+
+namespace {
+
+/// Decoded cold entry stream cursor: (column, dist, next hop) triples in
+/// ascending column order.
+struct ColdCursor {
+  rt::ByteReader r;
+  std::uint64_t count;
+  std::uint64_t read = 0;
+  VertexId prev = 0;
+
+  explicit ColdCursor(const ColdDvRow& c) : r(c.blob), count(r.read_varint()) {}
+
+  [[nodiscard]] bool done() const { return read == count; }
+  std::tuple<VertexId, Dist, VertexId> next() {
+    const auto delta = static_cast<VertexId>(r.read_varint());
+    prev = (read == 0) ? delta : prev + delta + 1;
+    ++read;
+    const Dist d = rt::decode_u32_sentinel(r.read_varint());
+    const auto nh = static_cast<VertexId>(rt::decode_u32_sentinel(r.read_varint()));
+    return {prev, d, nh};
+  }
+};
+
+void write_cold_entry(rt::ByteWriter& w, VertexId col, VertexId prev,
+                      bool first, Dist d, VertexId nh) {
+  w.write_varint(first ? col : col - prev - 1);
+  w.write_varint(rt::encode_u32_sentinel(d));
+  w.write_varint(rt::encode_u32_sentinel(nh));
+}
+
+bool cold_find(const ColdDvRow& c, VertexId t, Dist* d_out, VertexId* nh_out) {
+  ColdCursor cur(c);
+  while (!cur.done()) {
+    const auto [t2, d, nh] = cur.next();
+    if (t2 == t) {
+      *d_out = d;
+      *nh_out = nh;
+      return true;
+    }
+    if (t2 > t) break;  // ascending: t is absent
+  }
+  return false;
+}
+
+}  // namespace
+
+ColdDvRow encode_cold_row(const DvRow& row) {
+  ColdDvRow cold;
+  cold.self = row.self();
+  cold.columns = row.size();
+  cold.finite = row.finite_count();
+  cold.sum = row.finite_sum();
+  std::vector<VertexId> dirty;
+  row.sorted_dirty(dirty);
+  cold.dirty.assign_sorted(dirty);
+
+  std::vector<VertexId> cols;
+  cols.reserve(static_cast<std::size_t>(row.finite_count()) + 1);
+  cols.push_back(row.self());
+  row.for_each_finite([&](VertexId t) { cols.push_back(t); });
+  std::sort(cols.begin(), cols.end());
+
+  rt::ByteWriter w;
+  w.write_varint(cols.size());
+  VertexId prev = 0;
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    const VertexId t = cols[i];
+    write_cold_entry(w, t, prev, i == 0, row.dist(t), row.next_hop(t));
+    prev = t;
+  }
+  cold.blob = w.take();
+  // Cold rows are long-lived and their bytes() are the budget currency:
+  // growth slack from the writer/push_back doubling is not free to keep.
+  cold.blob.shrink_to_fit();
+  cold.dirty.shrink_to_fit();
+  return cold;
+}
+
+ColdDvRow encode_cold_row(VertexId self, const std::vector<Dist>& d,
+                          const std::vector<VertexId>& nh,
+                          std::vector<VertexId> dirty) {
+  ColdDvRow cold;
+  cold.self = self;
+  cold.columns = static_cast<VertexId>(d.size());
+  cold.dirty.assign_sorted(dirty);
+  std::uint64_t count = 0;
+  for (const Dist dt : d) {
+    if (dt != kInfDist) ++count;
+  }
+  rt::ByteWriter w;
+  w.write_varint(count);
+  VertexId prev = 0;
+  bool first = true;
+  for (VertexId t = 0; t < cold.columns; ++t) {
+    if (d[t] == kInfDist) continue;
+    write_cold_entry(w, t, prev, first, d[t], nh[t]);
+    prev = t;
+    first = false;
+    if (t != self) {
+      cold.sum += d[t];
+      ++cold.finite;
+    }
+  }
+  cold.blob = w.take();
+  cold.blob.shrink_to_fit();
+  cold.dirty.shrink_to_fit();
+  return cold;
+}
+
+DvRow decode_cold_row(const ColdDvRow& cold) {
+  DvRow row(cold.self, cold.columns);
+  ColdCursor cur(cold);
+  while (!cur.done()) {
+    const auto [t, d, nh] = cur.next();
+    row.set(t, d, nh);
+  }
+  cold.dirty.for_each([&row](VertexId t) { row.mark_dirty(t); });
+  AACC_DCHECK(row.finite_sum() == cold.sum);
+  AACC_DCHECK(row.finite_count() == cold.finite);
+  return row;
+}
+
+DvStore::~DvStore() = default;
+
+std::unique_ptr<DvStore> DvStore::create(std::uint64_t budget_bytes) {
+  if (budget_bytes == 0) return std::make_unique<ResidentDvStore>();
+  return std::make_unique<TieredDvStore>(budget_bytes);
+}
+
+DvRow& DvStore::promote(std::size_t i) {
+  std::lock_guard<std::mutex> lock(promote_mu_);
+  Slot& s = slots_[i];
+  if (DvRow* p = s.hot.load(std::memory_order_acquire)) return *p;  // raced
+  Timer t;
+  auto* p = new DvRow(decode_cold_row(*s.cold));
+  decode_seconds_ += t.seconds();
+  ++promotions_;
+  s.cold.reset();
+  s.touch.store(epoch_, std::memory_order_relaxed);
+  s.hot.store(p, std::memory_order_release);
+  return *p;
+}
+
+// ---- metadata ------------------------------------------------------------
+
+VertexId DvStore::self(std::size_t i) const {
+  const Slot& s = slots_[i];
+  if (const DvRow* p = s.hot.load(std::memory_order_acquire)) return p->self();
+  return s.cold->self;
+}
+
+VertexId DvStore::columns(std::size_t i) const {
+  const Slot& s = slots_[i];
+  if (const DvRow* p = s.hot.load(std::memory_order_acquire)) return p->size();
+  return s.cold->columns;
+}
+
+VertexId DvStore::finite_count(std::size_t i) const {
+  const Slot& s = slots_[i];
+  if (const DvRow* p = s.hot.load(std::memory_order_acquire)) {
+    return p->finite_count();
+  }
+  return s.cold->finite;
+}
+
+std::uint64_t DvStore::finite_sum(std::size_t i) const {
+  const Slot& s = slots_[i];
+  if (const DvRow* p = s.hot.load(std::memory_order_acquire)) {
+    return p->finite_sum();
+  }
+  return s.cold->sum;
+}
+
+double DvStore::closeness(std::size_t i) const {
+  const std::uint64_t sum = finite_sum(i);
+  return sum == 0 ? 0.0 : 1.0 / static_cast<double>(sum);
+}
+
+double DvStore::harmonic(std::size_t i) const {
+  // Mirrors harmonic_from_row: ascending columns, skip self / unreachable /
+  // zero. for_each_entry yields exactly the finite columns ascending in
+  // both residency states, so the FP accumulation order is identical.
+  const VertexId s = self(i);
+  double h = 0.0;
+  for_each_entry(i, [&](VertexId t, Dist d, VertexId) {
+    if (t == s || d == 0) return;
+    h += 1.0 / static_cast<double>(d);
+  });
+  return h;
+}
+
+VertexId DvStore::dirty_count(std::size_t i) const {
+  const Slot& s = slots_[i];
+  if (const DvRow* p = s.hot.load(std::memory_order_acquire)) {
+    return p->dirty_count();
+  }
+  return s.cold->dirty.size();
+}
+
+Dist DvStore::probe_dist(std::size_t i, VertexId t) const {
+  const Slot& s = slots_[i];
+  if (const DvRow* p = s.hot.load(std::memory_order_acquire)) return p->dist(t);
+  Dist d = kInfDist;
+  VertexId nh = kNoVertex;
+  cold_find(*s.cold, t, &d, &nh);
+  return d;
+}
+
+VertexId DvStore::probe_next_hop(std::size_t i, VertexId t) const {
+  const Slot& s = slots_[i];
+  if (const DvRow* p = s.hot.load(std::memory_order_acquire)) {
+    return p->next_hop(t);
+  }
+  Dist d = kInfDist;
+  VertexId nh = kNoVertex;
+  cold_find(*s.cold, t, &d, &nh);
+  return nh;
+}
+
+// ---- dirty-set operations ------------------------------------------------
+
+void DvStore::collect_dirty_entries(
+    std::size_t i, std::vector<VertexId>& cols,
+    std::vector<std::pair<VertexId, Dist>>& out) const {
+  const Slot& s = slots_[i];
+  if (const DvRow* p = s.hot.load(std::memory_order_acquire)) {
+    p->sorted_dirty(cols);
+    for (const VertexId t : cols) out.emplace_back(t, p->dist(t));
+    return;
+  }
+  // Merge-join the sorted dirty list against the ascending entry stream:
+  // a dirty column absent from the entries is a poison marker (kInfDist).
+  // `cols` is the caller's scratch, reused as the decoded dirty list.
+  const ColdDvRow& c = *s.cold;
+  cols.clear();
+  c.dirty.append_to(cols);
+  ColdCursor cur(c);
+  std::size_t di = 0;
+  while (!cur.done() && di < cols.size()) {
+    const auto [t, d, nh] = cur.next();
+    (void)nh;
+    while (di < cols.size() && cols[di] < t) {
+      out.emplace_back(cols[di++], kInfDist);
+    }
+    if (di < cols.size() && cols[di] == t) {
+      out.emplace_back(t, d);
+      ++di;
+    }
+  }
+  while (di < cols.size()) out.emplace_back(cols[di++], kInfDist);
+}
+
+VertexId DvStore::retire_dirty(std::size_t i, std::vector<VertexId>* cleared) {
+  Slot& s = slots_[i];
+  if (DvRow* p = s.hot.load(std::memory_order_acquire)) {
+    return p->clear_all_dirty(cleared);
+  }
+  ColdDvRow& c = *s.cold;
+  const VertexId n = c.dirty.size();
+  if (cleared != nullptr) c.dirty.append_to(*cleared);
+  c.dirty.clear();
+  return n;
+}
+
+bool DvStore::retire_dirty_one(std::size_t i, VertexId t) {
+  Slot& s = slots_[i];
+  if (DvRow* p = s.hot.load(std::memory_order_acquire)) {
+    return p->clear_dirty(t);
+  }
+  return s.cold->dirty.erase(t);
+}
+
+bool DvStore::remark_dirty(std::size_t i, VertexId t) {
+  Slot& s = slots_[i];
+  if (DvRow* p = s.hot.load(std::memory_order_acquire)) {
+    return p->mark_dirty(t);
+  }
+  return s.cold->dirty.insert(t);
+}
+
+VertexId DvStore::mark_finite_dirty(std::size_t i) {
+  Slot& s = slots_[i];
+  if (DvRow* p = s.hot.load(std::memory_order_acquire)) {
+    VertexId added = 0;
+    p->for_each_finite([&](VertexId t) {
+      if (p->mark_dirty(t)) ++added;
+    });
+    return added;
+  }
+  ColdDvRow& c = *s.cold;
+  std::vector<VertexId> finite_cols;
+  finite_cols.reserve(c.finite);
+  ColdCursor cur(c);
+  while (!cur.done()) {
+    const auto [t, d, nh] = cur.next();
+    (void)d;
+    (void)nh;
+    if (t != c.self) finite_cols.push_back(t);
+  }
+  const std::vector<VertexId> cur_dirty = c.dirty.to_vector();
+  std::vector<VertexId> merged;
+  merged.reserve(cur_dirty.size() + finite_cols.size());
+  std::set_union(cur_dirty.begin(), cur_dirty.end(), finite_cols.begin(),
+                 finite_cols.end(), std::back_inserter(merged));
+  const auto added = static_cast<VertexId>(merged.size() - cur_dirty.size());
+  c.dirty.assign_sorted(merged);
+  return added;
+}
+
+bool DvStore::tombstone_column(std::size_t i, VertexId v) {
+  // Mirrors the engine's historical tombstone exactly: a no-op when the
+  // entry is already infinite — in particular an undelivered poison marker
+  // on column v stays dirty and still goes out with the next sync round.
+  Slot& s = slots_[i];
+  if (DvRow* p = s.hot.load(std::memory_order_acquire)) {
+    if (p->dist(v) == kInfDist) return false;
+    p->set(v, kInfDist, kNoVertex);
+    return p->clear_dirty(v);
+  }
+  ColdDvRow& c = *s.cold;
+  Dist d = kInfDist;
+  VertexId nh = kNoVertex;
+  if (!cold_find(c, v, &d, &nh)) return false;
+  const bool was_dirty = c.dirty.erase(v);
+  // Rewrite the entry stream without column v.
+  std::vector<std::tuple<VertexId, Dist, VertexId>> entries;
+  {
+    ColdCursor cur(c);
+    entries.reserve(cur.count > 0 ? cur.count - 1 : 0);
+    while (!cur.done()) {
+      const auto e = cur.next();
+      if (std::get<0>(e) != v) entries.push_back(e);
+    }
+  }
+  rt::ByteWriter w;
+  w.write_varint(entries.size());
+  VertexId prev = 0;
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    const auto [t, dt, nt] = entries[k];
+    write_cold_entry(w, t, prev, k == 0, dt, nt);
+    prev = t;
+  }
+  c.blob = w.take();
+  c.sum -= d;
+  --c.finite;
+  return was_dirty;
+}
+
+// ---- structural ----------------------------------------------------------
+
+void DvStore::append(DvRow&& r) {
+  slots_.emplace_back();
+  set_hot(slots_.size() - 1, std::move(r));
+}
+
+void DvStore::put(std::size_t i, DvRow&& r) { set_hot(i, std::move(r)); }
+
+DvRow DvStore::take(std::size_t i) {
+  DvRow out = std::move(row(i));
+  return out;
+}
+
+void DvStore::swap_remove(std::size_t i) {
+  slots_[i] = std::move(slots_.back());
+  slots_.pop_back();
+}
+
+void DvStore::clear() {
+  slots_.clear();
+  cols_ = 0;
+}
+
+void DvStore::grow_columns(VertexId count) {
+  cols_ += count;
+  for (Slot& s : slots_) {
+    if (DvRow* p = s.hot.load(std::memory_order_acquire)) {
+      p->grow(count);
+    } else {
+      s.cold->columns += count;
+    }
+  }
+}
+
+void DvStore::reset_flags(std::size_t i) {
+  Slot& s = slots_[i];
+  if (DvRow* p = s.hot.load(std::memory_order_acquire)) {
+    p->reset_flags();
+  } else {
+    s.cold->dirty.clear();
+  }
+}
+
+void DvStore::shrink_all() {
+  for (Slot& s : slots_) {
+    if (DvRow* p = s.hot.load(std::memory_order_acquire)) {
+      p->shrink_to_fit();
+    } else {
+      s.cold->blob.shrink_to_fit();
+      s.cold->dirty.shrink_to_fit();
+    }
+  }
+}
+
+// ---- checkpoint fast path ------------------------------------------------
+
+void DvStore::serialize_row(std::size_t i, rt::ByteWriter& w) const {
+  const Slot& s = slots_[i];
+  if (const DvRow* p = s.hot.load(std::memory_order_acquire)) {
+    w.write(p->self());
+    rt::write_packed_u32s(w, p->dists());
+    rt::write_packed_u32s(w, p->next_hops());
+    std::vector<VertexId> dirty;
+    p->sorted_dirty(dirty);
+    rt::write_ascending_ids(w, dirty);
+    return;
+  }
+  // Transcode straight from the compressed form: emit the packed dense
+  // streams by walking the column range with an entry cursor — absent
+  // columns are the 1-byte sentinel code. Byte-identical to the hot path.
+  const ColdDvRow& c = *s.cold;
+  w.write(c.self);
+  std::vector<std::tuple<VertexId, Dist, VertexId>> entries;
+  {
+    ColdCursor cur(c);
+    entries.reserve(cur.count);
+    while (!cur.done()) entries.push_back(cur.next());
+  }
+  w.write_varint(c.columns);
+  std::size_t e = 0;
+  for (VertexId col = 0; col < c.columns; ++col) {
+    if (e < entries.size() && std::get<0>(entries[e]) == col) {
+      w.write_varint(rt::encode_u32_sentinel(std::get<1>(entries[e])));
+    } else {
+      w.write_varint(rt::kSentinelCode);
+    }
+    if (e < entries.size() && std::get<0>(entries[e]) == col) ++e;
+  }
+  w.write_varint(c.columns);
+  e = 0;
+  for (VertexId col = 0; col < c.columns; ++col) {
+    if (e < entries.size() && std::get<0>(entries[e]) == col) {
+      w.write_varint(rt::encode_u32_sentinel(std::get<2>(entries[e])));
+      ++e;
+    } else {
+      w.write_varint(rt::kSentinelCode);
+    }
+  }
+  // ColdDirty's deltas are the write_ascending_ids payload: count prefix
+  // plus the raw blob reproduces the hot path byte for byte.
+  w.write_varint(c.dirty.size());
+  w.write_bytes(c.dirty.deltas());
+}
+
+void DvStore::promote_all() {
+  for (std::size_t i = 0; i < slots_.size(); ++i) (void)row(i);
+}
+
+// ---- resident store ------------------------------------------------------
+
+void ResidentDvStore::append_fresh(VertexId self) {
+  slots_.emplace_back();
+  set_hot(slots_.size() - 1, DvRow(self, cols_));
+}
+
+VertexId ResidentDvStore::install_ia(std::size_t i, VertexId src,
+                                     const std::vector<VertexId>& touched,
+                                     const std::vector<Dist>& dist,
+                                     const std::vector<VertexId>& hop) {
+  DvRow& r = row(i);
+  VertexId dirty_added = 0;
+  for (const VertexId t : touched) {
+    if (t == src) continue;
+    r.set(t, dist[t], hop[t]);
+    if (r.mark_dirty(t)) ++dirty_added;
+  }
+  return dirty_added;
+}
+
+void ResidentDvStore::put_cold(std::size_t i, ColdDvRow&& cold) {
+  set_hot(i, decode_cold_row(cold));
+}
+
+void ResidentDvStore::maintain(const std::vector<std::uint8_t>& is_boundary) {
+  (void)is_boundary;
+  std::uint64_t resident = 0;
+  for (const Slot& s : slots_) {
+    resident += s.hot.load(std::memory_order_relaxed)->footprint_bytes();
+  }
+  resident_bytes_ = resident;
+  ++epoch_;
+}
+
+// ---- tiered store --------------------------------------------------------
+
+void TieredDvStore::append_fresh(VertexId self) {
+  // Born cold: a one-entry stream (the self column) instead of three dense
+  // O(n) arrays — bulk row creation stays O(rows), not O(rows × n).
+  auto cold = std::make_unique<ColdDvRow>();
+  cold->self = self;
+  cold->columns = cols_;
+  rt::ByteWriter w;
+  w.write_varint(1);
+  write_cold_entry(w, self, 0, /*first=*/true, 0, kNoVertex);
+  cold->blob = w.take();
+  slots_.emplace_back();
+  slots_.back().cold = std::move(cold);
+}
+
+VertexId TieredDvStore::install_ia(std::size_t i, VertexId src,
+                                   const std::vector<VertexId>& touched,
+                                   const std::vector<Dist>& dist,
+                                   const std::vector<VertexId>& hop) {
+  Slot& s = slots_[i];
+  ColdDvRow* c = s.cold.get();
+  if (c == nullptr || c->finite != 0 || !c->dirty.empty()) {
+    // Promoted or already-seeded row: replay the dense sequence.
+    DvRow& r = row(i);
+    VertexId dirty_added = 0;
+    for (const VertexId t : touched) {
+      if (t == src) continue;
+      r.set(t, dist[t], hop[t]);
+      if (r.mark_dirty(t)) ++dirty_added;
+    }
+    return dirty_added;
+  }
+  // Fresh cold row: encode the sweep result directly — the cold form is
+  // the same whether built here or via a dense round-trip (ascending
+  // columns, identical aggregates, dirty = reached columns).
+  std::vector<VertexId> cols(touched);
+  if (std::find(cols.begin(), cols.end(), src) == cols.end()) {
+    cols.push_back(src);
+  }
+  std::sort(cols.begin(), cols.end());
+  rt::ByteWriter w;
+  w.write_varint(cols.size());
+  VertexId prev = 0;
+  std::uint64_t sum = 0;
+  VertexId finite = 0;
+  c->dirty.clear();
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    const VertexId t = cols[k];
+    write_cold_entry(w, t, prev, k == 0, dist[t], hop[t]);
+    prev = t;
+    if (t != src) {
+      sum += dist[t];
+      ++finite;
+      c->dirty.append(t);
+    }
+  }
+  c->blob = w.take();
+  c->blob.shrink_to_fit();
+  c->dirty.shrink_to_fit();
+  c->sum = sum;
+  c->finite = finite;
+  return finite;
+}
+
+void TieredDvStore::put_cold(std::size_t i, ColdDvRow&& cold) {
+  Slot& s = slots_[i];
+  s.release_hot();
+  s.cold = std::make_unique<ColdDvRow>(std::move(cold));
+}
+
+void TieredDvStore::maintain(const std::vector<std::uint8_t>& is_boundary) {
+  struct Cand {
+    std::uint64_t key;  // (boundary, last-touch epoch, index): demote-first order
+    std::size_t i;
+    std::size_t bytes;
+  };
+  std::vector<Cand> hot;
+  std::uint64_t resident = 0;
+  std::uint64_t cold = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (const DvRow* p = s.hot.load(std::memory_order_relaxed)) {
+      const std::size_t bytes = p->footprint_bytes();
+      resident += bytes;
+      const std::uint64_t boundary =
+          i < is_boundary.size() && is_boundary[i] != 0 ? 1 : 0;
+      hot.push_back({(boundary << 63) |
+                         (static_cast<std::uint64_t>(
+                              s.touch.load(std::memory_order_relaxed))
+                          << 31) |
+                         static_cast<std::uint64_t>(i),
+                     i, bytes});
+    } else {
+      cold += s.cold->bytes();
+    }
+  }
+  if (resident > budget_bytes_) {
+    std::sort(hot.begin(), hot.end(),
+              [](const Cand& a, const Cand& b) { return a.key < b.key; });
+    for (const Cand& cand : hot) {
+      if (resident <= budget_bytes_) break;
+      Slot& s = slots_[cand.i];
+      DvRow* p = s.hot.load(std::memory_order_relaxed);
+      auto demoted = std::make_unique<ColdDvRow>(encode_cold_row(*p));
+      cold += demoted->bytes();
+      resident -= cand.bytes;
+      s.cold = std::move(demoted);
+      s.release_hot();
+      ++demotions_;
+    }
+  }
+  resident_bytes_ = resident;
+  cold_bytes_ = cold;
+  ++epoch_;
+}
+
+}  // namespace aacc

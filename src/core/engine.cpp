@@ -44,6 +44,11 @@ void RunStats::accumulate(const RunStats& other) {
   cut_edges_initial = other.cut_edges_initial;  // latest run's view
   cut_edges_final = other.cut_edges_final;
   imbalance_final = other.imbalance_final;
+  dv_resident_bytes = other.dv_resident_bytes;  // step-boundary gauges
+  dv_cold_bytes = other.dv_cold_bytes;
+  dv_promotions += other.dv_promotions;  // run totals
+  dv_demotions += other.dv_demotions;
+  dv_decode_seconds += other.dv_decode_seconds;
 }
 
 AnytimeEngine::AnytimeEngine(Graph g, EngineConfig cfg)
@@ -634,13 +639,18 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
     out.first_hop.assign(n, std::vector<VertexId>(n, kNoVertex));
   }
   for (const auto& engine : engines) {
-    for (const DvRow& row : engine->rows()) {
-      AACC_CHECK(row.size() == n);
-      out.closeness[row.self()] = row.closeness();
-      out.harmonic[row.self()] = harmonic_from_row(row.dists(), row.self());
+    const DvStore& store = engine->store();
+    for (std::size_t r = 0; r < store.size(); ++r) {
+      AACC_CHECK(store.columns(r) == n);
+      const VertexId self = store.self(r);
+      out.closeness[self] = store.closeness(r);
+      out.harmonic[self] = store.harmonic(r);
       if (cfg_.gather_apsp) {
-        out.apsp[row.self()] = row.dists();
-        out.first_hop[row.self()] = row.next_hops();
+        // Full-matrix gather needs the dense rows; promotion here is fine
+        // (the run is over and gather_apsp implies dense-scale memory).
+        const DvRow& row = store.row(r);
+        out.apsp[self] = row.dists();
+        out.first_hop[self] = row.next_hops();
       }
     }
   }
@@ -776,6 +786,13 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
   out.stats.frame_overhead_bytes =
       merged.counter_value("transport/frame_overhead_bytes");
   out.stats.retransmits = merged.counter_value("transport/retransmits");
+  out.stats.dv_resident_bytes =
+      static_cast<std::uint64_t>(merged.gauge_value("dv/resident_bytes"));
+  out.stats.dv_cold_bytes =
+      static_cast<std::uint64_t>(merged.gauge_value("dv/cold_bytes"));
+  out.stats.dv_promotions = merged.counter_value("dv/promotions");
+  out.stats.dv_demotions = merged.counter_value("dv/demotions");
+  out.stats.dv_decode_seconds = merged.gauge_value("dv/decode_seconds");
   static constexpr const char* kPhasePrefix = "cpu/phase/";
   for (const auto& [name, gauge] : merged.gauges()) {
     if (name.rfind(kPhasePrefix, 0) == 0) {
@@ -808,6 +825,10 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
     ev.bytes = out.stats.total_bytes;
     ev.retransmits = out.stats.retransmits;
     ev.recoveries = out.stats.recoveries;
+    ev.dv_resident_bytes = out.stats.dv_resident_bytes;
+    ev.dv_cold_bytes = out.stats.dv_cold_bytes;
+    ev.dv_promotions = out.stats.dv_promotions;
+    ev.dv_demotions = out.stats.dv_demotions;
     for (const StepStats& s : out.stats.steps) {
       ev.relaxations += s.relaxations;
       ev.poisons += s.poisons;

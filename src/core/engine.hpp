@@ -126,6 +126,17 @@ struct RunStats {
   std::size_t cut_edges_initial = 0;
   std::size_t cut_edges_final = 0;
   double imbalance_final = 0.0;
+  /// DV residency ledger (tiered store; see DESIGN.md §"Tiered DV
+  /// storage"). Byte gauges are the final step-boundary values summed over
+  /// ranks; promotions/demotions/decode are run totals. Under the resident
+  /// store everything but dv_resident_bytes is zero. Excluded from the
+  /// bit-identity contract: residency traffic varies with the budget even
+  /// though results do not.
+  std::uint64_t dv_resident_bytes = 0;
+  std::uint64_t dv_cold_bytes = 0;
+  std::uint64_t dv_promotions = 0;
+  std::uint64_t dv_demotions = 0;
+  double dv_decode_seconds = 0.0;
   std::vector<StepStats> steps;
 
   /// Accumulates another run's costs (baseline restart sums whole reruns).

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstring>
 #include <ctime>
+#include <numeric>
 #include <queue>
 #include <sstream>
 #include <thread>
@@ -77,18 +78,24 @@ RankEngine::RankEngine(const Init& init, rt::Comm& comm)
     m_queue_depth_ = &metrics_->histogram("rc/drain_queue_depth");
     m_exch_wait_ = &metrics_->gauge("exchange/wait_seconds");
     m_exch_inflight_ = &metrics_->histogram("exchange/inflight_depth");
+    m_dv_resident_ = &metrics_->gauge("dv/resident_bytes");
+    m_dv_cold_ = &metrics_->gauge("dv/cold_bytes");
+    m_dv_promotions_ = &metrics_->counter("dv/promotions");
+    m_dv_demotions_ = &metrics_->counter("dv/demotions");
+    m_dv_decode_ = &metrics_->gauge("dv/decode_seconds");
   }
   assign_skip_ = init.assign_skip;
   recovery_mark_step_ = init.recovery_mark_step;
   recovery_mark_ = init.recovery_mark;
+  dv_ = DvStore::create(cfg_.dv_budget_bytes);
   if (init.restore_blob != nullptr) {
     const obs::ScopedSpan span(trace_, "restore");
     restore_state(*init.restore_blob);
     if (init.adopt != nullptr) adopt_shards(init);
   } else {
-    rows_.reserve(lg_.num_local());
+    dv_->grow_columns(lg_.n());
     for (std::size_t r = 0; r < lg_.num_local(); ++r) {
-      rows_.emplace_back(lg_.vertex_of(r), lg_.n());
+      dv_->append_fresh(lg_.vertex_of(r));
     }
     vertices_added_ = init.start_vertices_added;
   }
@@ -127,7 +134,7 @@ void RankEngine::serialize_state(rt::ByteWriter& w) const {
   // rebuilds both half-edges and the portal index).
   w.write_vec(lg_.owner_map());
   std::vector<std::tuple<VertexId, VertexId, Weight>> edges;
-  for (std::size_t r = 0; r < rows_.size(); ++r) {
+  for (std::size_t r = 0; r < dv_->size(); ++r) {
     const VertexId u = lg_.vertex_of(r);
     for (const Edge& e : lg_.adj(r)) {
       if (!lg_.is_local(e.to) || u < e.to) edges.emplace_back(u, e.to, e.w);
@@ -141,17 +148,13 @@ void RankEngine::serialize_state(rt::ByteWriter& w) const {
   }
   // DV rows (varint-packed: distances/next hops are small or the sentinel),
   // including un-sent dirty targets (they must survive a restart or
-  // subscribers would permanently miss the pending updates/poisons). The
-  // dirty targets come straight off the sparse list — O(dirty), no column
-  // scan.
-  w.write(static_cast<std::uint64_t>(rows_.size()));
-  std::vector<VertexId> dirty;
-  for (const DvRow& row : rows_) {
-    w.write(row.self());
-    rt::write_packed_u32s(w, row.dists());
-    rt::write_packed_u32s(w, row.next_hops());
-    row.sorted_dirty(dirty);
-    rt::write_ascending_ids(w, dirty);
+  // subscribers would permanently miss the pending updates/poisons). Cold
+  // rows transcode straight from the compressed form — byte-identical to
+  // the hot path, so checkpoint cost tracks residency, not n
+  // (DvStore::serialize_row).
+  w.write(static_cast<std::uint64_t>(dv_->size()));
+  for (std::size_t r = 0; r < dv_->size(); ++r) {
+    dv_->serialize_row(r, w);
   }
   // Portal caches.
   w.write(static_cast<std::uint64_t>(caches_.size()));
@@ -206,30 +209,33 @@ void RankEngine::restore_state_impl(std::span<const std::byte> blob) {
 
   const auto row_count = r.read<std::uint64_t>();
   AACC_CHECK(row_count == lg_.num_local());
-  rows_.clear();
-  rows_.reserve(row_count);
-  std::vector<DvRow> unordered;
-  unordered.reserve(row_count);
+  dv_->clear();
+  dv_->grow_columns(lg_.n());
+  // Rows must sit at their LocalGraph row index; fresh slots are installed
+  // first (cheap: one cold entry under the tiered store) and each decoded
+  // record lands at row_of(vid).
+  for (std::size_t i = 0; i < lg_.num_local(); ++i) {
+    dv_->append_fresh(lg_.vertex_of(i));
+  }
+  const bool tiered = cfg_.dv_budget_bytes != 0;
   for (std::uint64_t i = 0; i < row_count; ++i) {
     const auto vid = r.read<VertexId>();
     auto d = v2 ? rt::read_packed_u32s(r) : r.read_vec<Dist>();
     auto nh = v2 ? rt::read_packed_u32s(r) : r.read_vec<VertexId>();
-    DvRow row(vid, std::move(d), std::move(nh));
-    const auto dirty =
-        v2 ? rt::read_ascending_ids(r) : r.read_vec<VertexId>();
-    for (const VertexId t : dirty) {
-      if (row.mark_dirty(t)) ++dirty_entries_;
-    }
-    unordered.push_back(std::move(row));
-  }
-  // Rows must sit at their LocalGraph row index.
-  for (std::size_t i = 0; i < unordered.size(); ++i) {
-    rows_.emplace_back(0, 1);  // placeholder, overwritten below
-  }
-  for (DvRow& row : unordered) {
-    const std::int32_t ri = lg_.row_of(row.self());
+    auto dirty = v2 ? rt::read_ascending_ids(r) : r.read_vec<VertexId>();
+    const std::int32_t ri = lg_.row_of(vid);
     AACC_CHECK(ri >= 0);
-    rows_[static_cast<std::size_t>(ri)] = std::move(row);
+    dirty_entries_ += dirty.size();
+    if (tiered) {
+      // Restore fast path: straight into the compressed form — demoted
+      // rows never round-trip through a dense DvRow.
+      dv_->put_cold(static_cast<std::size_t>(ri),
+                    encode_cold_row(vid, d, nh, std::move(dirty)));
+    } else {
+      DvRow row(vid, std::move(d), std::move(nh));
+      for (const VertexId t : dirty) row.mark_dirty(t);
+      dv_->put(static_cast<std::size_t>(ri), std::move(row));
+    }
   }
 
   const auto cache_count = r.read<std::uint64_t>();
@@ -248,14 +254,16 @@ void RankEngine::restore_state_impl(std::span<const std::byte> blob) {
   // propagation was lost with the dying step: finite dirty entries re-enter
   // the relaxation worklist, poison markers re-enter the deferred-repair
   // queue (they run after the next poison barrier drains, as always).
-  for (std::size_t ri = 0; ri < rows_.size(); ++ri) {
-    DvRow& row = rows_[ri];
-    if (row.dirty_count() == 0) continue;
-    std::vector<VertexId> dirty;
-    row.sorted_dirty(dirty);
-    const VertexId x = row.self();
-    for (const VertexId t : dirty) {
-      if (row.dist(t) == kInfDist) {
+  std::vector<VertexId> dirty_cols;
+  std::vector<std::pair<VertexId, Dist>> dirty_entries;
+  for (std::size_t ri = 0; ri < dv_->size(); ++ri) {
+    if (dv_->dirty_count(ri) == 0) continue;
+    dirty_cols.clear();
+    dirty_entries.clear();
+    dv_->collect_dirty_entries(ri, dirty_cols, dirty_entries);
+    const VertexId x = dv_->self(ri);
+    for (const auto& [t, d] : dirty_entries) {
+      if (d == kInfDist) {
         // The marker itself goes out with the next exchange() (it is still
         // dirty); the repair then runs at that step's drain, after the
         // barrier — the same ordering an undisturbed run follows. The
@@ -265,9 +273,13 @@ void RankEngine::restore_state_impl(std::span<const std::byte> blob) {
         // repairs re-derive from peers' still-unsettled entries.
         poison_pending_ = true;
         repairs_.emplace_back(x, t);
-      } else if (!row.test_flag(t, DvRow::kQueued)) {
-        row.set_flag(t, DvRow::kQueued);
-        worklist_.emplace_back(x, t);
+      } else {
+        // A finite dirty entry needs its kQueued flag: promote and re-arm.
+        DvRow& row = dv_->row(ri);
+        if (!row.test_flag(t, DvRow::kQueued)) {
+          row.set_flag(t, DvRow::kQueued);
+          worklist_.emplace_back(x, t);
+        }
       }
     }
   }
@@ -330,7 +342,7 @@ void RankEngine::adopt_shards(const Init& init) {
     if (!alive(u) || !alive(v)) return;
     if (seen.insert(edge_key(u, v)).second) merged.emplace_back(u, v, w);
   };
-  for (std::size_t r = 0; r < rows_.size(); ++r) {
+  for (std::size_t r = 0; r < dv_->size(); ++r) {
     const VertexId u = lg_.vertex_of(r);
     for (const Edge& e : lg_.adj(r)) {
       if (!lg_.is_local(e.to) || u < e.to) push(u, e.to, e.w);
@@ -346,7 +358,15 @@ void RankEngine::adopt_shards(const Init& init) {
   //    for the new ownership. The crash-time owner map is kept around for
   //    step 6: caches of dead-owned portals must go.
   const std::vector<Rank> old_owner = lg_.owner_map();
-  std::vector<DvRow> kept = std::move(rows_);
+  // Extraction promotes every surviving row: adoption is a rare, whole-rank
+  // rebuild, and the migrated rows re-enter residency as hot until the next
+  // maintain() pass demotes the settled ones again.
+  std::vector<DvRow> kept;
+  kept.reserve(dv_->size());
+  for (std::size_t r = 0; r < dv_->size(); ++r) {
+    kept.push_back(dv_->take(r));
+  }
+  dv_->clear();
   lg_ = LocalGraph(comm_.rank(), new_owner, merged);
 
   // 3. Structural journal replay: every batch since the oldest snapshot,
@@ -386,11 +406,10 @@ void RankEngine::adopt_shards(const Init& init) {
   //    fresh all-infinity rows — the quiet poison. Snapshot values are
   //    never installed, so nothing stale-low can enter; re-derivation
   //    rebuilds exactly the values the survivors can currently justify.
-  rows_.clear();
-  rows_.reserve(lg_.num_local());
+  dv_->grow_columns(lg_.n());
   std::vector<bool> is_adopted(lg_.num_local(), true);
   for (std::size_t r = 0; r < lg_.num_local(); ++r) {
-    rows_.emplace_back(lg_.vertex_of(r), lg_.n());
+    dv_->append_fresh(lg_.vertex_of(r));
   }
   dirty_entries_ = 0;
   for (DvRow& row : kept) {
@@ -398,7 +417,7 @@ void RankEngine::adopt_shards(const Init& init) {
     AACC_CHECK_MSG(ri >= 0, "adoption moved a surviving rank's own vertex");
     is_adopted[static_cast<std::size_t>(ri)] = false;
     dirty_entries_ += row.dirty_count();
-    rows_[static_cast<std::size_t>(ri)] = std::move(row);
+    dv_->put(static_cast<std::size_t>(ri), std::move(row));
   }
 
   // 5. Queue the quiet re-derivation of every adopted entry: repairs pull
@@ -407,7 +426,7 @@ void RankEngine::adopt_shards(const Init& init) {
   //    not change, so every remote finite value is still a sound upper
   //    bound and nothing needs invalidating elsewhere.
   std::size_t adopted_rows = 0;
-  for (std::size_t r = 0; r < rows_.size(); ++r) {
+  for (std::size_t r = 0; r < dv_->size(); ++r) {
     if (!is_adopted[r]) continue;
     ++adopted_rows;
     const VertexId v = lg_.vertex_of(r);
@@ -483,7 +502,7 @@ void RankEngine::adopt_shards(const Init& init) {
   //    survivors' rows now feed adopters' empty caches), mirroring the
   //    repartition path's re-subscription flush.
   std::vector<Rank> subs;
-  for (std::size_t r = 0; r < rows_.size(); ++r) {
+  for (std::size_t r = 0; r < dv_->size(); ++r) {
     subs.clear();
     lg_.subscribers(r, subs);
     if (!subs.empty()) mark_finite_dirty(r);
@@ -528,12 +547,11 @@ void RankEngine::ia_source(std::size_t r, std::vector<Dist>& dist,
       }
     }
   }
-  DvRow& row = rows_[r];
+  // The store installs the sweep result; the tiered implementation encodes
+  // fresh rows straight into cold form so the sweep never materializes a
+  // dense O(n) row per source.
+  dirty_added += dv_->install_ia(r, src, touched, dist, hop);
   for (const VertexId t : touched) {
-    if (t != src) {
-      row.set(t, dist[t], hop[t]);
-      if (row.mark_dirty(t)) ++dirty_added;
-    }
     dist[t] = kInfDist;
     hop[t] = kNoVertex;
   }
@@ -549,7 +567,7 @@ std::size_t RankEngine::ia_thread_count() const {
 
 void RankEngine::run_ia() {
   comm_.set_phase("ia");
-  const obs::ScopedSpan span(trace_, "ia", "rows", rows_.size());
+  const obs::ScopedSpan span(trace_, "ia", "rows", dv_->size());
   const VertexId n = lg_.n();
 
   // The paper runs a multithreaded Dijkstra here (its MPI+OpenMP hybrid:
@@ -558,10 +576,10 @@ void RankEngine::run_ia() {
   // written by exactly one worker and per-row dirty counters merge in row
   // order afterwards, so rows, counters and ledgers are bit-identical to
   // the serial path for any thread count.
-  std::vector<std::uint64_t> dirty_added(rows_.size(), 0);
+  std::vector<std::uint64_t> dirty_added(dv_->size(), 0);
   std::atomic<std::size_t> cursor{0};
   constexpr std::size_t kChunk = 8;
-  const std::size_t threads = std::min(ia_thread_count(), rows_.size());
+  const std::size_t threads = std::min(ia_thread_count(), dv_->size());
   run_workers(threads, [&](std::size_t w) {
     // One span per worker on its shard subtrack (chunk assignment races,
     // but a single begin/end pair per worker stays deterministic).
@@ -577,8 +595,8 @@ void RankEngine::run_ia() {
     for (;;) {
       const std::size_t begin =
           cursor.fetch_add(kChunk, std::memory_order_relaxed);
-      if (begin >= rows_.size()) break;
-      const std::size_t end = std::min(begin + kChunk, rows_.size());
+      if (begin >= dv_->size()) break;
+      const std::size_t end = std::min(begin + kChunk, dv_->size());
       for (std::size_t r = begin; r < end; ++r) {
         ia_source(r, dist, hop, touched, dirty_added[r]);
       }
@@ -590,6 +608,9 @@ void RankEngine::run_ia() {
     for (const std::uint64_t d : dirty_added) total += d;
     metrics_->counter("ia/dirty_entries").add(total);
   }
+  // Residency pass before the first RC step: under a tiered budget the
+  // freshly swept rows settle into cold form until RC dirties them.
+  maintain_store();
   // First progress event: the local APSP sweep is done, coverage is the
   // intra-rank reachability (collective; run_ia is only called on fresh
   // attempts, where every rank takes this path).
@@ -634,7 +655,7 @@ void RankEngine::relax(ShardCtx& ctx, VertexId x, VertexId t, Dist nd,
   if (nd == kInfDist || !lg_.is_alive(t)) return;
   const std::int32_t ri = lg_.row_of(x);
   AACC_DCHECK(ri >= 0);
-  DvRow& row = rows_[static_cast<std::size_t>(ri)];
+  DvRow& row = dv_->row(static_cast<std::size_t>(ri));
   if (row.dist(t) == kInfDist && row.test_flag(t, DvRow::kDirty)) {
     // Undelivered poison marker: subscribers have not yet been told this
     // entry died. Overwriting it now (e.g. from a stale portal cache while
@@ -669,7 +690,7 @@ void RankEngine::relax(ShardCtx& ctx, VertexId x, VertexId t, Dist nd,
 void RankEngine::propagate(ShardCtx& ctx, VertexId x, VertexId t) {
   const std::int32_t ri = lg_.row_of(x);
   if (ri < 0) return;  // migrated or deleted since queueing
-  DvRow& row = rows_[static_cast<std::size_t>(ri)];
+  DvRow& row = dv_->row(static_cast<std::size_t>(ri));
   row.clear_flag(t, DvRow::kQueued);
   const Dist base = row.dist(t);
   if (base == kInfDist) return;  // poisoned since queueing
@@ -691,7 +712,7 @@ void RankEngine::repair(ShardCtx& ctx, VertexId x, VertexId t) {
     if (e.to == t) {
       dz = 0;
     } else if (lg_.is_local(e.to)) {
-      dz = rows_[static_cast<std::size_t>(lg_.row_of(e.to))].dist(t);
+      dz = dv_->row(static_cast<std::size_t>(lg_.row_of(e.to))).dist(t);
     } else {
       const auto it = caches_.find(e.to);
       dz = it == caches_.end() ? kInfDist : it->second[t];
@@ -711,6 +732,11 @@ namespace {
 /// drains stay serial. Purely a performance knob: serial and sharded drains
 /// produce bit-identical state, so the branch cannot change results.
 constexpr std::size_t kDrainShardGrain = 128;
+
+/// Cold rows decoded ahead per collective arrival while later sends are
+/// still in flight. Small on purpose: each arrival re-arms the loop, so a
+/// long window streams decodes without ever stalling payload application.
+constexpr std::size_t kPrefetchPerArrival = 4;
 }  // namespace
 
 std::size_t RankEngine::rc_thread_count() const {
@@ -772,7 +798,7 @@ void RankEngine::drain_parallel(std::size_t shards) {
   const double part0 = thread_cpu_now();
   if (rc_shards_.size() < shards) rc_shards_.resize(shards);
   for (std::size_t s = 0; s < shards; ++s) {
-    rc_shards_[s].deltas.resize(rows_.size());
+    rc_shards_[s].deltas.resize(dv_->size());
   }
   for (const auto& [x, t] : repairs_) {
     rc_shards_[t % shards].repairs.emplace_back(x, t);
@@ -823,7 +849,7 @@ void RankEngine::drain_parallel(std::size_t shards) {
   for (std::size_t s = 0; s < shards; ++s) {
     RcShard& sh = rc_shards_[s];
     for (const std::uint32_t ri : sh.touched) {
-      rows_[ri].apply_delta(sh.deltas[ri]);
+      dv_->row(ri).apply_delta(sh.deltas[ri]);
     }
     sh.touched.clear();
     relaxations_ += sh.relaxations;
@@ -845,7 +871,7 @@ void RankEngine::drain_parallel(std::size_t shards) {
 
 void RankEngine::poison_entry(std::size_t row_idx, VertexId t,
                               std::deque<std::pair<VertexId, VertexId>>& queue) {
-  DvRow& row = rows_[row_idx];
+  DvRow& row = dv_->row(row_idx);
   AACC_WATCH_HIT("poison", row.self(), t, kInfDist, kNoVertex);
   row.set(t, kInfDist, kNoVertex);
   if (row.mark_dirty(t)) ++dirty_entries_;
@@ -856,12 +882,39 @@ void RankEngine::poison_entry(std::size_t row_idx, VertexId t,
 }
 
 void RankEngine::poison_cascade(std::deque<std::pair<VertexId, VertexId>> seeds) {
+  std::vector<std::size_t> candidates;
   while (!seeds.empty()) {
     const auto [z, t] = seeds.front();
     seeds.pop_front();
     // Every local entry whose witness chain starts through z is invalid.
-    for (std::size_t r = 0; r < rows_.size(); ++r) {
-      if (rows_[r].next_hop(t) == z && rows_[r].dist(t) != kInfDist) {
+    // A next hop is always a current neighbor (relax, repair, IA install
+    // and incoming portal updates all set nh to an adjacent vertex, and
+    // deleting an edge poisons the entries routed over it before the next
+    // event applies), so only z's neighbors can hold nh == z: scan adj(z),
+    // not the whole store — under a tiered store a cold probe is a linear
+    // blob scan, and the full-row sweep made every cascade O(rows * blob).
+    // Candidates are visited in ascending row order, reproducing the exact
+    // poison sequence of the historical whole-store sweep. Probe lookups
+    // never promote: a real next-hop hit implies a finite distance (the
+    // row invariant), so the dist probe only guards hot-row reads.
+    const std::int32_t zri = lg_.row_of(z);
+    candidates.clear();
+    if (zri >= 0) {
+      for (const Edge& e : lg_.adj(static_cast<std::size_t>(zri))) {
+        const std::int32_t ri = lg_.is_local(e.to) ? lg_.row_of(e.to) : -1;
+        if (ri >= 0) candidates.push_back(static_cast<std::size_t>(ri));
+      }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+    } else {
+      // z has no local row (migrated or deleted mid-batch): its adjacency
+      // is unknown here, so fall back to the exhaustive sweep.
+      candidates.resize(dv_->size());
+      std::iota(candidates.begin(), candidates.end(), std::size_t{0});
+    }
+    for (const std::size_t r : candidates) {
+      if (dv_->probe_next_hop(r, t) == z && dv_->probe_dist(r, t) != kInfDist) {
         poison_entry(r, t, seeds);
       }
     }
@@ -873,17 +926,17 @@ void RankEngine::poison_first_hops(
   const auto scan = [&](VertexId a, VertexId b) {
     const std::int32_t ri = lg_.row_of(a);
     if (ri < 0) return;
-    DvRow& row = rows_[static_cast<std::size_t>(ri)];
-    // Only ever-finite columns can hold a witness through b, so the reach
-    // list is a complete candidate set — O(finite), not an O(n) column
-    // scan. poison_entry only writes the visited column (never the reach
-    // list itself), so mutating under the walk is safe and the poisoned
-    // set matches the full scan's.
-    row.for_each_finite([&](VertexId t) {
-      if (row.next_hop(t) == b) {
-        poison_entry(static_cast<std::size_t>(ri), t, seeds);
-      }
+    // Only finite columns can hold a witness through b, so the entry walk
+    // is a complete candidate set — O(finite), not an O(n) column scan.
+    // Collect first, then poison: poison_entry promotes the row, which
+    // would free a cold blob out from under the entry cursor. Both stores
+    // walk ascending columns, so resident and tiered poison identically.
+    const auto r = static_cast<std::size_t>(ri);
+    std::vector<VertexId> hits;
+    dv_->for_each_entry(r, [&](VertexId t, Dist, VertexId nh) {
+      if (nh == b) hits.push_back(t);
     });
+    for (const VertexId t : hits) poison_entry(r, t, seeds);
   };
   scan(u, v);
   scan(v, u);
@@ -925,7 +978,8 @@ void RankEngine::apply_portal_value(VertexId b, VertexId t, Dist d) {
 void RankEngine::exchange() {
   const obs::ScopedSpan span(trace_, "exchange", "dirty", dirty_entries_);
   const auto P = static_cast<std::size_t>(comm_.size());
-  const std::size_t num_rows = rows_.size();
+  const std::size_t num_rows = dv_->size();
+  reset_prefetch_cursors();
   // Send assembly only reads shared state (rows, dirty lists, subscriber
   // index) and writes per-shard buffers, so contiguous row blocks fan out
   // across the worker pool. As with the drain, the shard count scales with
@@ -952,21 +1006,18 @@ void RankEngine::exchange() {
       const std::size_t begin = num_rows * s / shards;
       const std::size_t end = num_rows * (s + 1) / shards;
       for (std::size_t r = begin; r < end; ++r) {
-        DvRow& row = rows_[r];
-        if (row.dirty_count() == 0) continue;
+        if (dv_->dirty_count(r) == 0) continue;
         sh.subs.clear();
         lg_.subscribers(r, sh.subs);
         if (!sh.subs.empty()) {
           // Send assembly walks the sparse dirty list (sorted, as the delta
           // codec requires); the record is encoded once and fanned out.
-          row.sorted_dirty(sh.dirty_cols);
+          // collect_dirty_entries is read-only, so cold rows serve their
+          // sends without promotion (shards partition rows, never racing).
           sh.entries.clear();
-          sh.entries.reserve(sh.dirty_cols.size());
-          for (const VertexId t : sh.dirty_cols) {
-            sh.entries.emplace_back(t, row.dist(t));
-          }
+          dv_->collect_dirty_entries(r, sh.dirty_cols, sh.entries);
           sh.record.clear();
-          rt::write_dv_record(sh.record, row.self(), sh.entries);
+          rt::write_dv_record(sh.record, dv_->self(r), sh.entries);
           for (const Rank q : sh.subs) {
             sh.writers[static_cast<std::size_t>(q)].write_bytes(
                 sh.record.view());
@@ -1028,7 +1079,7 @@ void RankEngine::exchange() {
     note_exchange_overlap(pending);
     for (std::size_t s = 0; s < shards; ++s) {
       for (const std::size_t r : send_shards_[s].sent_rows) {
-        dirty_entries_ -= rows_[r].clear_all_dirty();
+        dirty_entries_ -= dv_->retire_dirty(r);
       }
     }
     apply_incoming(in);
@@ -1068,7 +1119,7 @@ void RankEngine::exchange() {
   for (std::size_t s = 0; s < shards; ++s) {
     for (const std::size_t r : send_shards_[s].sent_rows) {
       const std::size_t start = exch_cleared_cols_.size();
-      dirty_entries_ -= rows_[r].clear_all_dirty(&exch_cleared_cols_);
+      dirty_entries_ -= dv_->retire_dirty(r, &exch_cleared_cols_);
       if (exch_cleared_cols_.size() > start) {
         exch_cleared_spans_.emplace_back(r, exch_cleared_cols_.size() - start);
       }
@@ -1078,12 +1129,19 @@ void RankEngine::exchange() {
     while (auto arrival = pending.try_recv_any()) {
       apply_incoming_payload(arrival->src, arrival->payload);
       if (cfg_.exchange_mode == ExchangeMode::kAsync) drain_overlap();
+      // Overlap spill IO with the in-flight window: decode a few cold rows
+      // the queued drain work will touch while peers' payloads are still on
+      // the wire. Residency-only — values are untouched, so the overlap
+      // cannot perturb results.
+      prefetch_pending(kPrefetchPerArrival);
     }
   } catch (...) {
     std::size_t idx = 0;
     for (const auto& [r, n] : exch_cleared_spans_) {
       for (std::size_t i = 0; i < n; ++i) {
-        if (rows_[r].mark_dirty(exch_cleared_cols_[idx + i])) ++dirty_entries_;
+        if (dv_->remark_dirty(r, exch_cleared_cols_[idx + i])) {
+          ++dirty_entries_;
+        }
       }
       idx += n;
     }
@@ -1129,9 +1187,46 @@ void RankEngine::drain_overlap() {
     worklist_.pop_front();
     propagate(ctx, x, t);
   }
+  // The overlap drain consumed (and may have re-filled) the worklist; the
+  // prefetch cursors index into it, so they restart from the new front.
+  reset_prefetch_cursors();
   const double dt = thread_cpu_now() - t0;
   drain_cpu_seconds_ += dt;
   drain_modeled_seconds_ += dt;
+}
+
+void RankEngine::maintain_store() {
+  // Step-boundary residency pass. Boundary rows feed every exchange's send
+  // assembly, so the LRU demotes them last.
+  boundary_flags_.assign(dv_->size(), 0);
+  std::vector<Rank> subs;
+  for (std::size_t r = 0; r < dv_->size(); ++r) {
+    subs.clear();
+    lg_.subscribers(r, subs);
+    boundary_flags_[r] = subs.empty() ? 0 : 1;
+  }
+  dv_->maintain(boundary_flags_);
+}
+
+void RankEngine::prefetch_pending(std::size_t budget) {
+  // Exchange-overlapped spill IO: while peers' payloads are in flight,
+  // decode the cold rows the queued work will touch once the drain starts.
+  // Residency-only (values never change), so overlap cannot perturb
+  // results; the cursors advance monotonically and are reset whenever the
+  // queues are consumed (exchange start, sync round start, overlap drain).
+  const auto scan = [&](const std::deque<std::pair<VertexId, VertexId>>& q,
+                        std::size_t& pos) {
+    while (budget > 0 && pos < q.size()) {
+      const std::int32_t ri = lg_.row_of(q[pos].first);
+      ++pos;
+      if (ri >= 0 && !dv_->is_hot(static_cast<std::size_t>(ri))) {
+        dv_->prefetch(static_cast<std::size_t>(ri));
+        --budget;
+      }
+    }
+  };
+  scan(repairs_, prefetch_repair_pos_);
+  scan(worklist_, prefetch_work_pos_);
 }
 
 void RankEngine::apply_incoming(const std::vector<std::vector<std::byte>>& in) {
@@ -1170,30 +1265,34 @@ bool RankEngine::poison_sync_round() {
   std::vector<std::pair<VertexId, Dist>>& dead = exch_entries_;
   std::vector<std::pair<std::size_t, VertexId>>& sent_markers = sync_markers_;
   sent_markers.clear();
+  reset_prefetch_cursors();
 
-  for (std::size_t r = 0; r < rows_.size(); ++r) {
-    DvRow& row = rows_[r];
-    if (row.dirty_count() == 0) continue;
+  for (std::size_t r = 0; r < dv_->size(); ++r) {
+    if (dv_->dirty_count(r) == 0) continue;
     subs.clear();
     lg_.subscribers(r, subs);
     // The newly-invalid entries are dirty by construction, so the sparse
-    // list (sorted for the delta codec) is a complete candidate set.
-    row.sorted_dirty(dirty_cols);
+    // list (sorted for the delta codec) is a complete candidate set; a
+    // dirty column with no live entry is by definition a poison marker, so
+    // the cold rows' collect view (absent → kInfDist) matches the dense
+    // dist() reads exactly.
+    sync_scratch_.clear();
+    dv_->collect_dirty_entries(r, dirty_cols, sync_scratch_);
     dead.clear();
-    for (const VertexId t : dirty_cols) {
-      if (row.dist(t) == kInfDist) dead.emplace_back(t, kInfDist);
+    for (const auto& [t, d] : sync_scratch_) {
+      if (d == kInfDist) dead.emplace_back(t, kInfDist);
     }
     if (subs.empty()) {
       // Nobody depends on this row; retire the markers so the deferred
       // repairs (see relax()) become runnable again.
       for (const auto& [t, d] : dead) {
-        if (row.clear_dirty(t)) --dirty_entries_;
+        if (dv_->retire_dirty_one(r, t)) --dirty_entries_;
       }
       continue;
     }
     if (dead.empty()) continue;
     exch_record_.clear();
-    rt::write_dv_record(exch_record_, row.self(), dead);
+    rt::write_dv_record(exch_record_, dv_->self(r), dead);
     for (const Rank q : subs) {
       writers[static_cast<std::size_t>(q)].write_bytes(exch_record_.view());
     }
@@ -1224,7 +1323,7 @@ bool RankEngine::poison_sync_round() {
     // returns, so an aborted round leaves them pending for the recovery
     // stash instead of silently un-sent.
     for (const auto& [r, t] : sent_markers) {
-      if (rows_[r].clear_dirty(t)) --dirty_entries_;
+      if (dv_->retire_dirty_one(r, t)) --dirty_entries_;
     }
     apply_incoming(in);
   } else {
@@ -1232,15 +1331,18 @@ bool RankEngine::poison_sync_round() {
     // markers retire now (before any arrival is applied); an aborted drain
     // re-marks them for the recovery stash, mirroring exchange().
     for (const auto& [r, t] : sent_markers) {
-      if (rows_[r].clear_dirty(t)) --dirty_entries_;
+      if (dv_->retire_dirty_one(r, t)) --dirty_entries_;
     }
     try {
       while (auto arrival = pending.try_recv_any()) {
         apply_incoming_payload(arrival->src, arrival->payload);
+        // Spill-IO overlap, as in exchange(): warm the rows the deferred
+        // repairs will touch once the barrier drains.
+        prefetch_pending(kPrefetchPerArrival);
       }
     } catch (...) {
       for (const auto& [r, t] : sent_markers) {
-        if (rows_[r].mark_dirty(t)) ++dirty_entries_;
+        if (dv_->remark_dirty(r, t)) ++dirty_entries_;
       }
       throw;
     }
@@ -1255,24 +1357,25 @@ bool RankEngine::poison_sync_round() {
 // ----------------------------------------------------------- dirty helper
 
 void RankEngine::mark_finite_dirty(std::size_t row_idx) {
-  // Walks the row's reach list (columns ever finite) instead of the full
-  // column range — O(finite), which is what the whole-row resend actually
-  // costs downstream anyway.
-  DvRow& row = rows_[row_idx];
-  row.for_each_finite([&](VertexId t) {
-    if (row.mark_dirty(t)) ++dirty_entries_;
-  });
+  // Walks the row's finite columns instead of the full column range —
+  // O(finite), which is what the whole-row resend actually costs
+  // downstream anyway. Cold rows merge their sorted dirty list in place,
+  // without promotion.
+  dirty_entries_ += dv_->mark_finite_dirty(row_idx);
 }
 
 // ------------------------------------------------------------- edge events
 
 void RankEngine::seed_through_edge(VertexId x, VertexId z, Weight w) {
-  // x, z local; relax x's whole row through its neighbour z.
-  const DvRow& zrow = rows_[static_cast<std::size_t>(lg_.row_of(z))];
-  for (VertexId t = 0; t < zrow.size(); ++t) {
-    if (t == x) continue;
-    relax(x, t, dist_add(zrow.dist(t), w), z);
-  }
+  // x, z local; relax x's whole row through its neighbour z. Only finite
+  // entries of z can seed anything (an infinite source saturates dist_add
+  // and relax drops it), so the entry walk — which never promotes z —
+  // visits exactly the columns the old dense scan acted on.
+  const auto zri = static_cast<std::size_t>(lg_.row_of(z));
+  dv_->for_each_entry(zri, [&](VertexId t, Dist d, VertexId) {
+    if (t == x) return;
+    relax(x, t, dist_add(d, w), z);
+  });
 }
 
 void RankEngine::apply_edge_add(const EdgeAddEvent& e) {
@@ -1321,7 +1424,8 @@ void RankEngine::eager_edge_relax(const EdgeAddEvent& e) {
   const auto fetch_row = [&](VertexId v) {
     rt::ByteWriter w;
     if (lg_.is_local(v)) {
-      w.write_vec(rows_[static_cast<std::size_t>(lg_.row_of(v))].dists());
+      // Whole-row broadcast needs the dense form; promotes if cold.
+      w.write_vec(dv_->row(static_cast<std::size_t>(lg_.row_of(v))).dists());
     }
     auto buf = comm_.broadcast(w.take(), lg_.owner(v));
     rt::ByteReader r(buf);
@@ -1347,8 +1451,11 @@ void RankEngine::eager_edge_relax(const EdgeAddEvent& e) {
 
   const auto relax_against = [&](VertexId via, const std::vector<Dist>& far_row,
                                  VertexId far) {
-    for (std::size_t r = 0; r < rows_.size(); ++r) {
-      DvRow& row = rows_[r];
+    for (std::size_t r = 0; r < dv_->size(); ++r) {
+      // Whole-matrix relaxation sweep: dense access is the point here, so
+      // rows promote as they are touched (eager adds are rare and
+      // collective; the next maintain() re-demotes the settled ones).
+      DvRow& row = dv_->row(r);
       const VertexId x = row.self();
       const Dist dxv = row.dist(via);
       if (dxv == kInfDist && x != via) continue;
@@ -1371,7 +1478,7 @@ void RankEngine::eager_edge_relax(const EdgeAddEvent& e) {
       const DvRow* ref_row = nullptr;
       const std::vector<Dist>* ref_cache = nullptr;
       if (lg_.is_local(nh)) {
-        ref_row = &rows_[static_cast<std::size_t>(lg_.row_of(nh))];
+        ref_row = &dv_->row(static_cast<std::size_t>(lg_.row_of(nh)));
       } else {
         const auto it = caches_.find(nh);
         if (it == caches_.end()) continue;  // no reference available
@@ -1442,22 +1549,19 @@ void RankEngine::apply_weight_change(const WeightChangeEvent& e) {
 // ------------------------------------------------------------ vertex events
 
 void RankEngine::grow_columns(VertexId count) {
-  for (DvRow& row : rows_) row.grow(count);
+  dv_->grow_columns(count);
   for (auto& [b, cache] : caches_) {
     cache.insert(cache.end(), count, kInfDist);
   }
 }
 
 void RankEngine::add_local_row(VertexId v) {
-  AACC_CHECK(static_cast<std::size_t>(lg_.row_of(v)) == rows_.size());
-  rows_.emplace_back(v, lg_.n());
+  AACC_CHECK(static_cast<std::size_t>(lg_.row_of(v)) == dv_->size());
+  dv_->append_fresh(v);
 }
 
 void RankEngine::remove_local_row(std::int32_t row) {
-  const auto r = static_cast<std::size_t>(row);
-  const std::size_t last = rows_.size() - 1;
-  if (r != last) rows_[r] = std::move(rows_[last]);
-  rows_.pop_back();
+  dv_->swap_remove(static_cast<std::size_t>(row));
 }
 
 void RankEngine::apply_vertex_batch(const std::vector<VertexAddEvent>& batch) {
@@ -1508,27 +1612,26 @@ void RankEngine::apply_vertex_delete(const VertexDeleteEvent& e) {
   std::deque<std::pair<VertexId, VertexId>> seeds;
   // Any witness whose first hop is v dies with it; deeper chains through v
   // are reached by the cascade.
-  for (std::size_t r = 0; r < rows_.size(); ++r) {
-    DvRow& row = rows_[r];
-    if (row.self() == v) continue;
-    for (VertexId t = 0; t < row.size(); ++t) {
-      if (row.next_hop(t) == v && row.dist(t) != kInfDist) {
-        poison_entry(r, t, seeds);
-      }
-    }
+  for (std::size_t r = 0; r < dv_->size(); ++r) {
+    if (dv_->self(r) == v) continue;
+    // Collect hits first: poison_entry promotes the row, which would free
+    // a cold blob out from under the entry cursor. Only finite columns can
+    // route through v, so the entry walk covers the old full-column scan.
+    std::vector<VertexId> hits;
+    dv_->for_each_entry(r, [&](VertexId t, Dist, VertexId nh) {
+      if (nh == v) hits.push_back(t);
+    });
+    for (const VertexId t : hits) poison_entry(r, t, seeds);
   }
   // Tombstone the target column everywhere (no repair: the target is gone;
   // every rank applies the same event so no message is needed).
-  for (DvRow& row : rows_) {
-    if (row.self() != v && row.dist(v) != kInfDist) {
-      row.set(v, kInfDist, kNoVertex);
-      if (row.clear_dirty(v)) --dirty_entries_;
-    }
+  for (std::size_t r = 0; r < dv_->size(); ++r) {
+    if (dv_->self(r) != v && dv_->tombstone_column(r, v)) --dirty_entries_;
   }
   const std::int32_t removed = lg_.remove_vertex(v);
   if (removed >= 0) {
     // Keep the global dirty counter consistent with the dropped row.
-    dirty_entries_ -= rows_[static_cast<std::size_t>(removed)].dirty_count();
+    dirty_entries_ -= dv_->dirty_count(static_cast<std::size_t>(removed));
     remove_local_row(removed);
   }
   caches_.erase(v);
@@ -1627,11 +1730,14 @@ void RankEngine::apply_repartition(const std::vector<VertexAddEvent>& batch) {
     grow_columns(static_cast<VertexId>(batch.size()));
     std::vector<rt::ByteWriter> writers(static_cast<std::size_t>(P));
     std::vector<DvRow> kept;
-    for (DvRow& row : rows_) {
-      const Rank owner = new_owner[row.self()];
+    for (std::size_t r = 0; r < dv_->size(); ++r) {
+      const Rank owner = new_owner[dv_->self(r)];
       if (owner == me) {
-        kept.push_back(std::move(row));
+        // Extraction promotes: kept rows re-enter residency hot and the
+        // next maintain() re-demotes whatever settles.
+        kept.push_back(dv_->take(r));
       } else {
+        DvRow row = dv_->take(r);
         auto& w = writers[static_cast<std::size_t>(owner)];
         w.write(row.self());
         w.write_vec(row.dists());
@@ -1648,15 +1754,15 @@ void RankEngine::apply_repartition(const std::vector<VertexAddEvent>& batch) {
     lg_ = LocalGraph(me, new_owner, edges);
     caches_.clear();
     dirty_entries_ = 0;
-    rows_.clear();
-    rows_.reserve(lg_.num_local());
+    dv_->clear();
+    dv_->grow_columns(lg_.n());
     for (std::size_t r = 0; r < lg_.num_local(); ++r) {
-      rows_.emplace_back(lg_.vertex_of(r), lg_.n());
+      dv_->append_fresh(lg_.vertex_of(r));
     }
     const auto place = [&](DvRow&& row) {
       const std::int32_t ri = lg_.row_of(row.self());
       AACC_CHECK(ri >= 0);
-      rows_[static_cast<std::size_t>(ri)] = std::move(row);
+      dv_->put(static_cast<std::size_t>(ri), std::move(row));
     };
     for (DvRow& row : kept) {
       row.grow(static_cast<VertexId>(n_new - row.size()));
@@ -1677,14 +1783,14 @@ void RankEngine::apply_repartition(const std::vector<VertexAddEvent>& batch) {
     }
     // Kept rows carry geometric-growth slack from the previous era; drop it
     // now that the row set is final for this ownership generation.
-    for (DvRow& row : rows_) row.shrink_to_fit();
+    dv_->shrink_all();
 
     // 4. Every boundary row must reach its (fresh) subscribers; seed new
     //    rows through their local edges. Existing rows are deliberately not
     //    updated against the new vertices here — that happens over the next
     //    RC steps (the paper's stated trade-off for Repartition-S).
     std::vector<Rank> subs;
-    for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t r = 0; r < dv_->size(); ++r) {
       subs.clear();
       lg_.subscribers(r, subs);
       if (!subs.empty()) mark_finite_dirty(r);
@@ -1701,7 +1807,7 @@ void RankEngine::apply_repartition(const std::vector<VertexAddEvent>& batch) {
     // Direct-edge relaxation for every local row: fresh rows (and rows that
     // gained cut edges through migration) must know their one-hop distances
     // even though the portal caches start empty.
-    for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t r = 0; r < dv_->size(); ++r) {
       const VertexId u = lg_.vertex_of(r);
       for (const Edge& e : lg_.adj(r)) {
         relax(u, e.to, e.w, e.to);
@@ -1713,8 +1819,8 @@ void RankEngine::apply_repartition(const std::vector<VertexAddEvent>& batch) {
     // improvements; only a full re-relaxation pass restores the local
     // fixpoint constraints d[x][t] <= w(x,z) + d[z][t]. This is exactly
     // the "additional RC steps" cost the paper attributes to Repartition-S.
-    for (std::size_t r = 0; r < rows_.size(); ++r) {
-      DvRow& row = rows_[r];
+    for (std::size_t r = 0; r < dv_->size(); ++r) {
+      DvRow& row = dv_->row(r);
       const VertexId u = lg_.vertex_of(r);
       for (VertexId t = 0; t < row.size(); ++t) {
         if (row.dist(t) != kInfDist && !row.test_flag(t, DvRow::kQueued)) {
@@ -1765,8 +1871,9 @@ void RankEngine::boundary_fw_pass() {
   // only for additive workloads (see config.hpp); the driver enforces that.
   for (const auto& [b, cache] : caches_) {
     if (!lg_.is_portal(b)) continue;
-    for (std::size_t r = 0; r < rows_.size(); ++r) {
-      DvRow& row = rows_[r];
+    for (std::size_t r = 0; r < dv_->size(); ++r) {
+      // Whole-matrix refinement: dense access is inherent, promote per row.
+      DvRow& row = dv_->row(r);
       const Dist dxb = row.dist(b);
       if (dxb == kInfDist) continue;
       const VertexId nh = row.next_hop(b);
@@ -1786,8 +1893,10 @@ std::vector<std::string> RankEngine::check_invariants() const {
     (os << ... << rest);
     out.push_back(os.str());
   };
-  for (std::size_t r = 0; r < rows_.size(); ++r) {
-    const DvRow& row = rows_[r];
+  for (std::size_t r = 0; r < dv_->size(); ++r) {
+    // Validation is a whole-matrix walk; const row access promotes cold
+    // rows (observable state is unchanged — that is what const means here).
+    const DvRow& row = dv_->row(r);
     const VertexId x = lg_.vertex_of(r);
     for (VertexId t = 0; t < row.size(); ++t) {
       if (t == x || row.dist(t) == kInfDist) continue;
@@ -1814,7 +1923,7 @@ std::vector<std::string> RankEngine::check_invariants() const {
       if (nh == t) {
         ref = 0;
       } else if (lg_.is_local(nh)) {
-        ref = rows_[static_cast<std::size_t>(lg_.row_of(nh))].dist(t);
+        ref = dv_->probe_dist(static_cast<std::size_t>(lg_.row_of(nh)), t);
       } else {
         const auto it = caches_.find(nh);
         if (it == caches_.end()) continue;  // owner value unknown here
@@ -1859,6 +1968,16 @@ void RankEngine::record_step(std::size_t step) {
                           folded_.drain_modeled_seconds);
     m_exch_wait_->add(exchange_wait_seconds_ - folded_.exchange_wait_seconds);
     m_exch_inflight_->record(exchange_inflight_step_);
+    // Residency gauges mirror the store's step-boundary accounting; the
+    // monotone counters fold as deltas like the algorithm counters above.
+    m_dv_resident_->set(static_cast<double>(dv_->resident_bytes()));
+    m_dv_cold_->set(static_cast<double>(dv_->cold_bytes()));
+    m_dv_promotions_->add(dv_->promotions() - folded_dv_promotions_);
+    m_dv_demotions_->add(dv_->demotions() - folded_dv_demotions_);
+    m_dv_decode_->add(dv_->decode_seconds() - folded_dv_decode_seconds_);
+    folded_dv_promotions_ = dv_->promotions();
+    folded_dv_demotions_ = dv_->demotions();
+    folded_dv_decode_seconds_ = dv_->decode_seconds();
     folded_ = rec;
   }
   exchange_inflight_step_ = 0;  // per-step high-water, reset at each record
@@ -1867,12 +1986,13 @@ void RankEngine::record_step(std::size_t step) {
 std::vector<std::pair<VertexId, double>> RankEngine::local_top_harmonic(
     std::size_t k) const {
   std::vector<std::pair<VertexId, double>> all;
-  all.reserve(rows_.size());
-  for (const DvRow& row : rows_) {
+  all.reserve(dv_->size());
+  for (std::size_t r = 0; r < dv_->size(); ++r) {
     // Ascending-column summation order, exactly like the pre-bounded
     // snapshots: the k = 0 path stays bit-identical to the historical E3
     // output, and bounded runs agree with it on the surviving entries.
-    all.emplace_back(row.self(), harmonic_from_row(row.dists(), row.self()));
+    // The store computes it from either residency form without promotion.
+    all.emplace_back(dv_->self(r), dv_->harmonic(r));
   }
   if (k > 0 && all.size() > k) {
     const auto better = [](const std::pair<VertexId, double>& a,
@@ -1893,9 +2013,9 @@ void RankEngine::progress_step(const char* phase, std::size_t step) {
   // ---- bounded local summary ----
   std::uint64_t settled = 0;
   std::uint64_t columns = 0;
-  for (const DvRow& row : rows_) {
-    settled += row.finite_count();
-    columns += row.size();
+  for (std::size_t r = 0; r < dv_->size(); ++r) {
+    settled += dv_->finite_count(r);
+    columns += dv_->columns(r);
   }
   // Per-step churn deltas from the cumulative step log (same derivation
   // the driver uses for StepStats); empty log = the IA event, all zeros.
@@ -1916,6 +2036,10 @@ void RankEngine::progress_step(const char* phase, std::size_t step) {
   w.write<std::uint64_t>(comm_.ledger().retransmits);
   w.write<double>(cur.exchange_wait_seconds - prev.exchange_wait_seconds);
   w.write<std::uint64_t>(cur.exchange_inflight);
+  w.write<std::uint64_t>(dv_->resident_bytes());
+  w.write<std::uint64_t>(dv_->cold_bytes());
+  w.write<std::uint64_t>(dv_->promotions());
+  w.write<std::uint64_t>(dv_->demotions());
   const std::size_t k = cfg_.progress.top_k;
   const auto top = local_top_harmonic(k);
   w.write<std::uint32_t>(static_cast<std::uint32_t>(top.size()));
@@ -1951,6 +2075,10 @@ void RankEngine::progress_step(const char* phase, std::size_t step) {
     ev.retransmits += r.read<std::uint64_t>();
     ev.exchange_wait_seconds += r.read<double>();
     ev.inflight_depth = std::max(ev.inflight_depth, r.read<std::uint64_t>());
+    ev.dv_resident_bytes += r.read<std::uint64_t>();
+    ev.dv_cold_bytes += r.read<std::uint64_t>();
+    ev.dv_promotions += r.read<std::uint64_t>();
+    ev.dv_demotions += r.read<std::uint64_t>();
     const auto count = r.read<std::uint32_t>();
     for (std::uint32_t i = 0; i < count; ++i) {
       const auto v = r.read<VertexId>();
@@ -2083,6 +2211,10 @@ std::size_t RankEngine::run_rc() {
       // (memory O(k · steps)); 0 keeps the full per-vertex snapshot.
       step_quality_.push_back(local_top_harmonic(cfg_.quality_top_k));
     }
+    // Residency pass at the step boundary: the queues are empty (drain just
+    // ran), so no demoted row can hold a kQueued flag — maintain()'s
+    // precondition. record_step then folds the fresh residency gauges.
+    maintain_store();
     record_step(step);
     progress_step("rc_step", step);
 

@@ -28,6 +28,7 @@
 #include "core/checkpoint.hpp"
 #include "core/config.hpp"
 #include "core/dv_matrix.hpp"
+#include "core/dv_store.hpp"
 #include "core/events.hpp"
 #include "core/local_graph.hpp"
 #include "obs/metrics.hpp"
@@ -175,7 +176,9 @@ class RankEngine {
 
   // ---- post-run extraction (driver side; no communication) ----
   [[nodiscard]] const LocalGraph& local_graph() const { return lg_; }
-  [[nodiscard]] const std::vector<DvRow>& rows() const { return rows_; }
+  /// The DV row store (resident or tiered; see dv_store.hpp). Metadata
+  /// reads (self/closeness/harmonic) never promote; store().row(i) does.
+  [[nodiscard]] const DvStore& store() const { return *dv_; }
   [[nodiscard]] const std::vector<StepLocal>& step_log() const { return step_log_; }
   /// Total invariant violations observed (only counted when
   /// cfg.validate_each_step; must be zero on a healthy run).
@@ -309,6 +312,25 @@ class RankEngine {
   void mark_finite_dirty(std::size_t row);
   void boundary_fw_pass();
 
+  // ---- tiered-store residency (dv_store.hpp) ----
+  /// End-of-step residency pass: rebuilds the boundary-row flag vector and
+  /// lets the store demote settled rows back under budget. Called only when
+  /// the worklist and repair queues are empty (no kQueued flag may survive
+  /// demotion).
+  void maintain_store();
+  /// Exchange-overlap prefetch: while a collective still has arrivals in
+  /// flight, decode up to `budget` cold rows that the queued worklist /
+  /// repair items will touch in the next drain. Pure residency: promotion
+  /// never changes observable row state, so results are identical with any
+  /// prefetch schedule. The cursors persist across calls within one
+  /// collective and are reset when it starts (or when drain_overlap empties
+  /// the queues).
+  void prefetch_pending(std::size_t budget);
+  void reset_prefetch_cursors() {
+    prefetch_work_pos_ = 0;
+    prefetch_repair_pos_ = 0;
+  }
+
   /// One IA Dijkstra source (row r) using caller-owned scratch buffers;
   /// `dirty_added` receives the row's newly-dirty entry count.
   void ia_source(std::size_t r, std::vector<Dist>& dist,
@@ -343,7 +365,10 @@ class RankEngine {
   std::size_t cur_step_ = 0;
   std::size_t cur_batch_ = 0;
   LocalGraph lg_;
-  std::vector<DvRow> rows_;
+  /// The DV row collection, behind the pluggable residency layer
+  /// (ResidentDvStore when cfg.dv_budget_bytes == 0, TieredDvStore
+  /// otherwise). All row access goes through this store.
+  std::unique_ptr<DvStore> dv_;
   std::unordered_map<VertexId, std::vector<Dist>> caches_;
   std::deque<std::pair<VertexId, VertexId>> worklist_;  // (vertex, target)
   std::deque<std::pair<VertexId, VertexId>> repairs_;
@@ -373,6 +398,7 @@ class RankEngine {
   /// poison_sync_round() per-destination writers + sent markers.
   std::vector<rt::ByteWriter> sync_writers_;
   std::vector<std::pair<std::size_t, VertexId>> sync_markers_;
+  std::vector<std::pair<VertexId, Dist>> sync_scratch_;
   /// Pipelined exchange: (row, count) spans into exch_cleared_cols_
   /// recording exactly which dirty columns the retire step cleared, so an
   /// aborted collective can re-mark its pending sends before the recovery
@@ -380,6 +406,12 @@ class RankEngine {
   /// after the full collective returns).
   std::vector<std::pair<std::size_t, std::size_t>> exch_cleared_spans_;
   std::vector<VertexId> exch_cleared_cols_;
+  /// Exchange-overlap prefetch cursors into worklist_/repairs_ (see
+  /// prefetch_pending) and the reusable boundary-flag vector maintain_store
+  /// hands to DvStore::maintain.
+  std::size_t prefetch_work_pos_ = 0;
+  std::size_t prefetch_repair_pos_ = 0;
+  std::vector<std::uint8_t> boundary_flags_;
 
   // Observability. trace_ is this rank's main track (null = off); shard
   // workers fetch their subtrack from tracer_. The cached instrument
@@ -398,7 +430,17 @@ class RankEngine {
   obs::Histogram* m_queue_depth_ = nullptr;
   obs::Gauge* m_exch_wait_ = nullptr;
   obs::Histogram* m_exch_inflight_ = nullptr;
+  obs::Gauge* m_dv_resident_ = nullptr;
+  obs::Gauge* m_dv_cold_ = nullptr;
+  obs::Counter* m_dv_promotions_ = nullptr;
+  obs::Counter* m_dv_demotions_ = nullptr;
+  obs::Gauge* m_dv_decode_ = nullptr;
   StepLocal folded_{};
+  // Cumulative store counters already pushed to the registry (the dv
+  // analogue of folded_).
+  std::uint64_t folded_dv_promotions_ = 0;
+  std::uint64_t folded_dv_demotions_ = 0;
+  double folded_dv_decode_seconds_ = 0.0;
   // Progress feed. progress_active_ caches cfg_.progress.active() (the
   // SPMD-consistent switch every rank tests once per step); progress_ is
   // the driver rank's emitter (null elsewhere). queue_depth_step_

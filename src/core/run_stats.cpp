@@ -84,6 +84,11 @@ void RunStats::to_json(std::ostream& os, bool include_steps) const {
      << ",\"cut_edges_initial\":" << cut_edges_initial
      << ",\"cut_edges_final\":" << cut_edges_final << ",\"imbalance_final\":";
   jdouble(os, imbalance_final);
+  os << ",\"dv_resident_bytes\":" << dv_resident_bytes
+     << ",\"dv_cold_bytes\":" << dv_cold_bytes
+     << ",\"dv_promotions\":" << dv_promotions
+     << ",\"dv_demotions\":" << dv_demotions << ",\"dv_decode_seconds\":";
+  jdouble(os, dv_decode_seconds);
   if (include_steps) {
     os << ",\"steps\":[";
     for (std::size_t i = 0; i < steps.size(); ++i) {

@@ -34,7 +34,11 @@ std::string to_ndjson(const ProgressEvent& ev) {
      << ",\"exchange_wait_seconds\":";
   jdouble(os, ev.exchange_wait_seconds);
   os << ",\"inflight_depth\":" << ev.inflight_depth
-     << ",\"recoveries\":" << ev.recoveries;
+     << ",\"recoveries\":" << ev.recoveries
+     << ",\"dv_resident_bytes\":" << ev.dv_resident_bytes
+     << ",\"dv_cold_bytes\":" << ev.dv_cold_bytes
+     << ",\"dv_promotions\":" << ev.dv_promotions
+     << ",\"dv_demotions\":" << ev.dv_demotions;
   if (ev.has_estimators) {
     os << ",\"topk_overlap\":";
     jdouble(os, ev.topk_overlap);
@@ -219,6 +223,14 @@ bool parse_progress_event(const std::string& line, ProgressEvent& out) {
         if (!parse_json_number(c, out.exchange_wait_seconds)) return false;
       } else if (key == "inflight_depth") {
         if (!u64(out.inflight_depth)) return false;
+      } else if (key == "dv_resident_bytes") {
+        if (!u64(out.dv_resident_bytes)) return false;
+      } else if (key == "dv_cold_bytes") {
+        if (!u64(out.dv_cold_bytes)) return false;
+      } else if (key == "dv_promotions") {
+        if (!u64(out.dv_promotions)) return false;
+      } else if (key == "dv_demotions") {
+        if (!u64(out.dv_demotions)) return false;
       } else if (key == "topk_overlap") {
         if (!parse_json_number(c, out.topk_overlap)) return false;
         saw_overlap = true;

@@ -63,6 +63,12 @@ struct ProgressEvent {
   double exchange_wait_seconds = 0;  ///< Σ over ranks of blocked recv time
   std::uint64_t inflight_depth = 0;  ///< max sends in flight (worst rank)
   std::size_t recoveries = 0;        ///< supervised relaunches so far
+  // ---- DV residency (additive v1 fields; zero under the resident store
+  // except dv_resident_bytes) ----
+  std::uint64_t dv_resident_bytes = 0;  ///< hot (dense) row bytes, Σ ranks
+  std::uint64_t dv_cold_bytes = 0;      ///< demoted (compressed) bytes, Σ ranks
+  std::uint64_t dv_promotions = 0;      ///< cold→hot decodes so far, Σ ranks
+  std::uint64_t dv_demotions = 0;       ///< hot→cold encodes so far, Σ ranks
   // ---- online quality estimators (rc_step/done only, needs a previous
   // step to compare against; has_estimators gates the JSON fields) ----
   bool has_estimators = false;

@@ -62,6 +62,20 @@ TEST(ConfigValidate, RebalanceThreshold) {
   EXPECT_NO_THROW(cfg.validate());
 }
 
+TEST(ConfigValidate, DvBudgetFloor) {
+  EngineConfig cfg;
+  cfg.dv_budget_bytes = kMinDvBudgetBytes - 1;  // cannot hold one hot row
+  EXPECT_NE(config_error_message(cfg).find("dv_budget_bytes"),
+            std::string::npos);
+  cfg.dv_budget_bytes = 1;
+  EXPECT_NE(config_error_message(cfg).find("dv_budget_bytes"),
+            std::string::npos);
+  cfg.dv_budget_bytes = kMinDvBudgetBytes;  // smallest tiered budget
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.dv_budget_bytes = 0;  // fully resident (the default)
+  EXPECT_NO_THROW(cfg.validate());
+}
+
 TEST(ConfigValidate, TransportRetries) {
   EngineConfig cfg;
   cfg.transport.max_retries = 0;

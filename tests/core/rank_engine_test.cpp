@@ -55,7 +55,9 @@ TEST(RankEngineIa, MatchesLocalSubgraphSemantics) {
   world.run([&](rt::Comm& comm) {
     RankEngine engine(init_for(f, comm.rank()), comm);
     engine.run_ia();
-    for (const DvRow& row : engine.rows()) {
+    const DvStore& store = engine.store();
+    for (std::size_t r = 0; r < store.size(); ++r) {
+      const DvRow& row = store.row(r);
       for (VertexId t = 0; t < row.size(); ++t) {
         if (row.dist(t) == kInfDist) continue;
         if (row.dist(t) < global[row.self()][t]) {
@@ -77,10 +79,11 @@ TEST(RankEngineIa, RowsCoverExactlyLocalVertices) {
   std::vector<std::size_t> row_counts(3, 0);
   world.run([&](rt::Comm& comm) {
     RankEngine engine(init_for(f, comm.rank()), comm);
-    row_counts[static_cast<std::size_t>(comm.rank())] = engine.rows().size();
-    for (const DvRow& row : engine.rows()) {
-      EXPECT_EQ(f.part.assignment[row.self()], comm.rank());
-      EXPECT_EQ(row.dist(row.self()), 0u);
+    const DvStore& store = engine.store();
+    row_counts[static_cast<std::size_t>(comm.rank())] = store.size();
+    for (std::size_t r = 0; r < store.size(); ++r) {
+      EXPECT_EQ(f.part.assignment[store.self(r)], comm.rank());
+      EXPECT_EQ(store.probe_dist(r, store.self(r)), 0u);
     }
   });
   std::size_t total = 0;
@@ -106,15 +109,16 @@ TEST(RankEngineState, SerializeRestoreRoundTrip) {
     RankEngine twin(init, comm);
 
     // Same rows, same values, same next hops.
-    if (twin.rows().size() != engine.rows().size()) {
+    const DvStore& a = engine.store();
+    const DvStore& b = twin.store();
+    if (b.size() != a.size()) {
       mismatches[static_cast<std::size_t>(comm.rank())] = 1;
       return;
     }
-    for (std::size_t r = 0; r < twin.rows().size(); ++r) {
-      if (twin.rows()[r].self() != engine.rows()[r].self() ||
-          twin.rows()[r].dists() != engine.rows()[r].dists() ||
-          twin.rows()[r].next_hops() != engine.rows()[r].next_hops() ||
-          twin.rows()[r].dirty_count() != engine.rows()[r].dirty_count()) {
+    for (std::size_t r = 0; r < b.size(); ++r) {
+      if (b.self(r) != a.self(r) || b.row(r).dists() != a.row(r).dists() ||
+          b.row(r).next_hops() != a.row(r).next_hops() ||
+          b.dirty_count(r) != a.dirty_count(r)) {
         ++mismatches[static_cast<std::size_t>(comm.rank())];
       }
     }

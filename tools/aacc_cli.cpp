@@ -12,6 +12,9 @@
 // `--exact` cross-checks against the sequential reference. `run` streams the
 // live anytime-progress feed (docs/OBSERVABILITY.md §Progress events) and
 // `tail` replays a recorded NDJSON feed through the same renderer.
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -71,17 +74,25 @@ int usage() {
                "  aacc analyze <graph-file> [--ranks N] [--top K] [--seed S]\n"
                "       [--measure closeness|harmonic|degree|betweenness|"
                "eigenvector] [--exact]\n"
-               "       [--stats-json FILE] [--trace FILE]\n"
+               "       [--stats-json FILE] [--trace FILE] "
+               "[--dv-budget BYTES|auto]\n"
                "       [--recovery-policy LADDER] [--checkpoint-every N]\n"
                "  aacc run <graph-file> [--ranks N] [--seed S] [--top-k K]\n"
-               "       [--events FILE] [--progress]\n"
+               "       [--events FILE] [--progress] [--dv-budget BYTES|auto]\n"
                "       [--recovery-policy LADDER] [--checkpoint-every N]\n"
                "  aacc tail <events.ndjson>\n"
                "\n"
                "LADDER is a comma list of recovery rungs tried in order when\n"
                "a rank dies (docs/FAULTS.md §Recovery policy ladder), each\n"
                "adopt|rollback|degrade with an optional :budget (uses per\n"
-               "run, 0 = unlimited), e.g. adopt:2,rollback,degrade.\n");
+               "run, 0 = unlimited), e.g. adopt:2,rollback,degrade.\n"
+               "\n"
+               "--dv-budget caps per-rank dense DV memory: rows over the\n"
+               "budget are demoted to a delta-compressed cold form (results\n"
+               "are bit-identical; DESIGN.md §Tiered DV storage). BYTES\n"
+               "accepts a plain number or k/m/g suffix; `auto` targets a\n"
+               "quarter of physical memory split across ranks; 0 (default)\n"
+               "keeps every row dense.\n");
   return 2;
 }
 
@@ -108,6 +119,44 @@ void apply_recovery_policy(const std::string& spec, EngineConfig& cfg) {
                                   "' (want adopt|rollback|degrade)");
     cfg.recovery_policy.push_back({policy, budget});
   }
+}
+
+/// Parses `--dv-budget 64m` / `--dv-budget auto` into per-rank bytes.
+/// `auto` targets a quarter of physical memory split evenly across ranks
+/// (floored at kMinDvBudgetBytes); plain numbers take an optional k/m/g
+/// suffix. Throws std::runtime_error on malformed input; the value itself
+/// is still vetted by EngineConfig::validate().
+std::uint64_t parse_dv_budget(const std::string& spec, Rank ranks) {
+  if (spec == "auto") {
+    const long pages = sysconf(_SC_PHYS_PAGES);
+    const long page = sysconf(_SC_PAGE_SIZE);
+    if (pages <= 0 || page <= 0) {
+      throw std::runtime_error("--dv-budget auto: cannot query physical memory");
+    }
+    const std::uint64_t phys =
+        static_cast<std::uint64_t>(pages) * static_cast<std::uint64_t>(page);
+    return std::max<std::uint64_t>(
+        phys / 4 / static_cast<std::uint64_t>(std::max(ranks, Rank{1})),
+        kMinDvBudgetBytes);
+  }
+  std::size_t used = 0;
+  const std::uint64_t value = std::stoull(spec, &used);
+  std::uint64_t scale = 1;
+  if (used < spec.size()) {
+    if (used + 1 != spec.size()) {
+      throw std::runtime_error("--dv-budget: malformed byte count '" + spec +
+                               "' (want BYTES[k|m|g] or auto)");
+    }
+    switch (spec[used]) {
+      case 'k': case 'K': scale = 1ull << 10; break;
+      case 'm': case 'M': scale = 1ull << 20; break;
+      case 'g': case 'G': scale = 1ull << 30; break;
+      default:
+        throw std::runtime_error("--dv-budget: unknown suffix '" +
+                                 spec.substr(used) + "' (want k, m or g)");
+    }
+  }
+  return value * scale;
 }
 
 /// Shared by `run` and `analyze`: the fault-tolerance knobs.
@@ -140,6 +189,12 @@ void render_event(const obs::ProgressEvent& ev) {
       std::printf("  xwait %6.2fms  depth %llu",
                   1e3 * ev.exchange_wait_seconds,
                   static_cast<unsigned long long>(ev.inflight_depth));
+    }
+    if (ev.dv_cold_bytes > 0 || ev.dv_demotions > 0) {
+      std::printf("  dv %.1f/%.1fMB hot/cold  promo %llu",
+                  static_cast<double>(ev.dv_resident_bytes) / 1e6,
+                  static_cast<double>(ev.dv_cold_bytes) / 1e6,
+                  static_cast<unsigned long long>(ev.dv_promotions));
     }
     if (ev.has_estimators) {
       std::printf("  top-k overlap %.3f  tau %+.3f", ev.topk_overlap,
@@ -175,6 +230,10 @@ int cmd_run(const Args& args) {
   cfg.num_ranks = static_cast<Rank>(args.get_int("ranks", 8));
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   cfg.progress.top_k = static_cast<std::size_t>(args.get_int("top-k", 32));
+  if (args.has("dv-budget")) {
+    cfg.dv_budget_bytes =
+        parse_dv_budget(args.get("dv-budget", "0"), cfg.num_ranks);
+  }
   apply_recovery_flags(args, cfg);
   if (args.has("events")) cfg.progress.path = args.get("events", "");
   // Live rendering is the default purpose of `run`: render unless the user
@@ -331,6 +390,10 @@ int cmd_analyze(const Args& args) {
     EngineConfig cfg;
     cfg.num_ranks = ranks;
     cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    if (args.has("dv-budget")) {
+      cfg.dv_budget_bytes =
+          parse_dv_budget(args.get("dv-budget", "0"), cfg.num_ranks);
+    }
     apply_recovery_flags(args, cfg);
     if (args.has("trace")) {
       cfg.trace.enabled = true;
