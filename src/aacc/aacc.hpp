@@ -9,6 +9,14 @@
 //   aacc::RunResult r = engine.run();
 //   std::puts(r.stats.summary().c_str());
 //
+// For serving queries while changes stream in, open a session instead of
+// an engine (docs/API.md §"Serving sessions"):
+//
+//   aacc::serve::EngineSession session(g, cfg);
+//   session.ingest({aacc::EdgeAddEvent{1, 2, 1}});
+//   auto top = session.view().top_k(10);
+//   aacc::RunResult final = session.close();
+//
 // Fine-grained headers remain available for code that wants to limit its
 // include surface; this header is the recommended entry point for
 // applications (see docs/API.md).
@@ -33,3 +41,6 @@
 #include "partition/partition.hpp"
 #include "runtime/faults.hpp"
 #include "runtime/logp.hpp"
+#include "serve/context.hpp"
+#include "serve/session.hpp"
+#include "serve/stream.hpp"

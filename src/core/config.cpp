@@ -157,6 +157,24 @@ void EngineConfig::validate() const {
        << "] when the progress feed is active, got " << progress.top_k;
     fail(os.str());
   }
+  if (publish_every < 1 || publish_every > kMaxThreads) {
+    std::ostringstream os;
+    os << "EngineConfig::publish_every must be in [1, " << kMaxThreads
+       << "] (a live session must publish; was a negative value cast to "
+          "size_t?), got "
+       << publish_every;
+    fail(os.str());
+  }
+  if (max_snapshot_lag != 0 && max_snapshot_lag < publish_every) {
+    std::ostringstream os;
+    os << "EngineConfig::max_snapshot_lag must be 0 (never flag) or >= "
+          "publish_every ("
+       << publish_every
+       << "): a tighter bound flags every response between two snapshot "
+          "publishes as stale, got "
+       << max_snapshot_lag;
+    fail(os.str());
+  }
 }
 
 }  // namespace aacc

@@ -219,6 +219,17 @@ struct EngineConfig {
   /// is honestly accounted in the transport ledgers. When inactive the
   /// per-step hook is a single boolean test.
   obs::ProgressConfig progress;
+  /// ---- live serving knobs (EngineSession / `aacc serve`; docs/API.md
+  /// §"Serving sessions"). Read only by live sessions: run() never
+  /// publishes snapshots, so batch runs ignore both. ----
+  /// Publish a fresh immutable per-rank closeness snapshot every k
+  /// completed RC steps (1 = every step). The final state is always
+  /// published regardless, so a closed session serves exact values.
+  std::size_t publish_every = 1;
+  /// Staleness contract for query responses: a response whose backing
+  /// snapshot is more than this many steps behind the engine's current
+  /// step is flagged stale (ResponseMeta::stale). 0 = never flag.
+  std::size_t max_snapshot_lag = 0;
 
   /// Checks the configuration for values that cannot produce a meaningful
   /// run and throws ConfigError naming the offending field. Called by the
@@ -245,6 +256,9 @@ struct EngineConfig {
   ///     timeout always wins the race and no peer is ever declared dead)
   ///   * trace.track_capacity > 0 when tracing is enabled
   ///   * progress.top_k in [1, 4096] when the progress feed is active
+  ///   * publish_every in [1, 4096] (0 would never publish a snapshot)
+  ///   * max_snapshot_lag is 0 (never flag) or >= publish_every (a tighter
+  ///     bound would flag every response between two publishes as stale)
   void validate() const;
 };
 

@@ -14,6 +14,7 @@
 #include "common/timer.hpp"
 #include "core/rank_engine.hpp"
 #include "runtime/comm.hpp"
+#include "serve/context.hpp"
 #include "runtime/serialize.hpp"
 
 namespace aacc {
@@ -70,6 +71,18 @@ AnytimeEngine::AnytimeEngine(Graph g, Checkpoint checkpoint, EngineConfig cfg)
   }
 }
 
+double RunResult::closeness_of(VertexId v) const { return closeness.at(v); }
+
+double RunResult::harmonic_of(VertexId v) const { return harmonic.at(v); }
+
+std::vector<VertexId> RunResult::top_closeness(std::size_t k) const {
+  return top_k(closeness, k);
+}
+
+std::vector<VertexId> RunResult::top_harmonic(std::size_t k) const {
+  return top_k(harmonic, k);
+}
+
 RunResult AnytimeEngine::run(const EventSchedule& schedule) {
   if (ran_) {
     throw EngineStateError(
@@ -94,6 +107,36 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
       }
     }
   }
+
+  detail::DriverArgs args;
+  args.graph = &graph_;
+  args.cfg = cfg_;
+  args.schedule = &schedule;
+  args.resume = &resume_;
+  args.resuming = resuming_;
+  return detail::run_driver(args);
+}
+
+namespace detail {
+
+RunResult run_driver(const DriverArgs& args) {
+  // Batch mode and live mode share this driver verbatim; the locals below
+  // keep the historical member names so the body reads unchanged.
+  Graph& graph_ = *args.graph;
+  const EngineConfig& cfg_ = args.cfg;
+  const bool resuming_ = args.resuming;
+  const Checkpoint no_resume;
+  const Checkpoint& resume_ =
+      args.resume != nullptr ? *args.resume : no_resume;
+  serve::ServeContext* const serve = args.serve;
+  const bool live = serve != nullptr;
+  // In live mode the consumed-batch journal is the schedule. It only grows
+  // while rank threads run, so every snapshot taken here (start, after a
+  // failed attempt, before result assembly — all joined-world points) is a
+  // coherent replay prefix.
+  EventSchedule live_sched;
+  if (live) live_sched = serve->feed.journal_copy();
+  const EventSchedule& schedule = live ? live_sched : *args.schedule;
 
   RunResult out;
   Timer wall;
@@ -232,6 +275,7 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
     init.injector = injector ? &*injector : nullptr;
     init.tracer = tracer.get();
     init.metrics = &rank_metrics[me];
+    init.serve = serve;
     // The driver rank emits; everyone else only feeds the gather. Rank 0
     // keeps the emitter even as a ghost — the merged survivor data still
     // flows through its seat in the collectives.
@@ -322,6 +366,10 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
       return world.run_contained(attempt_fn);
     }();
     if (report.ok()) break;
+    // The journal grew during the failed attempt; refresh the live schedule
+    // so replay windows and batch cursors are computed against everything
+    // rank 0 actually consumed.
+    if (live) live_sched = serve->feed.journal_copy();
 
     // Classify: injected crashes and transport failures are recoverable
     // roots; PeerFailedError is collateral damage on survivors; anything
@@ -510,6 +558,7 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
       // No portal poisoning: the graph did not change, so remote finite
       // values stay sound upper bounds and adopted rows re-derive quietly.
       newly_dead.clear();
+      if (live) serve->adopted.store(true, std::memory_order_release);
       mode = Mode::kAdopt;
       if (drv != nullptr) {
         drv->instant("recovery:adopt", "attempt", out.stats.recoveries);
@@ -543,6 +592,12 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
       std::fill(dead.begin(), dead.end(), false);
       newly_dead.clear();
       out.degraded = false;
+      if (live) {
+        // The replay resurrects every seat; snapshots published by the next
+        // attempt drop the degraded/adopted provenance again.
+        serve->degraded.store(false, std::memory_order_release);
+        serve->adopted.store(false, std::memory_order_release);
+      }
       if (drv != nullptr) {
         drv->instant("recovery:rollback", "attempt", out.stats.recoveries);
       }
@@ -568,6 +623,7 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
       ghost_vertices_added = witness->vertices_added();
       mode = Mode::kDegraded;
       out.degraded = true;
+      if (live) serve->degraded.store(true, std::memory_order_release);
       if (drv != nullptr) {
         drv->instant("recovery:degraded", "attempt", out.stats.recoveries);
       }
@@ -608,6 +664,9 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
     }
   }
   resolve_pending_mttr();
+  // Final refresh: the result must reflect every batch the closed feed's
+  // journal recorded (the rank world is joined; the journal is final).
+  if (live) live_sched = serve->feed.journal_copy();
 
   if (want_checkpoint && !slots[0].empty()) {
     out.checkpoint.rank_blobs = std::move(slots);
@@ -770,6 +829,15 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
   }
   obs::MetricsRegistry merged;
   for (const obs::MetricsRegistry& reg : rank_metrics) merged.merge(reg);
+  if (live) {
+    // Query-side counters live in the shared serve context (bumped by
+    // QueryView readers); fold them in next to the rank-side serve/
+    // publish metrics so the merged registry tells the whole story.
+    merged.counter("serve/queries")
+        .add(serve->queries.load(std::memory_order_relaxed));
+    merged.counter("serve/stale_responses")
+        .add(serve->stale_responses.load(std::memory_order_relaxed));
+  }
   merged.gauge("cpu/max_rank").set(world.max_rank_cpu_seconds());
   merged.gauge("net/modeled_serialized")
       .set(world.modeled_network_seconds(rt::SchedulePolicy::kSerialized));
@@ -829,6 +897,11 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
     ev.dv_cold_bytes = out.stats.dv_cold_bytes;
     ev.dv_promotions = out.stats.dv_promotions;
     ev.dv_demotions = out.stats.dv_demotions;
+    if (live) {
+      ev.has_serve = true;
+      ev.serve_queries = serve->queries.load(std::memory_order_relaxed);
+      ev.snapshot_age_steps = 0;  // terminal snapshots are exact
+    }
     for (const StepStats& s : out.stats.steps) {
       ev.relaxations += s.relaxations;
       ev.poisons += s.poisons;
@@ -865,6 +938,8 @@ RunResult AnytimeEngine::run(const EventSchedule& schedule) {
   }
   return out;
 }
+
+}  // namespace detail
 
 std::vector<VertexId> reconstruct_path(const RunResult& result, VertexId u,
                                        VertexId v) {

@@ -161,6 +161,11 @@ struct RunStats {
 bool write_stats_json(const std::string& path, const RunStats& stats);
 
 struct RunResult {
+  // Prefer the bounds-checked const accessors below over reaching into the
+  // vectors; writing to a RunResult's fields is deprecated (the result is a
+  // record of the run, not scratch space) and the fields will lose their
+  // mutability in a future major version.
+
   /// Final closeness per vertex id (0 for tombstoned vertices).
   std::vector<double> closeness;
   /// Final harmonic centrality per vertex id.
@@ -194,7 +199,39 @@ struct RunResult {
   /// Merged span trace (only when EngineConfig::trace.enabled). Export
   /// with obs::write_chrome_trace_file for chrome://tracing / Perfetto.
   obs::Trace trace;
+
+  /// Bounds-checked reads (std::out_of_range past the vertex-id space).
+  [[nodiscard]] double closeness_of(VertexId v) const;
+  [[nodiscard]] double harmonic_of(VertexId v) const;
+  /// Top-k vertex ids by final closeness / harmonic, best first (bounded by
+  /// the id space; ties broken toward the lower id).
+  [[nodiscard]] std::vector<VertexId> top_closeness(std::size_t k) const;
+  [[nodiscard]] std::vector<VertexId> top_harmonic(std::size_t k) const;
 };
+
+namespace serve {
+struct ServeContext;
+}  // namespace serve
+
+namespace detail {
+
+/// Internal driver entry shared by AnytimeEngine::run (batch mode) and
+/// serve::EngineSession (live mode). Not public API: construct an engine or
+/// a session instead. In live mode `schedule` is null — the feed journal in
+/// `serve` is the schedule, re-snapshotted whenever the rank world is
+/// joined (recovery and result assembly).
+struct DriverArgs {
+  Graph* graph = nullptr;  ///< ground truth; events applied at assembly
+  EngineConfig cfg;        ///< already validated
+  const EventSchedule* schedule = nullptr;  ///< batch mode only
+  const Checkpoint* resume = nullptr;       ///< optional resume snapshot
+  bool resuming = false;
+  serve::ServeContext* serve = nullptr;  ///< live mode only
+};
+
+RunResult run_driver(const DriverArgs& args);
+
+}  // namespace detail
 
 class AnytimeEngine {
  public:
@@ -211,8 +248,10 @@ class AnytimeEngine {
   /// Runs DD + IA + RC with the given dynamic-change schedule. One-shot:
   /// a second call throws EngineStateError (the instance's distributed
   /// state is consumed by the run; construct a new engine — or resume from
-  /// a checkpoint — to run again; docs/API.md §"Engine lifecycle").
-  RunResult run(const EventSchedule& schedule = {});
+  /// a checkpoint — to run again; docs/API.md §"Engine lifecycle"). For
+  /// ingesting changes while querying, use serve::EngineSession instead —
+  /// run() is now a thin batch-mode wrapper over the same driver.
+  [[nodiscard]] RunResult run(const EventSchedule& schedule = {});
 
   /// Ground-truth graph (after run(): with all events applied).
   [[nodiscard]] const Graph& graph() const { return graph_; }

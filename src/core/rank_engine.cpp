@@ -14,6 +14,7 @@
 #include "analysis/closeness.hpp"
 #include "analysis/quality.hpp"
 #include "common/parallel.hpp"
+#include "common/timer.hpp"
 #include "core/strategies.hpp"
 #include "partition/multilevel.hpp"
 #include "runtime/serialize.hpp"
@@ -83,6 +84,15 @@ RankEngine::RankEngine(const Init& init, rt::Comm& comm)
     m_dv_promotions_ = &metrics_->counter("dv/promotions");
     m_dv_demotions_ = &metrics_->counter("dv/demotions");
     m_dv_decode_ = &metrics_->gauge("dv/decode_seconds");
+  }
+  serve_ = init.serve;
+  if (serve_ != nullptr && metrics_ != nullptr) {
+    m_serve_publishes_ = &metrics_->counter("serve/publishes");
+    m_serve_publish_seconds_ = &metrics_->gauge("serve/publish_seconds");
+    // Rank 0 samples the fleet-wide snapshot age each progress fold.
+    if (init.me == 0) {
+      m_serve_age_ = &metrics_->histogram("serve/snapshot_age_steps");
+    }
   }
   assign_skip_ = init.assign_skip;
   recovery_mark_step_ = init.recovery_mark_step;
@@ -325,6 +335,7 @@ std::uint64_t edge_key(VertexId u, VertexId v) {
 void RankEngine::adopt_shards(const Init& init) {
   const obs::ScopedSpan span(trace_, "adopt", "sources",
                              init.adopt->sources.size());
+  adopted_ = true;  // recovery provenance, stamped into published snapshots
   // The rewritten owner map rides in init.owner (the one field the restore
   // path ignores); its tombstones come from the stash map, so is_alive
   // stays authoritative for everything below.
@@ -611,6 +622,14 @@ void RankEngine::run_ia() {
   // Residency pass before the first RC step: under a tiered budget the
   // freshly swept rows settle into cold form until RC dirties them.
   maintain_store();
+  // Live sessions get their first queryable snapshot the moment IA lands:
+  // the intra-rank estimates are the paper's anytime starting point.
+  if (serve_ != nullptr) {
+    publish_snapshot(start_step_);
+    if (comm_.rank() == 0) {
+      serve_->engine_step.store(start_step_, std::memory_order_release);
+    }
+  }
   // First progress event: the local APSP sweep is done, coverage is the
   // intra-rank reachability (collective; run_ia is only called on fresh
   // attempts, where every rank takes this path).
@@ -2108,7 +2127,73 @@ void RankEngine::progress_step(const char* phase, std::size_t step) {
   ev.top.reserve(merged.size());
   for (const auto& [v, h] : merged) ev.top.push_back(v);
   progress_->prev_top = std::move(merged);
+  if (serve_ != nullptr) {
+    // Republish the estimator sample for query responses (the staleness
+    // contract: every answer carries the latest convergence estimators),
+    // and surface the serve counters in the feed itself.
+    auto est = std::make_shared<serve::EstimatorSample>();
+    est->step = step;
+    est->has = ev.has_estimators;
+    est->topk_overlap = ev.topk_overlap;
+    est->kendall_tau = ev.kendall_tau;
+    serve_->estimators.store(std::move(est));
+    ev.has_serve = true;
+    ev.serve_queries = serve_->queries.load(std::memory_order_relaxed);
+    std::size_t oldest = step;
+    for (const auto& cell : serve_->snapshots) {
+      const auto snap = cell.read();
+      oldest = std::min(oldest, snap ? snap->step : std::size_t{0});
+    }
+    ev.snapshot_age_steps = step - oldest;
+    if (m_serve_age_ != nullptr) {
+      m_serve_age_->record(ev.snapshot_age_steps);
+    }
+  }
   progress_->emit(ev);
+}
+
+void RankEngine::publish_snapshot(std::size_t step) {
+  const Timer timer;
+  auto& cell = serve_->snapshots[static_cast<std::size_t>(comm_.rank())];
+  auto snap = std::make_shared<serve::SnapshotData>();
+  {
+    const auto prev = cell.read();
+    snap->epoch = prev != nullptr ? prev->epoch + 1 : 1;
+  }
+  snap->step = step;
+  snap->degraded = serve_->degraded.load(std::memory_order_relaxed);
+  snap->adopted = adopted_;
+  const std::size_t rows = dv_->size();  // 0 for ghosts: an empty snapshot
+  publish_index_.clear();
+  publish_index_.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    publish_index_.emplace_back(dv_->self(r), static_cast<std::uint32_t>(r));
+  }
+  std::sort(publish_index_.begin(), publish_index_.end());
+  snap->ids.resize(rows);
+  snap->closeness.resize(rows);
+  snap->harmonic.resize(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto [v, r] = publish_index_[i];
+    snap->ids[i] = v;
+    // Metadata reads — the tiered store serves them from either residency
+    // form without promotion, so publication cannot perturb residency.
+    snap->closeness[i] = dv_->closeness(r);
+    snap->harmonic[i] = dv_->harmonic(r);
+  }
+  snap->by_closeness.resize(rows);
+  std::iota(snap->by_closeness.begin(), snap->by_closeness.end(), 0U);
+  std::sort(snap->by_closeness.begin(), snap->by_closeness.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return snap->closeness[a] != snap->closeness[b]
+                         ? snap->closeness[a] > snap->closeness[b]
+                         : snap->ids[a] < snap->ids[b];
+            });
+  cell.publish(std::move(snap));  // the O(1) swap — readers never waited
+  if (m_serve_publishes_ != nullptr) {
+    m_serve_publishes_->add(1);
+    m_serve_publish_seconds_->add(timer.seconds());
+  }
 }
 
 std::size_t RankEngine::run_rc() {
@@ -2116,6 +2201,9 @@ std::size_t RankEngine::run_rc() {
   std::size_t step = start_step_;
   std::size_t next_batch = start_batch_;
   const std::size_t num_batches = schedule_ != nullptr ? schedule_->size() : 0;
+  // Live session: schedule_ is the replayed journal prefix (empty on a
+  // first attempt); once it is consumed, fresh batches come from the feed.
+  const bool live = serve_ != nullptr;
 
   for (;;) {
     cur_step_ = step;
@@ -2154,6 +2242,37 @@ std::size_t RankEngine::run_rc() {
       ingested = true;
       ++next_batch;
       cur_batch_ = next_batch;
+    }
+
+    // Live mutation feed: once the journal replay is exhausted, rank 0 pops
+    // queued batches (journaling each at this step so recovery can replay
+    // it), serializes and broadcasts them through the measured communicator
+    // like any schedule batch. An empty broadcast payload is the "no more
+    // this step" terminator — a real batch always serializes non-empty.
+    // Runs on ghost seats too: the seat, not the process, owns the feed
+    // role, so the protocol survives rank 0's death.
+    if (live && next_batch >= num_batches) {
+      for (;;) {
+        std::vector<std::byte> feed;
+        if (comm_.rank() == 0) {
+          std::vector<Event> events;
+          if (serve_->feed.try_pop(step, events)) {
+            rt::ByteWriter w;
+            serialize_events(events, w);
+            feed = w.take();
+          }
+        }
+        const auto buf = comm_.broadcast(std::move(feed), 0, nullptr);
+        if (buf.empty()) break;
+        const obs::ScopedSpan ingest_span(trace_, "ingest", "batch",
+                                          next_batch);
+        rt::ByteReader rd(buf);
+        const auto events = deserialize_events(rd);
+        ingest_batch(events);
+        ingested = true;
+        ++next_batch;
+        cur_batch_ = next_batch;
+      }
     }
 
     // Extension: automatic rebalancing when dynamic changes (typically
@@ -2216,6 +2335,15 @@ std::size_t RankEngine::run_rc() {
     // precondition. record_step then folds the fresh residency gauges.
     maintain_store();
     record_step(step);
+    if (live) {
+      // Publish before the progress fold so the feed's snapshot-age sample
+      // sees this step's snapshots; the final state is force-published at
+      // loop exit whatever the cadence.
+      if (step % cfg_.publish_every == 0) publish_snapshot(step);
+      if (comm_.rank() == 0) {
+        serve_->engine_step.store(step, std::memory_order_release);
+      }
+    }
     progress_step("rc_step", step);
 
     // MTTR probe: the first completed step at/after the death step marks
@@ -2259,11 +2387,39 @@ std::size_t RankEngine::run_rc() {
       break;
     }
 
-    const bool pending = dirty_entries_ > 0 || next_batch < num_batches;
+    bool pending = dirty_entries_ > 0 || next_batch < num_batches;
+    if (live && comm_.rank() == 0) {
+      pending = pending || serve_->feed.has_ready();
+    }
     const bool any_pending = comm_.all_reduce_or(pending);
     ++step;
-    if (!any_pending) break;
+    if (!any_pending) {
+      if (!live) break;
+      // Quiescent with an open feed: the fixpoint is reached and published,
+      // so rank 0 blocks until the session ingests more or closes, then
+      // broadcasts the verdict (1 = new work, 0 = closed and drained). The
+      // other ranks block inside this broadcast — which is why a live
+      // session disables the recv watchdog and peer-health supervision: an
+      // idle feed is indistinguishable from a wedged peer.
+      std::vector<std::byte> verdict(1, std::byte{0});
+      if (comm_.rank() == 0 && serve_->feed.wait_ready()) {
+        verdict[0] = std::byte{1};
+      }
+      const auto buf = comm_.broadcast(std::move(verdict), 0, nullptr);
+      if (buf.at(0) == std::byte{0}) break;
+    }
     if (cfg_.max_rc_steps != 0 && step >= cfg_.max_rc_steps) break;
+  }
+  if (live) {
+    // Terminal snapshots: whatever the publish cadence, a closed (or
+    // capped) session serves the exact final state at zero staleness. The
+    // feed is closed on every exit path (a max_rc_steps cap included) so a
+    // late ingest fails fast instead of queuing into the void.
+    publish_snapshot(cur_step_);
+    if (comm_.rank() == 0) {
+      serve_->feed.close();
+      serve_->engine_step.store(cur_step_, std::memory_order_release);
+    }
   }
   return step;
 }

@@ -36,6 +36,7 @@
 #include "runtime/comm.hpp"
 #include "runtime/faults.hpp"
 #include "runtime/serialize.hpp"
+#include "serve/context.hpp"
 
 namespace aacc {
 
@@ -149,6 +150,13 @@ class RankEngine {
     /// (cfg.progress.active() is the SPMD-consistent switch); rank 0 merges
     /// and emits. Driver-owned so estimator state survives attempts.
     obs::ProgressEmitter* progress = nullptr;
+    /// Live session context (docs/API.md §"Serving sessions"): non-null on
+    /// every rank of an EngineSession run, null under batch run(). Turns on
+    /// snapshot publication at publish_every granularity, the live mutation
+    /// feed (rank 0 pops BatchFeed batches and broadcasts them once the
+    /// replayed journal prefix is consumed) and the quiescent idle-wait
+    /// instead of loop termination. Non-owning; outlives the rank threads.
+    serve::ServeContext* serve = nullptr;
   };
 
   RankEngine(const Init& init, rt::Comm& comm);
@@ -292,6 +300,13 @@ class RankEngine {
   /// otherwise (k = 0 means unbounded).
   [[nodiscard]] std::vector<std::pair<VertexId, double>> local_top_harmonic(
       std::size_t k) const;
+  /// Live sessions only: builds a fresh immutable snapshot of this rank's
+  /// closeness/harmonic values (store metadata reads — no promotion, so
+  /// publication never perturbs tiered residency) and publishes it into the
+  /// rank's SnapshotCell with one atomic pointer swap. Ghosts publish empty
+  /// snapshots, which is what retires a dead seat's stale data from the
+  /// query surface. `step` follows the progress feed's step indexing.
+  void publish_snapshot(std::size_t step);
 
   // ---- event application ----
   void apply_edge_add(const EdgeAddEvent& e);
@@ -449,6 +464,16 @@ class RankEngine {
   bool progress_active_ = false;
   obs::ProgressEmitter* progress_ = nullptr;
   std::uint64_t queue_depth_step_ = 0;
+  // Live session (see Init::serve). adopted_ marks this rank as carrying
+  // adopted shards (recovery provenance stamped into its snapshots);
+  // publish_index_ is the reusable (vertex, row) scratch publish_snapshot
+  // argsorts. Serve metrics exist only when both serve_ and metrics_ do.
+  serve::ServeContext* serve_ = nullptr;
+  bool adopted_ = false;
+  std::vector<std::pair<VertexId, std::uint32_t>> publish_index_;
+  obs::Counter* m_serve_publishes_ = nullptr;
+  obs::Gauge* m_serve_publish_seconds_ = nullptr;
+  obs::Histogram* m_serve_age_ = nullptr;
 
   // step accounting
   std::size_t invariant_violations_ = 0;

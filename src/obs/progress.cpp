@@ -39,6 +39,10 @@ std::string to_ndjson(const ProgressEvent& ev) {
      << ",\"dv_cold_bytes\":" << ev.dv_cold_bytes
      << ",\"dv_promotions\":" << ev.dv_promotions
      << ",\"dv_demotions\":" << ev.dv_demotions;
+  if (ev.has_serve) {
+    os << ",\"serve_queries\":" << ev.serve_queries
+       << ",\"snapshot_age_steps\":" << ev.snapshot_age_steps;
+  }
   if (ev.has_estimators) {
     os << ",\"topk_overlap\":";
     jdouble(os, ev.topk_overlap);
@@ -231,6 +235,12 @@ bool parse_progress_event(const std::string& line, ProgressEvent& out) {
         if (!u64(out.dv_promotions)) return false;
       } else if (key == "dv_demotions") {
         if (!u64(out.dv_demotions)) return false;
+      } else if (key == "serve_queries") {
+        if (!u64(out.serve_queries)) return false;
+        out.has_serve = true;
+      } else if (key == "snapshot_age_steps") {
+        if (!u64(out.snapshot_age_steps)) return false;
+        out.has_serve = true;
       } else if (key == "topk_overlap") {
         if (!parse_json_number(c, out.topk_overlap)) return false;
         saw_overlap = true;

@@ -69,6 +69,13 @@ struct ProgressEvent {
   std::uint64_t dv_cold_bytes = 0;      ///< demoted (compressed) bytes, Σ ranks
   std::uint64_t dv_promotions = 0;      ///< cold→hot decodes so far, Σ ranks
   std::uint64_t dv_demotions = 0;       ///< hot→cold encodes so far, Σ ranks
+  // ---- live serving (additive v1 fields, present only when the run is
+  // driven by an EngineSession; has_serve gates the JSON fields) ----
+  bool has_serve = false;
+  std::uint64_t serve_queries = 0;  ///< queries answered so far (all views)
+  /// Steps between the current step and the oldest published per-rank
+  /// snapshot — the worst-case staleness a query can observe right now.
+  std::uint64_t snapshot_age_steps = 0;
   // ---- online quality estimators (rc_step/done only, needs a previous
   // step to compare against; has_estimators gates the JSON fields) ----
   bool has_estimators = false;

@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "core/engine.hpp"
 #include "graph/generators.hpp"
+#include "serve/session.hpp"
 
 namespace aacc {
 namespace {
@@ -141,6 +142,60 @@ TEST(ConfigValidate, HealthDeadlinesMustEscalateInOrder) {
   EXPECT_NE(config_error_message(cfg).find("dead_after"), std::string::npos);
 }
 
+TEST(ConfigValidate, PublishEveryBounds) {
+  EngineConfig cfg;
+  cfg.publish_every = 0;  // a live session must publish
+  EXPECT_NE(config_error_message(cfg).find("publish_every"),
+            std::string::npos);
+  cfg.publish_every = 5000;  // sign-bug cap, same as the thread caps
+  EXPECT_NE(config_error_message(cfg).find("publish_every"),
+            std::string::npos);
+  cfg.publish_every = 4;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ConfigValidate, MaxSnapshotLagMustCoverThePublishCadence) {
+  EngineConfig cfg;
+  cfg.publish_every = 4;
+  cfg.max_snapshot_lag = 2;  // would flag every response between publishes
+  EXPECT_NE(config_error_message(cfg).find("max_snapshot_lag"),
+            std::string::npos);
+  cfg.max_snapshot_lag = 4;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.max_snapshot_lag = 0;  // never flag
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ServeLifecycle, SessionRejectsHealthSupervisionAndCheckpointDrill) {
+  // An idle feed parks ranks inside a collective; health deadlines would
+  // declare them dead, so sessions refuse the combination up front.
+  EngineConfig cfg;
+  cfg.num_ranks = 2;
+  cfg.health.enabled = true;
+  EXPECT_THROW(serve::EngineSession(tiny_graph(), cfg), ConfigError);
+  cfg = EngineConfig{};
+  cfg.num_ranks = 2;
+  cfg.checkpoint_at_step = 3;  // batch-mode drill, no schedule to resume
+  EXPECT_THROW(serve::EngineSession(tiny_graph(), cfg), ConfigError);
+}
+
+TEST(ServeLifecycle, IngestRejectsMisnumberedVertexAdds) {
+  // The engine assigns added-vertex ids by append; a feed that invents its
+  // own ids must fail at ingest with the contract spelled out, not deep in
+  // the rank loop at close. Acceptance advances the expected id, rejection
+  // does not (the fixed batch can be resubmitted).
+  EngineConfig cfg;
+  cfg.num_ranks = 2;
+  serve::EngineSession session(tiny_graph(), cfg);  // 40 vertices: next is 40
+  EXPECT_THROW(session.ingest({VertexAddEvent{500, {}}}), EngineStateError);
+  EXPECT_THROW(session.ingest({VertexAddEvent{39, {}}}), EngineStateError);
+  session.ingest({VertexAddEvent{40, {{0, 1}}}, VertexAddEvent{41, {{40, 1}}}});
+  EXPECT_THROW(session.ingest({VertexAddEvent{40, {}}}), EngineStateError);
+  session.ingest({VertexAddEvent{42, {{1, 1}}}});
+  const RunResult r = session.close();
+  EXPECT_EQ(r.closeness.size(), 43u);
+}
+
 TEST(RecoveryLadder, ExhaustedLadderSurfacesTypedRecoveryError) {
   // A config the degraded fallback cannot serve (eager adds rewrite the
   // partition under the ghosts' feet), a ladder with only that rung, and a
@@ -154,7 +209,7 @@ TEST(RecoveryLadder, ExhaustedLadderSurfacesTypedRecoveryError) {
   cfg.faults.crashes.push_back({1, 1, rt::CrashPhase::kStepStart});
   EXPECT_NO_THROW(cfg.validate());  // the clash is a runtime property
   AnytimeEngine engine(tiny_graph(), cfg);
-  EXPECT_THROW(engine.run(), RecoveryError);
+  EXPECT_THROW((void)engine.run(), RecoveryError);
 }
 
 TEST(ConfigValidate, ConstructorsValidate) {
@@ -174,9 +229,9 @@ TEST(EngineLifecycle, SecondRunThrowsEngineStateError) {
   EngineConfig cfg;
   cfg.num_ranks = 2;
   AnytimeEngine engine(tiny_graph(), cfg);
-  EXPECT_NO_THROW(engine.run());
-  EXPECT_THROW(engine.run(), EngineStateError);
-  EXPECT_THROW(engine.run(), std::logic_error);  // the documented base
+  EXPECT_NO_THROW((void)engine.run());
+  EXPECT_THROW((void)engine.run(), EngineStateError);
+  EXPECT_THROW((void)engine.run(), std::logic_error);  // the documented base
 }
 
 TEST(EngineLifecycle, FreshInstanceRunsAgain) {

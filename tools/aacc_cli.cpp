@@ -5,20 +5,28 @@
 //   aacc partition <graph-file> --parts K [--kind multilevel|bfs|hash|block|rr]
 //   aacc analyze <graph-file> [--ranks N] [--top K] [--measure M] [--exact]
 //   aacc run <graph-file> [--ranks N] [--events FILE] [--progress] [--top-k K]
+//   aacc serve <graph-file> [--ranks N] [--mutations FILE] [--batch N]
 //   aacc tail <events.ndjson>
 //
 // Graph files: .txt/.edges (edge list), .graph (METIS), .net (Pajek),
 // .gr (DIMACS). `analyze` runs the distributed anytime anywhere engine;
 // `--exact` cross-checks against the sequential reference. `run` streams the
 // live anytime-progress feed (docs/OBSERVABILITY.md §Progress events) and
-// `tail` replays a recorded NDJSON feed through the same renderer.
+// `tail` replays a recorded NDJSON feed through the same renderer. `serve`
+// opens a live EngineSession: NDJSON mutations stream in from --mutations
+// while point/topk/rankof queries typed on stdin are answered from the
+// published snapshots (docs/API.md §"Serving sessions").
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "aacc/aacc.hpp"
 #include "graph/louvain.hpp"
@@ -80,7 +88,19 @@ int usage() {
                "  aacc run <graph-file> [--ranks N] [--seed S] [--top-k K]\n"
                "       [--events FILE] [--progress] [--dv-budget BYTES|auto]\n"
                "       [--recovery-policy LADDER] [--checkpoint-every N]\n"
+               "  aacc serve <graph-file> [--ranks N] [--seed S] "
+               "[--mutations FILE]\n"
+               "       [--batch N] [--publish-every K] [--max-lag K] "
+               "[--top-k K]\n"
+               "       [--events FILE] [--recovery-policy LADDER] "
+               "[--checkpoint-every N]\n"
                "  aacc tail <events.ndjson>\n"
+               "\n"
+               "serve reads NDJSON mutations ({\"op\":\"add_edge\",...};\n"
+               "{\"op\":\"commit\"} flushes a batch, else every N lines) and\n"
+               "answers queries from stdin: point V | topk K | rankof V |\n"
+               "stats | quit. Every answer carries its publishing step, age\n"
+               "in RC steps and the convergence estimators.\n"
                "\n"
                "LADDER is a comma list of recovery rungs tried in order when\n"
                "a rank dies (docs/FAULTS.md §Recovery policy ladder), each\n"
@@ -196,6 +216,11 @@ void render_event(const obs::ProgressEvent& ev) {
                   static_cast<double>(ev.dv_cold_bytes) / 1e6,
                   static_cast<unsigned long long>(ev.dv_promotions));
     }
+    if (ev.has_serve) {
+      std::printf("  serve %lluq age %llu",
+                  static_cast<unsigned long long>(ev.serve_queries),
+                  static_cast<unsigned long long>(ev.snapshot_age_steps));
+    }
     if (ev.has_estimators) {
       std::printf("  top-k overlap %.3f  tau %+.3f", ev.topk_overlap,
                   ev.kendall_tau);
@@ -252,6 +277,166 @@ int cmd_run(const Args& args) {
   std::printf("%-8s %-10s %s\n", "rank", "vertex", "harmonic");
   for (std::size_t i = 0; i < best.size() && i < 10; ++i) {
     std::printf("%-8zu %-10u %.6g\n", i + 1, best[i], r.harmonic[best[i]]);
+  }
+  return 0;
+}
+
+/// One-line staleness contract suffix shared by every serve answer.
+void print_meta(const serve::ResponseMeta& m) {
+  std::printf("  [step %zu/%zu age %zu%s%s%s", m.step, m.engine_step,
+              m.age_steps, m.stale ? " STALE" : "",
+              m.degraded ? " degraded" : "", m.adopted ? " adopted" : "");
+  if (m.has_estimators) {
+    std::printf("  overlap %.3f tau %+.3f", m.topk_overlap, m.kendall_tau);
+  }
+  std::printf("]\n");
+}
+
+int cmd_serve(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const Graph g = load_graph(args.positional[1]);
+
+  EngineConfig cfg;
+  cfg.num_ranks = static_cast<Rank>(args.get_int("ranks", 8));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.publish_every =
+      static_cast<std::size_t>(args.get_int("publish-every", 1));
+  cfg.max_snapshot_lag = static_cast<std::size_t>(args.get_int("max-lag", 0));
+  cfg.progress.top_k = static_cast<std::size_t>(args.get_int("top-k", 32));
+  if (args.has("dv-budget")) {
+    cfg.dv_budget_bytes =
+        parse_dv_budget(args.get("dv-budget", "0"), cfg.num_ranks);
+  }
+  apply_recovery_flags(args, cfg);
+  if (args.has("events")) cfg.progress.path = args.get("events", "");
+
+  serve::EngineSession session(g, cfg);
+  const serve::QueryView view = session.view();
+  std::printf("serving %u vertices on %d ranks — point V | topk K | "
+              "rankof V | stats | quit\n",
+              g.num_vertices(), cfg.num_ranks);
+
+  // The feeder streams NDJSON mutations into the session while the REPL
+  // below answers queries: the two never synchronize, which is the point.
+  std::atomic<bool> feeding{args.has("mutations")};
+  std::atomic<std::size_t> fed{0};
+  std::atomic<std::size_t> rejected{0};
+  std::thread feeder;
+  if (args.has("mutations")) {
+    const std::string path = args.get("mutations", "");
+    const auto cap = static_cast<std::size_t>(args.get_int("batch", 64));
+    feeder = std::thread([&session, &feeding, &fed, &rejected, path, cap] {
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+        feeding.store(false);
+        return;
+      }
+      std::vector<Event> batch;
+      const auto flush = [&] {
+        if (batch.empty()) return;
+        const std::size_t size = batch.size();
+        try {
+          session.ingest(std::move(batch));
+          fed.fetch_add(size);
+        } catch (const std::exception& e) {
+          // A contract violation (e.g. a misnumbered vertex add) or the
+          // session ended under us (quit before the file drained).
+          rejected.fetch_add(size);
+          std::fprintf(stderr, "feed: batch rejected: %s\n", e.what());
+        }
+        batch = {};
+      };
+      std::string line;
+      serve::StreamCommand cmd;
+      while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        if (!serve::parse_mutation_line(line, cmd)) {
+          rejected.fetch_add(1);
+          continue;
+        }
+        if (cmd.commit) {
+          flush();
+          continue;
+        }
+        batch.push_back(cmd.event);
+        if (batch.size() >= cap) flush();
+      }
+      flush();
+      feeding.store(false);
+    });
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream is(line);
+    std::string op;
+    is >> op;
+    if (op.empty()) continue;
+    if (op == "quit" || op == "exit") break;
+    if (op == "point" || op == "rankof") {
+      VertexId v = 0;
+      if (!(is >> v)) {
+        std::printf("usage: %s <vertex-id>\n", op.c_str());
+        continue;
+      }
+      if (op == "point") {
+        const auto r = view.point(v);
+        if (r.found) {
+          std::printf("v %-10u closeness %.6g  harmonic %.6g", v, r.closeness,
+                      r.harmonic);
+        } else {
+          std::printf("v %-10u not in any snapshot", v);
+        }
+        print_meta(r.meta);
+      } else {
+        const auto r = view.rank_of(v);
+        if (r.found) {
+          std::printf("v %-10u rank %zu  closeness %.6g", v, r.rank,
+                      r.closeness);
+        } else {
+          std::printf("v %-10u not in any snapshot", v);
+        }
+        print_meta(r.meta);
+      }
+    } else if (op == "topk") {
+      std::size_t k = 10;
+      is >> k;
+      const auto r = view.top_k(k);
+      for (std::size_t i = 0; i < r.entries.size(); ++i) {
+        std::printf("%-4zu v %-10u %.6g\n", i + 1, r.entries[i].v,
+                    r.entries[i].closeness);
+      }
+      std::printf("%zu of %zu requested", r.entries.size(), k);
+      print_meta(r.meta);
+    } else if (op == "stats") {
+      std::printf("queries %llu  ingested %zu event(s), %zu rejected  "
+                  "feed %s\n",
+                  static_cast<unsigned long long>(session.queries_answered()),
+                  fed.load(), rejected.load(),
+                  feeding.load() ? "streaming" : "drained");
+    } else {
+      std::printf("commands: point V | topk K | rankof V | stats | quit\n");
+    }
+    std::fflush(stdout);
+  }
+
+  if (feeder.joinable()) feeder.join();
+  const RunResult r = session.close();
+  std::printf("%s\n", r.stats.summary().c_str());
+  std::printf("serve: %llu queries  %llu publishes  %llu stale  "
+              "%zu event(s) ingested\n",
+              static_cast<unsigned long long>(
+                  r.metrics.counter_value("serve/queries")),
+              static_cast<unsigned long long>(
+                  r.metrics.counter_value("serve/publishes")),
+              static_cast<unsigned long long>(
+                  r.metrics.counter_value("serve/stale_responses")),
+              fed.load());
+  const auto best = top_k(r.closeness, std::min<std::size_t>(10, cfg.progress.top_k));
+  std::printf("%-8s %-10s %s\n", "rank", "vertex", "closeness");
+  for (std::size_t i = 0; i < best.size(); ++i) {
+    std::printf("%-8zu %-10u %.6g\n", i + 1, best[i], r.closeness[best[i]]);
   }
   return 0;
 }
@@ -447,6 +632,7 @@ int main(int argc, char** argv) {
     if (cmd == "partition") return cmd_partition(args);
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "run") return cmd_run(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "tail") return cmd_tail(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
