@@ -114,6 +114,10 @@ int main() {
     cfg.rc_threads = 2;
     cfg.transport.recv_timeout = bench::watchdog_timeout();
     cfg.trace.enabled = trace_on;
+    // Trace-on runs carry the full observability cost, flow stamping
+    // included, so the enabled/disabled gates cover the stamped wire
+    // format too (docs/OBSERVABILITY.md §Causal flows).
+    cfg.trace.flow_stamping = trace_on;
     AnytimeEngine engine(g, cfg);
     return engine.run().stats.rc_drain_cpu_seconds;
   };

@@ -30,6 +30,7 @@ struct ServeCase {
   std::uint64_t queries = 0;     // answered inside that window
   double qps = 0;
   double seconds_per_query = 0;
+  double p99_query_seconds = 0;  // point-query p99 from the serve SLO histogram
   std::uint64_t publishes = 0;
   std::size_t rc_steps = 0;
   double topk_us = 0;            // post-close merged top-64 latency
@@ -116,6 +117,10 @@ ServeCase run_case(const bench::Scale& s, Rank ranks, int batches,
   c.queries = answered.load();
   c.qps = static_cast<double>(c.queries) / elapsed;
   c.seconds_per_query = elapsed / static_cast<double>(std::max<std::uint64_t>(c.queries, 1));
+  // Tail latency from the lock-free serve SLO histogram (every point query
+  // of the run, not just the measured window; docs/OBSERVABILITY.md §Serve
+  // latency SLOs). bench_diff-gated alongside seconds_per_query.
+  c.p99_query_seconds = obs::histogram_quantile(session.slo().point, 0.99) / 1e9;
   c.publishes = r.metrics.counter_value("serve/publishes");
   c.rc_steps = r.stats.rc_steps;
 
@@ -145,18 +150,18 @@ int main() {
   std::printf("== micro_serve (n=%u, %d batches x %zu adds, 2 query threads) "
               "==\n",
               s.n, batches, per_batch);
-  std::printf("%6s %10s %14s %14s %11s %9s %10s %11s\n", "ranks", "wall_s",
-              "queries", "queries/s", "us/query", "publishes", "topk_us",
-              "rankof_us");
+  std::printf("%6s %10s %14s %14s %11s %9s %9s %10s %11s\n", "ranks", "wall_s",
+              "queries", "queries/s", "us/query", "p99_us", "publishes",
+              "topk_us", "rankof_us");
 
   std::vector<ServeCase> cases;
   cases.push_back(run_case(s, 1, batches, per_batch));
   cases.push_back(run_case(s, p, batches, per_batch));
   for (const ServeCase& c : cases) {
-    std::printf("%6d %10.3f %14llu %14.0f %11.4f %9llu %10.2f %11.2f\n",
+    std::printf("%6d %10.3f %14llu %14.0f %11.4f %9.2f %9llu %10.2f %11.2f\n",
                 c.ranks, c.wall_seconds,
                 static_cast<unsigned long long>(c.queries), c.qps,
-                1e6 * c.seconds_per_query,
+                1e6 * c.seconds_per_query, 1e6 * c.p99_query_seconds,
                 static_cast<unsigned long long>(c.publishes), c.topk_us,
                 c.rankof_us);
   }
@@ -185,6 +190,7 @@ int main() {
          << ",\"wall_seconds\":" << c.wall_seconds
          << ",\"queries\":" << c.queries << ",\"queries_per_sec\":" << c.qps
          << ",\"seconds_per_query\":" << c.seconds_per_query
+         << ",\"p99_query_seconds\":" << c.p99_query_seconds
          << ",\"publishes\":" << c.publishes << ",\"rc_steps\":" << c.rc_steps
          << ",\"topk_us\":" << c.topk_us << ",\"rankof_us\":" << c.rankof_us
          << '}';

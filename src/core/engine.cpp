@@ -39,6 +39,11 @@ void RunStats::accumulate(const RunStats& other) {
   rc_exchange_wait_seconds += other.rc_exchange_wait_seconds;
   rc_max_inflight_depth =
       std::max(rc_max_inflight_depth, other.rc_max_inflight_depth);
+  rc_blocked_on_seconds += other.rc_blocked_on_seconds;
+  for (const auto& [rank, secs] : other.rc_blocked_on_by_rank) {
+    rc_blocked_on_by_rank[rank] += secs;
+  }
+  histogram_summary = other.histogram_summary;  // registry is cumulative
   recoveries += other.recoveries;
   recovery_log.insert(recovery_log.end(), other.recovery_log.begin(),
                       other.recovery_log.end());
@@ -215,6 +220,10 @@ RunResult run_driver(const DriverArgs& args) {
   if (injector) world.install_faults(&*injector);
   if (cfg_.health.enabled) world.install_health(cfg_.health);
   if (tracer) world.install_tracer(tracer.get());
+  // Flow stamping rides the tracer: without one there is nowhere to record
+  // the flow:send/flow:recv instants, so the wire stays unstamped (and
+  // bit-identical to the v2.1 format).
+  world.install_flow_stamping(tracer != nullptr && cfg_.trace.flow_stamping);
 
   std::vector<std::unique_ptr<RankEngine>> engines(
       static_cast<std::size_t>(cfg_.num_ranks));
@@ -776,6 +785,12 @@ RunResult run_driver(const DriverArgs& args) {
       // exchange_inflight is a per-step high-water mark, not cumulative.
       agg.max_inflight_depth =
           std::max(agg.max_inflight_depth, log[s].exchange_inflight);
+      // blocked_on is per-step too: keep the worst single blocked
+      // interval across ranks and who it waited for.
+      if (log[s].blocked_on_seconds > agg.max_blocked_seconds) {
+        agg.max_blocked_seconds = log[s].blocked_on_seconds;
+        agg.blocked_on_rank = log[s].blocked_on_rank;
+      }
       prev = log[s];
     }
   }
@@ -785,6 +800,11 @@ RunResult run_driver(const DriverArgs& args) {
     out.stats.rc_exchange_wait_seconds += s.sum_exchange_wait_seconds;
     out.stats.rc_max_inflight_depth =
         std::max(out.stats.rc_max_inflight_depth, s.max_inflight_depth);
+    if (s.blocked_on_rank >= 0) {
+      out.stats.rc_blocked_on_seconds += s.max_blocked_seconds;
+      out.stats.rc_blocked_on_by_rank[s.blocked_on_rank] +=
+          s.max_blocked_seconds;
+    }
   }
 
   // Anytime quality snapshots.
@@ -837,6 +857,13 @@ RunResult run_driver(const DriverArgs& args) {
         .add(serve->queries.load(std::memory_order_relaxed));
     merged.counter("serve/stale_responses")
         .add(serve->stale_responses.load(std::memory_order_relaxed));
+    // Query latency SLOs: the lock-free per-kind histograms recorded by
+    // QueryView readers, snapshotted into the merged registry so p50/p95/
+    // p99 ride the normal stats/JSON plumbing.
+    merged.histogram("serve/query_ns/point").merge(serve->query_ns_point.snapshot());
+    merged.histogram("serve/query_ns/top_k").merge(serve->query_ns_top_k.snapshot());
+    merged.histogram("serve/query_ns/rank_of")
+        .merge(serve->query_ns_rank_of.snapshot());
   }
   merged.gauge("cpu/max_rank").set(world.max_rank_cpu_seconds());
   merged.gauge("net/modeled_serialized")
@@ -877,6 +904,18 @@ RunResult run_driver(const DriverArgs& args) {
   for (const StepStats& s : out.stats.steps) makespan += s.max_cpu_seconds;
   out.stats.modeled_makespan_seconds =
       makespan + out.stats.modeled_network_seconds_serialized;
+  // Percentile summaries for every histogram in the merged registry
+  // (satellite of docs/OBSERVABILITY.md §Metrics): RunStats::to_json
+  // emits them under "histograms".
+  for (const auto& [name, h] : merged.histograms()) {
+    RunStats::HistogramSummary hs;
+    hs.count = h.count;
+    hs.sum = h.sum;
+    hs.p50 = obs::histogram_quantile(h, 0.50);
+    hs.p95 = obs::histogram_quantile(h, 0.95);
+    hs.p99 = obs::histogram_quantile(h, 0.99);
+    out.stats.histogram_summary.emplace(name, hs);
+  }
   out.metrics = std::move(merged);
 
   out.stats.wall_seconds = wall.seconds();

@@ -82,6 +82,11 @@ struct StepStats {
   /// §"Pipelined exchange").
   double sum_exchange_wait_seconds = 0.0;
   std::uint64_t max_inflight_depth = 0;
+  /// Live critical-path proxy this step: the longest single blocked recv
+  /// interval any rank saw, and the peer whose arrival ended it (-1 when
+  /// no exchange blocked — e.g. single rank or fully overlapped).
+  double max_blocked_seconds = 0.0;
+  std::int64_t blocked_on_rank = -1;
 };
 
 struct RunStats {
@@ -114,6 +119,13 @@ struct RunStats {
   /// over ranks and steps, and the deepest in-flight send window observed.
   double rc_exchange_wait_seconds = 0.0;
   std::uint64_t rc_max_inflight_depth = 0;
+  /// Critical-path attribution totals (docs/OBSERVABILITY.md §Causal
+  /// flows): Σ over steps of the worst single blocked interval, and the
+  /// same broken down by the rank waited on. Derived from the per-step
+  /// blocked-on proxy; the exact trace-stitched attribution lives in
+  /// `aacc analyze --critical-path`.
+  double rc_blocked_on_seconds = 0.0;
+  std::map<std::int64_t, double> rc_blocked_on_by_rank;
   /// Supervised relaunches after injected/transport failures (adoptions,
   /// checkpoint rollbacks and degraded restarts; see docs/FAULTS.md).
   std::size_t recoveries = 0;
@@ -137,6 +149,17 @@ struct RunStats {
   std::uint64_t dv_promotions = 0;
   std::uint64_t dv_demotions = 0;
   double dv_decode_seconds = 0.0;
+  /// Percentile summaries of every histogram in the merged metrics
+  /// registry (p50/p95/p99 via obs::histogram_quantile), emitted in
+  /// to_json under "histograms". Filled by the driver after the fold.
+  struct HistogramSummary {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  std::map<std::string, HistogramSummary> histogram_summary;
   std::vector<StepStats> steps;
 
   /// Accumulates another run's costs (baseline restart sums whole reruns).

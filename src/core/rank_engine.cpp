@@ -1179,6 +1179,10 @@ void RankEngine::note_exchange_overlap(const rt::PendingAllToAll& pending) {
   exchange_wait_seconds_ += pending.wait_seconds();
   exchange_inflight_step_ =
       std::max(exchange_inflight_step_, pending.max_inflight());
+  if (pending.blocked_on_seconds() > blocked_on_seconds_step_) {
+    blocked_on_seconds_step_ = pending.blocked_on_seconds();
+    blocked_on_rank_step_ = pending.blocked_on_peer();
+  }
   if (trace_ != nullptr) {
     // The measured wait is wall-clock: on a logical-clock track its value
     // would differ run to run and break golden-trace reproducibility, so
@@ -1972,6 +1976,8 @@ void RankEngine::record_step(std::size_t step) {
   rec.drain_modeled_seconds = drain_modeled_seconds_;
   rec.exchange_wait_seconds = exchange_wait_seconds_;
   rec.exchange_inflight = exchange_inflight_step_;  // per-step max, not delta
+  rec.blocked_on_seconds = blocked_on_seconds_step_;  // ditto
+  rec.blocked_on_rank = blocked_on_rank_step_;
   step_log_.push_back(rec);
   if (metrics_ != nullptr) {
     // Fold cumulative algorithm counters into the registry once per step
@@ -2000,6 +2006,8 @@ void RankEngine::record_step(std::size_t step) {
     folded_ = rec;
   }
   exchange_inflight_step_ = 0;  // per-step high-water, reset at each record
+  blocked_on_seconds_step_ = 0.0;
+  blocked_on_rank_step_ = -1;
 }
 
 std::vector<std::pair<VertexId, double>> RankEngine::local_top_harmonic(
@@ -2055,6 +2063,8 @@ void RankEngine::progress_step(const char* phase, std::size_t step) {
   w.write<std::uint64_t>(comm_.ledger().retransmits);
   w.write<double>(cur.exchange_wait_seconds - prev.exchange_wait_seconds);
   w.write<std::uint64_t>(cur.exchange_inflight);
+  w.write<double>(cur.blocked_on_seconds);
+  w.write<std::int64_t>(cur.blocked_on_rank);
   w.write<std::uint64_t>(dv_->resident_bytes());
   w.write<std::uint64_t>(dv_->cold_bytes());
   w.write<std::uint64_t>(dv_->promotions());
@@ -2094,6 +2104,16 @@ void RankEngine::progress_step(const char* phase, std::size_t step) {
     ev.retransmits += r.read<std::uint64_t>();
     ev.exchange_wait_seconds += r.read<double>();
     ev.inflight_depth = std::max(ev.inflight_depth, r.read<std::uint64_t>());
+    {
+      // Global blocked-on attribution: the rank that blocked longest is
+      // the step's live straggler candidate; keep its peer.
+      const auto blocked_s = r.read<double>();
+      const auto blocked_r = r.read<std::int64_t>();
+      if (blocked_s > ev.blocked_on_seconds) {
+        ev.blocked_on_seconds = blocked_s;
+        ev.blocked_on_rank = blocked_r;
+      }
+    }
     ev.dv_resident_bytes += r.read<std::uint64_t>();
     ev.dv_cold_bytes += r.read<std::uint64_t>();
     ev.dv_promotions += r.read<std::uint64_t>();
@@ -2207,6 +2227,9 @@ std::size_t RankEngine::run_rc() {
 
   for (;;) {
     cur_step_ = step;
+    // Flow ids minted from here on carry this step (obs/causal.hpp); the
+    // causal stitcher uses it to bound edges to their RC epoch.
+    comm_.set_flow_step(static_cast<std::uint32_t>(step));
     // Opened before the crash hook so a mid-step InjectedCrash unwinds
     // through the span and the trace still shows the truncated step.
     const obs::ScopedSpan step_span(trace_, "rc_step", "step", step);

@@ -61,6 +61,12 @@ struct StepLocal {
   /// collectives. Per-step maximum, NOT cumulative: the driver folds it
   /// with max, not delta.
   std::uint64_t exchange_inflight = 0;
+  /// Live critical-path proxy: the longest single blocked recv interval
+  /// across this step's exchanges, and the peer whose arrival ended it
+  /// (-1 = never blocked). Per-step values, NOT cumulative — the driver
+  /// keeps the max across ranks.
+  double blocked_on_seconds = 0.0;
+  std::int64_t blocked_on_rank = -1;
 };
 
 class RankEngine {
@@ -484,6 +490,8 @@ class RankEngine {
   double drain_modeled_seconds_ = 0.0;  // cumulative, see StepLocal
   double exchange_wait_seconds_ = 0.0;  // cumulative, see StepLocal
   std::uint64_t exchange_inflight_step_ = 0;  // per-step max; record_step resets
+  double blocked_on_seconds_step_ = 0.0;      // per-step max; record_step resets
+  std::int64_t blocked_on_rank_step_ = -1;    // peer behind the max above
   std::vector<StepLocal> step_log_;
   std::vector<std::vector<std::pair<VertexId, double>>> step_quality_;
 };

@@ -70,7 +70,32 @@ void RunStats::to_json(std::ostream& os, bool include_steps) const {
   os << ",\"rc_exchange_wait_seconds\":";
   jdouble(os, rc_exchange_wait_seconds);
   os << ",\"rc_max_inflight_depth\":" << rc_max_inflight_depth
-     << ",\"recoveries\":" << recoveries << ",\"recovery_log\":[";
+     << ",\"rc_blocked_on_seconds\":";
+  jdouble(os, rc_blocked_on_seconds);
+  os << ",\"rc_blocked_on\":[";
+  first = true;
+  for (const auto& [rank, secs] : rc_blocked_on_by_rank) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"rank\":" << rank << ",\"seconds\":";
+    jdouble(os, secs);
+    os << "}";
+  }
+  os << "],\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histogram_summary) {
+    if (!first) os << ",";
+    first = false;
+    jstring(os, name);
+    os << ":{\"count\":" << h.count << ",\"sum\":" << h.sum << ",\"p50\":";
+    jdouble(os, h.p50);
+    os << ",\"p95\":";
+    jdouble(os, h.p95);
+    os << ",\"p99\":";
+    jdouble(os, h.p99);
+    os << "}";
+  }
+  os << "},\"recoveries\":" << recoveries << ",\"recovery_log\":[";
   for (std::size_t i = 0; i < recovery_log.size(); ++i) {
     const RecoveryRecord& r = recovery_log[i];
     if (i != 0) os << ",";
@@ -107,7 +132,11 @@ void RunStats::to_json(std::ostream& os, bool include_steps) const {
       jdouble(os, s.max_drain_modeled_seconds);
       os << ",\"sum_exchange_wait_seconds\":";
       jdouble(os, s.sum_exchange_wait_seconds);
-      os << ",\"max_inflight_depth\":" << s.max_inflight_depth << "}";
+      os << ",\"max_inflight_depth\":" << s.max_inflight_depth
+         << ",\"blocked_on_rank\":" << s.blocked_on_rank
+         << ",\"blocked_seconds\":";
+      jdouble(os, s.max_blocked_seconds);
+      os << "}";
     }
     os << "]";
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <ostream>
 
@@ -32,6 +33,29 @@ void Histogram::merge(const Histogram& o) {
   count += o.count;
   sum += o.sum;
   for (int b = 0; b < kBuckets; ++b) buckets[b] += o.buckets[b];
+}
+
+double histogram_quantile(const Histogram& h, double q) {
+  if (h.count == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double target = q * static_cast<double>(h.count);
+  std::uint64_t cum = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    if (h.buckets[b] == 0) continue;
+    const double in_bucket = static_cast<double>(h.buckets[b]);
+    if (static_cast<double>(cum) + in_bucket >= target) {
+      // Bucket 0 holds {0, 1}; bucket b holds [2^(b-1), 2^b).
+      const double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+      const double hi = std::ldexp(1.0, b == 0 ? 1 : b);
+      const double frac =
+          std::max(0.0, (target - static_cast<double>(cum)) / in_bucket);
+      const double v = lo + frac * (hi - lo);
+      return std::min(std::max(v, static_cast<double>(h.min)),
+                      static_cast<double>(h.max));
+    }
+    cum += h.buckets[b];
+  }
+  return static_cast<double>(h.max);
 }
 
 std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
@@ -107,7 +131,13 @@ void MetricsRegistry::to_json(std::ostream& os) const {
     first = false;
     write_json_string(os, name);
     os << ":{\"count\":" << h.count << ",\"sum\":" << h.sum
-       << ",\"min\":" << h.min << ",\"max\":" << h.max << ",\"buckets\":[";
+       << ",\"min\":" << h.min << ",\"max\":" << h.max << ",\"p50\":";
+    write_double(os, histogram_quantile(h, 0.50));
+    os << ",\"p95\":";
+    write_double(os, histogram_quantile(h, 0.95));
+    os << ",\"p99\":";
+    write_double(os, histogram_quantile(h, 0.99));
+    os << ",\"buckets\":[";
     int last = Histogram::kBuckets - 1;
     while (last > 0 && h.buckets[last] == 0) --last;
     for (int b = 0; b <= last; ++b) {

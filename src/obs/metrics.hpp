@@ -46,6 +46,13 @@ struct Histogram {
   void merge(const Histogram& o);
 };
 
+/// Quantile estimate from the power-of-two buckets: finds the bucket that
+/// contains the q-th sample and interpolates linearly inside it, clamped
+/// to the exact [min, max] the histogram tracked. q in [0, 1]; returns 0
+/// for an empty histogram. Exact for single-bucket distributions, within
+/// one bucket width (a factor of two) otherwise.
+[[nodiscard]] double histogram_quantile(const Histogram& h, double q);
+
 /// Name-keyed registry. Lookup is by string and returns a stable
 /// reference; hot paths resolve names once and keep the pointer.
 class MetricsRegistry {

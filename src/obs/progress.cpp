@@ -34,7 +34,10 @@ std::string to_ndjson(const ProgressEvent& ev) {
      << ",\"exchange_wait_seconds\":";
   jdouble(os, ev.exchange_wait_seconds);
   os << ",\"inflight_depth\":" << ev.inflight_depth
-     << ",\"recoveries\":" << ev.recoveries
+     << ",\"blocked_on_rank\":" << ev.blocked_on_rank
+     << ",\"blocked_on_seconds\":";
+  jdouble(os, ev.blocked_on_seconds);
+  os << ",\"recoveries\":" << ev.recoveries
      << ",\"dv_resident_bytes\":" << ev.dv_resident_bytes
      << ",\"dv_cold_bytes\":" << ev.dv_cold_bytes
      << ",\"dv_promotions\":" << ev.dv_promotions
@@ -227,6 +230,12 @@ bool parse_progress_event(const std::string& line, ProgressEvent& out) {
         if (!parse_json_number(c, out.exchange_wait_seconds)) return false;
       } else if (key == "inflight_depth") {
         if (!u64(out.inflight_depth)) return false;
+      } else if (key == "blocked_on_rank") {
+        double v = 0;  // signed (-1 = no exchange blocked)
+        if (!parse_json_number(c, v)) return false;
+        out.blocked_on_rank = static_cast<std::int64_t>(v);
+      } else if (key == "blocked_on_seconds") {
+        if (!parse_json_number(c, out.blocked_on_seconds)) return false;
       } else if (key == "dv_resident_bytes") {
         if (!u64(out.dv_resident_bytes)) return false;
       } else if (key == "dv_cold_bytes") {

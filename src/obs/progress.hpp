@@ -62,6 +62,12 @@ struct ProgressEvent {
   // skip them via the unknown-field rule) ----
   double exchange_wait_seconds = 0;  ///< Σ over ranks of blocked recv time
   std::uint64_t inflight_depth = 0;  ///< max sends in flight (worst rank)
+  // ---- live critical-path proxy (additive v1 fields): the longest
+  // single blocked recv interval any rank saw this step, and the peer
+  // whose arrival ended it ("blocked on rank r for t seconds"; -1 when no
+  // exchange blocked this step) ----
+  double blocked_on_seconds = 0;
+  std::int64_t blocked_on_rank = -1;
   std::size_t recoveries = 0;        ///< supervised relaunches so far
   // ---- DV residency (additive v1 fields; zero under the resident store
   // except dv_resident_bytes) ----

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/causal.hpp"
 #include "runtime/serialize.hpp"
 
 namespace aacc::rt {
@@ -26,6 +27,22 @@ std::uint32_t frame_checksum(Rank src, std::int32_t tag, std::uint32_t seqno,
   return crc32_final(crc);
 }
 
+std::uint32_t stamped_frame_checksum(Rank src, std::int32_t tag,
+                                     std::uint32_t seqno, std::uint64_t flow,
+                                     std::span<const std::byte> payload) {
+  // Wire v2.2: the flow id joins the covered header fields, so a flipped
+  // flow byte is rejected like any other header corruption.
+  std::uint32_t crc = crc32_init();
+  const std::uint32_t fields[5] = {
+      static_cast<std::uint32_t>(src), static_cast<std::uint32_t>(tag), seqno,
+      static_cast<std::uint32_t>(flow & 0xffffffffu),
+      static_cast<std::uint32_t>(flow >> 32)};
+  crc = crc32_update(
+      crc, std::as_bytes(std::span<const std::uint32_t>(fields, 5)));
+  crc = crc32_update(crc, payload);
+  return crc32_final(crc);
+}
+
 }  // namespace
 
 std::vector<std::byte> encode_frame(Rank src, std::int32_t tag,
@@ -34,6 +51,17 @@ std::vector<std::byte> encode_frame(Rank src, std::int32_t tag,
   ByteWriter w;
   w.write(seqno);
   w.write(frame_checksum(src, tag, seqno, payload));
+  w.write_bytes(payload);
+  return w.take();
+}
+
+std::vector<std::byte> encode_frame(Rank src, std::int32_t tag,
+                                    std::uint32_t seqno, std::uint64_t flow,
+                                    std::span<const std::byte> payload) {
+  ByteWriter w;
+  w.write(seqno);
+  w.write(stamped_frame_checksum(src, tag, seqno, flow, payload));
+  w.write(flow);
   w.write_bytes(payload);
   return w.take();
 }
@@ -49,15 +77,26 @@ void Mailbox::put(Message m) {
 }
 
 Mailbox::AdmitStatus Mailbox::admit_frame(Rank src, std::int32_t tag,
-                                          std::vector<std::byte> frame) {
-  if (frame.size() < kFrameHeaderBytes) return AdmitStatus::kCorrupt;
+                                          std::vector<std::byte> frame,
+                                          bool stamped) {
+  const std::size_t header =
+      stamped ? kStampedFrameHeaderBytes : kFrameHeaderBytes;
+  if (frame.size() < header) return AdmitStatus::kCorrupt;
   std::uint32_t seqno = 0;
   std::uint32_t crc = 0;
+  std::uint64_t flow = 0;
   std::memcpy(&seqno, frame.data(), sizeof(seqno));
   std::memcpy(&crc, frame.data() + sizeof(seqno), sizeof(crc));
-  const std::span<const std::byte> payload(frame.data() + kFrameHeaderBytes,
-                                           frame.size() - kFrameHeaderBytes);
-  if (crc != frame_checksum(src, tag, seqno, payload)) {
+  if (stamped) {
+    std::memcpy(&flow, frame.data() + sizeof(seqno) + sizeof(crc),
+                sizeof(flow));
+  }
+  const std::span<const std::byte> payload(frame.data() + header,
+                                           frame.size() - header);
+  const std::uint32_t want =
+      stamped ? stamped_frame_checksum(src, tag, seqno, flow, payload)
+              : frame_checksum(src, tag, seqno, payload);
+  if (crc != want) {
     return AdmitStatus::kCorrupt;
   }
 
@@ -68,7 +107,8 @@ Mailbox::AdmitStatus Mailbox::admit_frame(Rank src, std::int32_t tag,
     if (seqno < st.next || st.held.count(seqno) != 0) {
       return AdmitStatus::kDuplicate;
     }
-    Message m{src, tag, std::vector<std::byte>(payload.begin(), payload.end())};
+    Message m{src, tag, std::vector<std::byte>(payload.begin(), payload.end()),
+              flow};
     if (seqno == st.next) {
       queue_.push_back(std::move(m));
       ++st.next;
@@ -172,6 +212,12 @@ bool Mailbox::has(Rank src, std::int32_t tag) {
   return false;
 }
 
+std::uint32_t Mailbox::next_expected_seq(Rank src) {
+  const std::lock_guard lock(mu_);
+  const auto it = streams_.find(src);
+  return it == streams_.end() ? 0 : it->second.next;
+}
+
 // ------------------------------------------------------------------- Comm
 
 namespace {
@@ -185,11 +231,19 @@ constexpr std::int32_t collective_tag(std::uint32_t op_seq) {
 
 }  // namespace
 
-Comm::Comm(World* world, Rank rank) : world_(world), rank_(rank) {
+Comm::Comm(World* world, Rank rank)
+    : world_(world), rank_(rank), flow_attempt_(world->run_attempt()) {
   last_cpu_mark_ = thread_cpu_seconds();
   if (world_->transport().reliable) {
     next_seq_.assign(static_cast<std::size_t>(world_->size()), 0);
   }
+}
+
+std::uint64_t Comm::next_flow_id() {
+  const std::uint64_t id =
+      obs::pack_flow_id(rank_, flow_attempt_, flow_step_, ++flow_seq_);
+  if (trace_ != nullptr) trace_->instant("flow:send", "flow", id);
+  return id;
 }
 
 Rank Comm::size() const { return world_->size(); }
@@ -245,8 +299,10 @@ void Comm::put_message(Rank dst, std::int32_t tag,
     put_reliable(dst, tag, std::move(payload), kind, op_id);
     return;
   }
+  const std::uint64_t flow =
+      world_->flow_stamping() ? next_flow_id() : 0;
   charge_send(dst, tag, payload.size(), kind, op_id, false);
-  world_->mailbox(dst).put(Message{rank_, tag, std::move(payload)});
+  world_->mailbox(dst).put(Message{rank_, tag, std::move(payload), flow});
 }
 
 void Comm::put_reliable(Rank dst, std::int32_t tag,
@@ -258,15 +314,22 @@ void Comm::put_reliable(Rank dst, std::int32_t tag,
     next_seq_.assign(static_cast<std::size_t>(size()), 0);
   }
   const std::uint32_t seq = next_seq_[static_cast<std::size_t>(dst)]++;
+  // One flow id per logical message: retries and injected duplicates are
+  // the same causal message, so the stamp survives retry/dedup unchanged.
+  const bool stamped = world_->flow_stamping();
+  const std::uint64_t flow = stamped ? next_flow_id() : 0;
+  const std::size_t header_bytes =
+      stamped ? kStampedFrameHeaderBytes : kFrameHeaderBytes;
   FaultInjector* inj = world_->injector();
   Mailbox& box = world_->mailbox(dst);
   const TransportConfig& tc = world_->transport();
 
   for (std::uint32_t attempt = 0; attempt < tc.max_retries; ++attempt) {
-    auto frame = encode_frame(rank_, tag, seq, payload);
+    auto frame = stamped ? encode_frame(rank_, tag, seq, flow, payload)
+                         : encode_frame(rank_, tag, seq, payload);
     const FrameFate fate =
         inj != nullptr ? inj->fate(rank_, dst, seq, attempt) : FrameFate::kDeliver;
-    ledger_.frame_overhead_bytes += kFrameHeaderBytes;
+    ledger_.frame_overhead_bytes += header_bytes;
     charge_send(dst, tag, frame.size(), kind, op_id, attempt > 0);
 
     if (fate == FrameFate::kDrop) {
@@ -285,13 +348,14 @@ void Comm::put_reliable(Rank dst, std::int32_t tag,
       const bool duplicate = fate == FrameFate::kDuplicate;
       std::vector<std::byte> copy;
       if (duplicate) copy = frame;
-      const auto verdict = box.admit_frame(rank_, tag, std::move(frame));
+      const auto verdict = box.admit_frame(rank_, tag, std::move(frame),
+                                           stamped);
       if (duplicate) {
         // The duplicate is wire traffic too; the receiver's seqno dedup
         // discards it.
         charge_send(dst, tag, copy.size(), kind, op_id, true);
-        ledger_.frame_overhead_bytes += kFrameHeaderBytes;
-        (void)box.admit_frame(rank_, tag, std::move(copy));
+        ledger_.frame_overhead_bytes += header_bytes;
+        (void)box.admit_frame(rank_, tag, std::move(copy), stamped);
       }
       if (verdict != Mailbox::AdmitStatus::kCorrupt) {
         flush_delayed(dst);
@@ -324,7 +388,10 @@ void Comm::flush_delayed(Rank dst) {
   delayed_.erase(it);
   for (auto& f : frames) {
     // Held frames are intact: admission can only accept or dedup them.
-    (void)world_->mailbox(dst).admit_frame(rank_, f.tag, std::move(f.frame));
+    // Stamping is constant across a run and held frames never outlive
+    // one, so the current format matches how they were encoded.
+    (void)world_->mailbox(dst).admit_frame(rank_, f.tag, std::move(f.frame),
+                                           world_->flow_stamping());
   }
 }
 
@@ -345,6 +412,13 @@ bool Comm::escalate_peer(Rank peer, double elapsed_seconds,
   }
   PeerHealth& ph = peer_health_[static_cast<std::size_t>(peer)];
   ph.waited_seconds += delta_seconds;
+  if (world_->transport().reliable) {
+    // Keep the silence record pointed at the exact awaited message while
+    // the wait drags on, so even a straggler escalation names it.
+    ph.has_awaited = true;
+    ph.awaited_step = flow_step_;
+    ph.awaited_seq = world_->mailbox(rank_).next_expected_seq(peer);
+  }
   const HealthConfig& hc = world_->health();
   const auto threshold = [](std::chrono::milliseconds ms) {
     return static_cast<double>(ms.count()) * 1e-3;
@@ -443,6 +517,12 @@ Message Comm::recv(Rank src, std::int32_t tag) {
         if (hc.enabled) note_peer_ok(res.msg.src);
         ledger_.bytes_received += res.msg.payload.size();
         ++ledger_.messages_received;
+        // The receiver thread owns this track, so the flow:recv instant
+        // that binds to the sender's flow:send lands here — the single
+        // delivery point every collective funnels through.
+        if (trace_ != nullptr && res.msg.flow != 0) {
+          trace_->instant("flow:recv", "flow", res.msg.flow);
+        }
         return std::move(res.msg);
       }
       case Mailbox::TakeStatus::kInterrupted: {
@@ -477,8 +557,17 @@ Message Comm::recv(Rank src, std::int32_t tag) {
             }
           }
           if (victim != kAnySource) {
-            peer_health_[static_cast<std::size_t>(victim)].state =
-                PeerState::kDead;
+            PeerHealth& vh = peer_health_[static_cast<std::size_t>(victim)];
+            vh.state = PeerState::kDead;
+            // Name the exact stuck message: the RC step this rank is in
+            // (SPMD lockstep, so the victim was sending for the same
+            // step) and the next frame seqno expected from it. Only the
+            // reliable transport has per-peer seqno streams to consult.
+            const bool rel = world_->transport().reliable;
+            vh.has_awaited = rel;
+            vh.awaited_step = flow_step_;
+            vh.awaited_seq =
+                rel ? world_->mailbox(rank_).next_expected_seq(victim) : 0;
             ++ledger_.health_dead_declared;
             if (trace_ != nullptr) {
               trace_->instant("health:dead", "peer",
@@ -490,6 +579,10 @@ Message Comm::recv(Rank src, std::int32_t tag) {
                << " declared dead by health supervision after "
                << hc.dead_after.count() << " ms of silence on (src=" << src
                << ", tag=" << tag << ")";
+            if (rel) {
+              os << ", stuck awaiting flow (step=" << vh.awaited_step
+                 << ", seq=" << vh.awaited_seq << ") from it";
+            }
             throw PeerFailedError(victim, os.str());
           }
         }
@@ -637,9 +730,16 @@ void PendingAllToAll::recv_one() {
     }
   }();
   comm_->await_hint_ = nullptr;
-  wait_seconds_ +=
+  const double waited =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  wait_seconds_ += waited;
+  // Live blocked-on attribution: the peer whose arrival ended the longest
+  // single blocked interval is who this exchange was waiting for.
+  if (waited > max_blocked_seconds_) {
+    max_blocked_seconds_ = waited;
+    max_blocked_src_ = m.src;
+  }
   arrived_[static_cast<std::size_t>(m.src)] = true;
   in_[static_cast<std::size_t>(m.src)] = std::move(m.payload);
   ready_.push_back(m.src);
@@ -862,6 +962,9 @@ void World::run(const std::function<void(Comm&)>& fn) {
 World::RunReport World::run_contained(const std::function<void(Comm&)>& fn) {
   // Fresh failure state and transport streams: Comm seqnos restart at zero
   // each run, and a failed previous run may have left undelivered frames.
+  // The attempt counter separates this run's flow ids from every earlier
+  // attempt's, so a rollback replay can never match pre-rollback sends.
+  ++run_attempt_;
   any_failed_.store(false, std::memory_order_release);
   {
     const std::lock_guard lock(failed_mu_);

@@ -53,15 +53,28 @@ struct Message {
   Rank src = 0;
   std::int32_t tag = 0;
   std::vector<std::byte> payload;
+  /// Causal flow id the message traveled under (obs/causal.hpp); 0 when
+  /// flow stamping was off at the sender.
+  std::uint64_t flow = 0;
 };
 
 /// Reliable-frame layout: [seqno u32][crc u32][payload]. The CRC covers
 /// (src, tag, seqno, payload), so header corruption is detected too.
 inline constexpr std::size_t kFrameHeaderBytes = 8;
 
+/// Flow-stamped frame layout (wire v2.2, additive — negotiated run-wide by
+/// World::install_flow_stamping): [seqno u32][crc u32][flow u64][payload].
+/// The CRC additionally covers the flow id.
+inline constexpr std::size_t kStampedFrameHeaderBytes = 16;
+
 /// Encodes a payload into a wire frame (exposed for frame-rejection tests).
 [[nodiscard]] std::vector<std::byte> encode_frame(
     Rank src, std::int32_t tag, std::uint32_t seqno,
+    std::span<const std::byte> payload);
+
+/// Flow-stamped variant (wire v2.2).
+[[nodiscard]] std::vector<std::byte> encode_frame(
+    Rank src, std::int32_t tag, std::uint32_t seqno, std::uint64_t flow,
     std::span<const std::byte> payload);
 
 /// Thread-safe mailbox with (source, tag) matching and per-sender FIFO.
@@ -92,9 +105,11 @@ class Mailbox {
   /// in a reorder buffer until the gap fills). Runs on the *sender's*
   /// thread — it models the receiving NIC, so the sender learns the
   /// admission verdict synchronously and can retry without an ack round
-  /// trip that would deadlock symmetric exchanges.
+  /// trip that would deadlock symmetric exchanges. `stamped` selects the
+  /// wire v2.2 flow-stamped header (both endpoints agree run-wide).
   AdmitStatus admit_frame(Rank src, std::int32_t tag,
-                          std::vector<std::byte> frame);
+                          std::vector<std::byte> frame,
+                          bool stamped = false);
 
   /// Blocks until a message matching (src or kAnySource, tag) is available.
   /// Throws MailboxClosedError if the mailbox is poisoned or interrupted.
@@ -119,6 +134,11 @@ class Mailbox {
 
   /// Non-blocking probe (used by tests).
   [[nodiscard]] bool has(Rank src, std::int32_t tag);
+
+  /// Next frame seqno this mailbox expects from `src` (reliable transport
+  /// only) — i.e. the seq of the message a stuck receiver is awaiting.
+  /// Used by health supervision to name the exact stuck message.
+  [[nodiscard]] std::uint32_t next_expected_seq(Rank src);
 
  private:
   struct Stream {
@@ -247,6 +267,11 @@ class Comm {
     return peer_health_;
   }
 
+  /// Sets the RC step recorded in outgoing flow ids (obs/causal.hpp).
+  /// Called by the engine at the top of each RC step; harmless no-op when
+  /// flow stamping is off.
+  void set_flow_step(std::uint32_t step) { flow_step_ = step; }
+
  private:
   friend class World;
   friend class PendingAllToAll;
@@ -297,6 +322,15 @@ class Comm {
     std::vector<std::byte> frame;
   };
   std::unordered_map<Rank, std::vector<DelayedFrame>> delayed_;
+  /// Causal flow stamping (obs/causal.hpp): per-sender monotone seq, the
+  /// RC step the engine says we are in, and the World's contained-run
+  /// attempt number (cached at construction — Comms are rebuilt per
+  /// attempt, which is what isolates flows across rollback replays).
+  std::uint32_t flow_seq_ = 0;
+  std::uint32_t flow_step_ = 0;
+  std::uint32_t flow_attempt_ = 0;
+  /// Builds the next outbound flow id and records the flow:send instant.
+  [[nodiscard]] std::uint64_t next_flow_id();
   /// Per-peer health ledger (sized lazily on the first supervised wait).
   std::vector<PeerHealth> peer_health_;
   /// Candidate peers of the current any-source await (non-owning; set by
@@ -360,6 +394,11 @@ class PendingAllToAll {
   /// High-water mark of sends issued ahead of completed recvs.
   [[nodiscard]] std::uint64_t max_inflight() const { return max_inflight_; }
   [[nodiscard]] Rank window() const { return window_; }
+  /// Longest single blocked interval so far, and the peer whose arrival
+  /// ended it — the live "blocked on rank r" attribution the progress feed
+  /// surfaces (-1 until any recv blocked).
+  [[nodiscard]] double blocked_on_seconds() const { return max_blocked_seconds_; }
+  [[nodiscard]] Rank blocked_on_peer() const { return max_blocked_src_; }
 
  private:
   friend class Comm;
@@ -389,6 +428,8 @@ class PendingAllToAll {
   Rank delivered_ = 0;
   double wait_seconds_ = 0.0;
   std::uint64_t max_inflight_ = 0;
+  double max_blocked_seconds_ = 0.0;
+  Rank max_blocked_src_ = -1;
 };
 
 /// Spawns P rank threads, runs fn(Comm&) on each, joins, and keeps the
@@ -432,6 +473,17 @@ class World {
   /// (docs/FAULTS.md §Health supervision).
   void install_health(const HealthConfig& health) { health_ = health; }
   [[nodiscard]] const HealthConfig& health() const { return health_; }
+
+  /// Arms causal flow stamping for subsequent runs: every frame carries a
+  /// 64-bit flow id (wire v2.2) and senders/receivers record flow:send /
+  /// flow:recv instants on their trace tracks. Off (the default) keeps
+  /// wire bytes bit-identical to the unstamped v2.1 format.
+  void install_flow_stamping(bool on) { flow_stamping_ = on; }
+  [[nodiscard]] bool flow_stamping() const { return flow_stamping_; }
+  /// Contained-run attempt counter (bumped at each run/run_contained
+  /// start): the attempt field of every flow id minted in that run, so a
+  /// rollback replay can never be stitched to pre-rollback sends.
+  [[nodiscard]] std::uint32_t run_attempt() const { return run_attempt_; }
 
   /// Marks a rank failed mid-run and interrupts every blocking wait.
   void mark_failed(Rank r);
@@ -487,6 +539,8 @@ class World {
   HealthConfig health_;
   FaultInjector* injector_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  bool flow_stamping_ = false;
+  std::uint32_t run_attempt_ = 0;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<RankLedger> ledgers_;
   std::vector<MsgRecord> log_;

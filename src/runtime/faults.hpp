@@ -138,10 +138,18 @@ struct HealthConfig {
 enum class PeerState : std::uint8_t { kOk, kStraggler, kSuspect, kDead };
 
 /// Per-peer health ledger kept by each Comm endpoint: cumulative awaited
-/// silence and the highest escalation state reached.
+/// silence and the highest escalation state reached. When the silence was
+/// observed under the reliable transport, the record also names the exact
+/// awaited message — the flow step the observer was in and the next frame
+/// seqno it expected from the peer — so a PeerFailedError can say which
+/// message is stuck, not just which peer (docs/OBSERVABILITY.md §Causal
+/// flows).
 struct PeerHealth {
   double waited_seconds = 0.0;
   PeerState state = PeerState::kOk;
+  bool has_awaited = false;          ///< awaited_* below are meaningful
+  std::uint32_t awaited_step = 0;    ///< observer's RC step at escalation
+  std::uint32_t awaited_seq = 0;     ///< next frame seqno expected from peer
 };
 
 // ------------------------------------------------------------- fault plan

@@ -21,7 +21,9 @@
 // library.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -32,8 +34,71 @@
 
 #include "common/types.hpp"
 #include "core/events.hpp"
+#include "obs/metrics.hpp"
 
 namespace aacc::serve {
+
+/// Lock-free latency histogram for the query hot path. Same power-of-two
+/// bucket layout as obs::Histogram (snapshot() converts losslessly), but
+/// every field is a relaxed atomic so concurrent QueryView threads never
+/// serialize on a mutex — the ~µs point-query path stays wait-free.
+/// Relaxed ordering is fine: each field is independently monotone and
+/// readers only consume statistical summaries.
+struct LatencyHistogram {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  /// min/max use sentinel init + CAS loops; min starts at ~0 (u64 max).
+  std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max{0};
+  std::atomic<std::uint64_t> buckets[obs::Histogram::kBuckets] = {};
+
+  void record(std::uint64_t v) {
+    count.fetch_add(1, std::memory_order_relaxed);
+    sum.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t cur = min.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = max.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    const int b = v <= 1 ? 0 : std::bit_width(v);
+    buckets[std::min(b, obs::Histogram::kBuckets - 1)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  /// Materializes an obs::Histogram (mergeable into a MetricsRegistry).
+  /// Not a consistent point-in-time cut under concurrent writers — counts
+  /// may be mid-update — but every individual sample lands eventually and
+  /// the close-time snapshot (writers quiesced) is exact.
+  [[nodiscard]] obs::Histogram snapshot() const {
+    obs::Histogram h;
+    h.count = count.load(std::memory_order_relaxed);
+    h.sum = sum.load(std::memory_order_relaxed);
+    h.min = h.count == 0 ? 0 : min.load(std::memory_order_relaxed);
+    h.max = max.load(std::memory_order_relaxed);
+    for (int b = 0; b < obs::Histogram::kBuckets; ++b) {
+      h.buckets[b] = buckets[b].load(std::memory_order_relaxed);
+    }
+    return h;
+  }
+};
+
+/// One sampled query, tying a served response to the snapshot publish that
+/// answered it (docs/OBSERVABILITY.md §Causal flows). Collected 1-in-N so
+/// the buffer stays bounded regardless of query volume.
+struct QuerySample {
+  char kind = '?';           ///< 'p' point, 't' top_k, 'r' rank_of
+  std::uint64_t index = 0;   ///< 0-based global query index
+  std::uint64_t ns = 0;      ///< wall time spent in the query
+  /// Provenance of the freshest snapshot consulted: its RC step and
+  /// publish epoch, plus the engine step at query time (staleness =
+  /// engine_step - snapshot_step).
+  std::size_t snapshot_step = 0;
+  std::uint64_t snapshot_epoch = 0;
+  std::size_t engine_step = 0;
+};
 
 /// One immutable per-rank closeness snapshot. All vectors are aligned:
 /// ids[i] / closeness[i] / harmonic[i] describe the same vertex, and ids is
@@ -234,6 +299,21 @@ struct ServeContext {
   /// metrics registry as serve/queries at close).
   std::atomic<std::uint64_t> queries{0};
   std::atomic<std::uint64_t> stale_responses{0};
+  /// Per-kind query latency histograms (nanoseconds), folded into the
+  /// merged registry as serve/query_ns/{point,top_k,rank_of} at close.
+  /// Lock-free so the query path never blocks (docs/OBSERVABILITY.md
+  /// §Serve latency SLOs).
+  LatencyHistogram query_ns_point;
+  LatencyHistogram query_ns_top_k;
+  LatencyHistogram query_ns_rank_of;
+  /// Deterministic 1-in-N query sampling: query index i is sampled when
+  /// (i + sample_seed) % sample_every == 0. Bounded buffer; oldest samples
+  /// win (the cap drops the tail, keeping capture deterministic).
+  std::size_t sample_every = 64;
+  std::uint64_t sample_seed = 0;
+  static constexpr std::size_t kMaxSamples = 256;
+  std::mutex samples_mu;  ///< cold path: taken only for sampled queries
+  std::vector<QuerySample> samples;
 };
 
 }  // namespace aacc::serve

@@ -31,9 +31,11 @@ std::size_t min_step(const std::vector<Snap>& snaps) {
 }
 
 /// Builds the staleness contract for an answer backed by snapshots no
-/// older than `answer_step`, and bumps the query-side counters.
+/// older than `answer_step`, and bumps the query-side counters. `index`
+/// receives this query's 0-based global index (the pre-increment counter
+/// value) for the deterministic 1-in-N flow sampling.
 ResponseMeta make_meta(ServeContext& ctx, const std::vector<Snap>& snaps,
-                       std::size_t answer_step) {
+                       std::size_t answer_step, std::uint64_t& index) {
   ResponseMeta meta;
   meta.step = answer_step;
   meta.engine_step = ctx.engine_step.load(std::memory_order_acquire);
@@ -53,9 +55,47 @@ ResponseMeta make_meta(ServeContext& ctx, const std::vector<Snap>& snaps,
     meta.topk_overlap = est->topk_overlap;
     meta.kendall_tau = est->kendall_tau;
   }
-  ctx.queries.fetch_add(1, std::memory_order_relaxed);
+  index = ctx.queries.fetch_add(1, std::memory_order_relaxed);
   if (meta.stale) ctx.stale_responses.fetch_add(1, std::memory_order_relaxed);
   return meta;
+}
+
+/// Finishes one timed query: records its latency into the per-kind SLO
+/// histogram (lock-free) and, for sampled indices, captures a QuerySample
+/// tying the response to the snapshot publish (`epoch`) that served it.
+void record_query(ServeContext& ctx, LatencyHistogram& hist, char kind,
+                  std::uint64_t index,
+                  std::chrono::steady_clock::time_point t0,
+                  const ResponseMeta& meta, std::uint64_t epoch) {
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  hist.record(ns);
+  if (ctx.sample_every == 0 ||
+      (index + ctx.sample_seed) % ctx.sample_every != 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lk(ctx.samples_mu);
+  if (ctx.samples.size() >= ServeContext::kMaxSamples) return;
+  QuerySample s;
+  s.kind = kind;
+  s.index = index;
+  s.ns = ns;
+  s.snapshot_step = meta.step;
+  s.snapshot_epoch = epoch;
+  s.engine_step = meta.engine_step;
+  ctx.samples.push_back(s);
+}
+
+/// Freshest publish epoch among the consulted snapshots (multi-snapshot
+/// answers: top_k / rank_of / not-found).
+std::uint64_t max_epoch(const std::vector<Snap>& snaps) {
+  std::uint64_t e = 0;
+  for (const Snap& s : snaps) {
+    if (s != nullptr) e = std::max(e, s->epoch);
+  }
+  return e;
 }
 
 /// Locates v in the freshest snapshot that contains it. Returns the holder
@@ -78,27 +118,42 @@ const SnapshotData* find_vertex(const std::vector<Snap>& snaps, VertexId v,
 }  // namespace
 
 PointResponse QueryView::point(VertexId v) const {
+  const auto t0 = std::chrono::steady_clock::now();
   const auto snaps = collect(*ctx_);
   std::size_t pos = 0;
   const SnapshotData* holder = find_vertex(snaps, v, pos);
   PointResponse r;
+  std::uint64_t index = 0;
+  std::uint64_t epoch = 0;
   if (holder != nullptr) {
     r.found = true;
     r.closeness = holder->closeness[pos];
     r.harmonic = holder->harmonic[pos];
-    r.meta = make_meta(*ctx_, snaps, holder->step);
+    epoch = holder->epoch;
+    r.meta = make_meta(*ctx_, snaps, holder->step, index);
   } else {
     // "Not found" is only as fresh as the oldest cell consulted.
-    r.meta = make_meta(*ctx_, snaps, min_step(snaps));
+    epoch = max_epoch(snaps);
+    r.meta = make_meta(*ctx_, snaps, min_step(snaps), index);
   }
+  record_query(*ctx_, ctx_->query_ns_point, 'p', index, t0, r.meta, epoch);
   return r;
 }
 
 TopkResponse QueryView::top_k(std::size_t k) const {
+  const auto t0 = std::chrono::steady_clock::now();
   const auto snaps = collect(*ctx_);
   TopkResponse r;
-  r.meta = make_meta(*ctx_, snaps, min_step(snaps));
-  if (k == 0) return r;
+  std::uint64_t index = 0;
+  r.meta = make_meta(*ctx_, snaps, min_step(snaps), index);
+  const auto done = [&]() {
+    record_query(*ctx_, ctx_->query_ns_top_k, 't', index, t0, r.meta,
+                 max_epoch(snaps));
+  };
+  if (k == 0) {
+    done();
+    return r;
+  }
   // Each rank's top-k prefix (its by_closeness order) is a superset of its
   // contribution to the global top-k, so k candidates per rank suffice.
   struct Cand {
@@ -132,16 +187,24 @@ TopkResponse QueryView::top_k(std::size_t k) const {
   if (cands.size() > k) cands.resize(k);
   r.entries.reserve(cands.size());
   for (const Cand& c : cands) r.entries.push_back(TopkEntry{c.v, c.closeness});
+  done();
   return r;
 }
 
 VertexRankResponse QueryView::rank_of(VertexId v) const {
+  const auto t0 = std::chrono::steady_clock::now();
   const auto snaps = collect(*ctx_);
   std::size_t pos = 0;
   const SnapshotData* holder = find_vertex(snaps, v, pos);
   VertexRankResponse r;
+  std::uint64_t index = 0;
+  const auto done = [&]() {
+    record_query(*ctx_, ctx_->query_ns_rank_of, 'r', index, t0, r.meta,
+                 holder != nullptr ? holder->epoch : max_epoch(snaps));
+  };
   if (holder == nullptr) {
-    r.meta = make_meta(*ctx_, snaps, min_step(snaps));
+    r.meta = make_meta(*ctx_, snaps, min_step(snaps), index);
+    done();
     return r;
   }
   r.found = true;
@@ -161,7 +224,8 @@ VertexRankResponse QueryView::rank_of(VertexId v) const {
     before += static_cast<std::size_t>(it - s->by_closeness.begin());
   }
   r.rank = 1 + before;
-  r.meta = make_meta(*ctx_, snaps, min_step(snaps));
+  r.meta = make_meta(*ctx_, snaps, min_step(snaps), index);
+  done();
   return r;
 }
 
@@ -192,6 +256,8 @@ EngineSession::EngineSession(Graph g, EngineConfig cfg)
   }
   ctx_ = std::make_shared<ServeContext>(cfg_.num_ranks, cfg_.publish_every,
                                         cfg_.max_snapshot_lag);
+  ctx_->sample_every = cfg_.serve_sample_every;
+  ctx_->sample_seed = cfg_.serve_sample_seed;
   next_vertex_id_ = graph_.num_vertices();
   driver_ = std::thread([this] {
     detail::DriverArgs args;

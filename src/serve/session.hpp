@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -109,6 +110,15 @@ class QueryView {
   std::shared_ptr<ServeContext> ctx_;
 };
 
+/// Point-in-time cut of the per-kind query latency histograms
+/// (nanoseconds), the serve-side SLO surface (docs/OBSERVABILITY.md
+/// §Serve latency SLOs). Percentiles via obs::histogram_quantile.
+struct SloSnapshot {
+  obs::Histogram point;
+  obs::Histogram top_k;
+  obs::Histogram rank_of;
+};
+
 /// Lifecycle phase (see state()).
 enum class SessionState {
   kOpen,    ///< driver running; ingest/query/close all valid
@@ -169,6 +179,21 @@ class EngineSession {
   /// Cumulative queries answered across all views of this session.
   [[nodiscard]] std::uint64_t queries_answered() const {
     return ctx_->queries.load(std::memory_order_relaxed);
+  }
+
+  /// Current serve-side latency SLO cut: one histogram per query kind.
+  /// Safe any time (lock-free reads); exact once queries have quiesced.
+  [[nodiscard]] SloSnapshot slo() const {
+    return SloSnapshot{ctx_->query_ns_point.snapshot(),
+                       ctx_->query_ns_top_k.snapshot(),
+                       ctx_->query_ns_rank_of.snapshot()};
+  }
+
+  /// Copy of the sampled per-query flow records (deterministic 1-in-N per
+  /// EngineConfig::serve_sample_every/serve_sample_seed, bounded buffer).
+  [[nodiscard]] std::vector<QuerySample> query_samples() const {
+    std::lock_guard<std::mutex> lk(ctx_->samples_mu);
+    return ctx_->samples;
   }
 
  private:

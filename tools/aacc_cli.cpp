@@ -31,6 +31,8 @@
 #include "aacc/aacc.hpp"
 #include "graph/louvain.hpp"
 #include "graph/metrics.hpp"
+#include "obs/causal.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -85,8 +87,11 @@ int usage() {
                "       [--stats-json FILE] [--trace FILE] "
                "[--dv-budget BYTES|auto]\n"
                "       [--recovery-policy LADDER] [--checkpoint-every N]\n"
+               "  aacc analyze --critical-path --trace FILE [--json FILE] "
+               "[--top N]\n"
                "  aacc run <graph-file> [--ranks N] [--seed S] [--top-k K]\n"
-               "       [--events FILE] [--progress] [--dv-budget BYTES|auto]\n"
+               "       [--events FILE] [--progress] [--trace FILE]\n"
+               "       [--dv-budget BYTES|auto]\n"
                "       [--recovery-policy LADDER] [--checkpoint-every N]\n"
                "  aacc serve <graph-file> [--ranks N] [--seed S] "
                "[--mutations FILE]\n"
@@ -101,6 +106,13 @@ int usage() {
                "answers queries from stdin: point V | topk K | rankof V |\n"
                "stats | quit. Every answer carries its publishing step, age\n"
                "in RC steps and the convergence estimators.\n"
+               "\n"
+               "analyze --critical-path reads a flow-stamped Chrome trace\n"
+               "(written by analyze/run --trace, which enable flow stamping)\n"
+               "and prints the per-step critical-path attribution — the top-N\n"
+               "straggler chains with blocked-on rank/phase breakdowns\n"
+               "(docs/OBSERVABILITY.md §Causal flows). --json also writes the\n"
+               "full attribution table as JSON.\n"
                "\n"
                "LADDER is a comma list of recovery rungs tried in order when\n"
                "a rank dies (docs/FAULTS.md §Recovery policy ladder), each\n"
@@ -261,6 +273,11 @@ int cmd_run(const Args& args) {
   }
   apply_recovery_flags(args, cfg);
   if (args.has("events")) cfg.progress.path = args.get("events", "");
+  if (args.has("trace")) {
+    cfg.trace.enabled = true;
+    cfg.trace.path = args.get("trace", "trace.json");
+    cfg.trace.flow_stamping = true;  // traces feed analyze --critical-path
+  }
   // Live rendering is the default purpose of `run`: render unless the user
   // asked only for a file feed.
   if (args.has("progress") || !args.has("events")) {
@@ -272,6 +289,10 @@ int cmd_run(const Args& args) {
   std::printf("engine: %d ranks\n%s\n", cfg.num_ranks, r.stats.summary().c_str());
   if (!cfg.progress.path.empty()) {
     std::printf("events: %s\n", cfg.progress.path.c_str());
+  }
+  if (cfg.trace.enabled) {
+    std::printf("trace: %s (%zu events)\n", cfg.trace.path.c_str(),
+                r.trace.events.size());
   }
   const auto best = top_k(r.harmonic, cfg.progress.top_k);
   std::printf("%-8s %-10s %s\n", "rank", "vertex", "harmonic");
@@ -415,6 +436,19 @@ int cmd_serve(const Args& args) {
                   static_cast<unsigned long long>(session.queries_answered()),
                   fed.load(), rejected.load(),
                   feeding.load() ? "streaming" : "drained");
+      const serve::SloSnapshot slo = session.slo();
+      const auto line = [](const char* kind, const obs::Histogram& h) {
+        if (h.count == 0) return;
+        std::printf("slo: %-7s p50 %8.1fus  p95 %8.1fus  p99 %8.1fus  "
+                    "(%llu queries)\n",
+                    kind, obs::histogram_quantile(h, 0.50) / 1e3,
+                    obs::histogram_quantile(h, 0.95) / 1e3,
+                    obs::histogram_quantile(h, 0.99) / 1e3,
+                    static_cast<unsigned long long>(h.count));
+      };
+      line("point", slo.point);
+      line("topk", slo.top_k);
+      line("rankof", slo.rank_of);
     } else {
       std::printf("commands: point V | topk K | rankof V | stats | quit\n");
     }
@@ -556,7 +590,43 @@ int cmd_partition(const Args& args) {
   return 0;
 }
 
+/// `analyze --critical-path`: offline causal analysis of a flow-stamped
+/// Chrome trace (docs/OBSERVABILITY.md §Causal flows). Reads the trace
+/// named by --trace, merges the per-rank tracks into the cross-rank causal
+/// DAG and prints the top-N straggler chains with per-step blocked-on
+/// attribution; --json additionally writes the full table as JSON.
+int cmd_critical_path(const Args& args) {
+  const std::string path = args.get("trace", "trace.json");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open trace %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<obs::CausalEvent> events;
+  if (!obs::load_chrome_trace(in, events)) {
+    std::fprintf(stderr, "error: %s is not a Chrome trace JSON\n",
+                 path.c_str());
+    return 1;
+  }
+  const obs::CausalAnalysis a = obs::analyze_causal(events);
+  obs::write_attribution_report(
+      std::cout, a, static_cast<std::size_t>(args.get_int("top", 5)));
+  if (args.has("json")) {
+    const std::string out = args.get("json", "attribution.json");
+    std::ofstream os(out, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "error: could not write %s\n", out.c_str());
+      return 1;
+    }
+    obs::write_attribution_json(os, a);
+    os << '\n';
+    std::printf("attribution json: %s\n", out.c_str());
+  }
+  return 0;
+}
+
 int cmd_analyze(const Args& args) {
+  if (args.has("critical-path")) return cmd_critical_path(args);
   if (args.positional.size() < 2) return usage();
   const Graph g = load_graph(args.positional[1]);
   const auto ranks = static_cast<Rank>(args.get_int("ranks", 8));
@@ -583,6 +653,7 @@ int cmd_analyze(const Args& args) {
     if (args.has("trace")) {
       cfg.trace.enabled = true;
       cfg.trace.path = args.get("trace", "trace.json");
+      cfg.trace.flow_stamping = true;  // feeds analyze --critical-path
     }
     AnytimeEngine engine(g, cfg);
     const RunResult r = engine.run();
